@@ -1,0 +1,58 @@
+"""Benchmarks regenerating the paper's figures.
+
+Figure 1: the SCK interface listing.
+Figure 2: the self-checking operator+ listing.
+Figure 3: the reliable co-design flow diagram.
+
+Plus the Section 4.1 test-architecture VHDL and the self-checking
+datapath RTL -- the structural artefacts behind Tables 2 and 3.
+"""
+
+from repro.apps.fir import fir_graph
+from repro.codesign.allocation import bind
+from repro.codesign.scheduling import asap_schedule
+from repro.codesign.sck_transform import enrich_with_sck
+from repro.hdlgen.datapath import emit_datapath_rtl
+from repro.hdlgen.flow_diagram import emit_flow_ascii, emit_flow_dot
+from repro.hdlgen.sck_class import emit_sck_class, emit_sck_interface, emit_sck_operator
+from repro.hdlgen.testarch import emit_test_architecture
+
+
+def test_figure1_interface(once):
+    text = once(emit_sck_interface, ("add",))
+    print()
+    print(text)
+    assert "bool E;" in text
+
+
+def test_figure2_operator_plus(once):
+    text = once(emit_sck_operator, "add", "tech1")
+    print()
+    print(text)
+    assert "ris.ID = op1.ID + op2.ID" in text
+
+
+def test_figure3_flow_diagram(once):
+    text = once(emit_flow_ascii)
+    print()
+    print(text)
+    assert "OFFIS" in text
+    assert emit_flow_dot().startswith("digraph")
+
+
+def test_full_sck_library_emits(once):
+    text = once(emit_sck_class)
+    assert text.count("operator") >= 5
+
+
+def test_section41_test_architecture(once):
+    text = once(emit_test_architecture, 4)
+    assert "entity test_architecture" in text
+    assert text.count("SA1") == 16
+
+
+def test_self_checking_datapath_rtl(once):
+    graph = enrich_with_sck(fir_graph())
+    allocation = bind(asap_schedule(graph))
+    rtl = once(emit_datapath_rtl, allocation)
+    assert "error_latch" in rtl

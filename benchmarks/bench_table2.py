@@ -1,0 +1,78 @@
+"""Benchmark regenerating Table 2: adder coverage vs operand width.
+
+Paper reference:
+
+    bits  situations   Tech1   Tech2   Both
+    1     128          95.31   96.88   97.66
+    2     1024         96.88   98.44   98.83
+    3     6144         97.40   98.96   99.22
+    4     (7808*)      97.66   99.22   99.41
+    8     16x2^20      98.05   99.61   99.71
+    16    6x2^30       98.18   99.74   99.80
+
+(*) the paper's n=4 row disagrees with its own formula 32*n*2^(2n) =
+32768; we enumerate the formula's universe exhaustively for n <= 4 and
+sample n = 8 and 16, mirroring the paper's own sampling at large n.
+"""
+
+import pytest
+
+from repro.coverage.engine import evaluate_adder
+from repro.coverage.report import PAPER_TABLE2, render_table2
+
+EXHAUSTIVE_WIDTHS = (1, 2, 3, 4)
+SAMPLED_WIDTHS = (8, 16)
+SAMPLES = 2048
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for width in EXHAUSTIVE_WIDTHS:
+        out[width] = evaluate_adder(width)
+    for width in SAMPLED_WIDTHS:
+        out[width] = evaluate_adder(width, samples=SAMPLES)
+    return out
+
+
+def test_table2_regenerates(results, once):
+    table = once(
+        render_table2,
+        widths=EXHAUSTIVE_WIDTHS + SAMPLED_WIDTHS,
+        results=results,
+    )
+    print()
+    print(table)
+    assert "Table 2" in table
+
+
+def test_table2_exhaustive_situation_counts(results):
+    assert results[1]["tech1"].situations == 128
+    assert results[2]["tech1"].situations == 1024
+    assert results[3]["tech1"].situations == 6144
+    assert results[4]["tech1"].situations == 32768  # the formula's value
+
+
+def test_table2_monotone_growth(results):
+    for technique in ("tech1", "tech2", "both"):
+        values = [results[w][technique].coverage for w in EXHAUSTIVE_WIDTHS]
+        assert values == sorted(values)
+
+
+def test_table2_orderings_every_width(results):
+    for width in EXHAUSTIVE_WIDTHS + SAMPLED_WIDTHS:
+        stats = results[width]
+        assert stats["tech2"].coverage >= stats["tech1"].coverage
+        assert stats["both"].coverage >= stats["tech2"].coverage
+
+
+def test_table2_within_band_of_paper(results):
+    for width in EXHAUSTIVE_WIDTHS:
+        paper = PAPER_TABLE2[width]
+        for technique, published in zip(("tech1", "tech2", "both"), paper):
+            measured = results[width][technique].coverage_percent
+            assert abs(measured - published) < 3.5, (width, technique)
+
+
+def test_table2_large_width_high_coverage(results):
+    assert results[16]["both"].coverage_percent > 98.5

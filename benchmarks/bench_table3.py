@@ -1,0 +1,81 @@
+"""Benchmark regenerating Table 3: the FIR through the co-design flow.
+
+Paper reference:
+
+    Hardware                       latency        clock     CLB slices
+    FIR            min area        2 + 7n         20.00     412
+                   min latency     2 + 5n         20.00     477
+    FIR with SCK   min area        2 + 10n        16.67     1926
+                   min latency     2 + 5n         20.00     1593
+    FIR embedded   min area        2 + 9n         15.38     634
+                   min latency     2 + 5n         20.00     861
+
+    Software                       exe time (s)   exe size (KB)
+    FIR                            6.83           889
+    FIR with SCK                   10.02          893
+    FIR embedded SCK               7.90           889
+"""
+
+import pytest
+
+from repro.apps.fir import fir_graph
+from repro.codesign.flow import ReliableCoDesignFlow
+from repro.codesign.report import render_table3
+
+
+@pytest.fixture(scope="module")
+def results():
+    return ReliableCoDesignFlow(fir_graph(), samples=20_000_000).run()
+
+
+def test_table3_regenerates(results, once):
+    table = once(render_table3, results=results)
+    print()
+    print(table)
+    assert "Table 3" in table
+
+
+def test_latency_formulas_match_paper(results):
+    assert results["plain"].hw_min_area.latency_formula == "2 + 7n"
+    assert results["plain"].hw_min_latency.latency_formula == "2 + 5n"
+    assert results["sck"].hw_min_area.latency_formula == "2 + 10n"
+    assert results["sck"].hw_min_latency.latency_formula == "2 + 5n"
+    assert results["embedded"].hw_min_latency.latency_formula == "2 + 5n"
+
+
+def test_clock_degradation_pattern(results):
+    """Min-area checked variants close timing below plain's clock; all
+    min-latency variants stay near it (paper: 20 vs 16.67/15.38 MHz)."""
+    plain_clock = results["plain"].hw_min_area.frequency_mhz
+    assert results["sck"].hw_min_area.frequency_mhz < plain_clock
+    assert results["embedded"].hw_min_area.frequency_mhz < plain_clock
+    for variant in ("plain", "sck", "embedded"):
+        assert results[variant].hw_min_latency.frequency_mhz >= 0.75 * plain_clock
+
+
+def test_area_overhead_bands(results):
+    """SCK in x2-x6 of plain, embedded in x1.2-x2.2 (paper: x4.67/x1.54
+    min-area, x3.34/x1.81 min-latency)."""
+    for objective in ("hw_min_area", "hw_min_latency"):
+        plain = getattr(results["plain"], objective).slices
+        sck = getattr(results["sck"], objective).slices
+        embedded = getattr(results["embedded"], objective).slices
+        assert 2.0 < sck / plain < 6.0
+        assert 1.2 < embedded / plain < 2.2
+
+
+def test_software_overheads(results):
+    """Time: SCK > embedded > plain; size: SCK +4 KB (paper 893 vs 889)."""
+    plain = results["plain"].software
+    sck = results["sck"].software
+    embedded = results["embedded"].software
+    assert plain.seconds < embedded.seconds < sck.seconds
+    assert 1.05 < embedded.seconds / plain.seconds < 1.45
+    assert 1.5 < sck.seconds / plain.seconds < 2.6
+    assert sck.image_kilobytes - plain.image_kilobytes >= 4.0
+    assert abs(embedded.image_kilobytes - plain.image_kilobytes) < 1.0
+
+
+def test_reliability_claims(results):
+    assert results["sck"].hw_min_latency.fully_separated
+    assert not results["sck"].hw_min_area.fully_separated

@@ -1,0 +1,114 @@
+"""Ablation A3: does the compiler simplify the redundant checks away?
+
+Paper Section 5.1: "analyses have been carried out to verify that the
+redundant operations ... are not 'simplified' by the compiler thus
+nullifying the operator overloading efforts.  Both code size and
+execution times remain almost unmodified."
+
+We compile the SCK-enriched FIR three ways -- unoptimised, with the
+safe CSE+DCE pipeline (a production compiler), and with algebraic
+identity folding (an over-aggressive compiler) -- then inject the full
+adder-fault universe and measure detection.
+"""
+
+import pytest
+
+from repro.apps.fir import fir_graph, make_input_streams
+from repro.arch.alu import FaultableALU
+from repro.arch.cell import effective_faulty_cells
+from repro.codesign.sck_transform import enrich_with_sck
+from repro.vm.compiler import ERROR_FLAG_ADDR, compile_dfg
+from repro.vm.isa import Opcode
+from repro.vm.machine import Machine
+from repro.vm.optimizer import optimize
+
+SAMPLES = list(range(1, 21))
+
+
+@pytest.fixture(scope="module")
+def programs():
+    graph = enrich_with_sck(fir_graph())
+    base, memory_map = compile_dfg(graph, len(SAMPLES))
+    return {
+        "unoptimised": (base, memory_map),
+        "safe (CSE+DCE)": (optimize(base), memory_map),
+        "algebraic": (optimize(base, algebraic=True), memory_map),
+    }
+
+
+def _memory(memory_map):
+    memory = {}
+    for name, stream in make_input_streams(SAMPLES).items():
+        base = memory_map.stream_for_input(name)
+        for k, v in enumerate(stream):
+            memory[base + k] = v
+    return memory
+
+
+def _campaign(program, memory_map):
+    memory = _memory(memory_map)
+    out_base = memory_map.stream_for_output("y")
+    golden = Machine(16).run(program, dict(memory))
+    golden_out = [golden.memory.get(out_base + k, 0) for k in range(len(SAMPLES))]
+    wrong = detected = 0
+    for cell in effective_faulty_cells():
+        alu = FaultableALU(16)
+        alu.inject_fault("adder", cell, position=2)
+        run = Machine(16, alu=alu).run(program, dict(memory))
+        out = [run.memory.get(out_base + k, 0) for k in range(len(SAMPLES))]
+        if out != golden_out:
+            wrong += 1
+            if run.memory.get(ERROR_FLAG_ADDR, 0):
+                detected += 1
+    return wrong, detected
+
+
+def test_ablation_compiler(programs, once):
+    rows = once(
+        lambda: {
+            name: (
+                len(program.instructions),
+                Machine(16).run(program, _memory(memory_map)).cycles,
+                *_campaign(program, memory_map),
+            )
+            for name, (program, memory_map) in programs.items()
+        }
+    )
+    print()
+    print("A3 -- compiler pipelines over the SCK-enriched FIR")
+    for name, (instructions, cycles, wrong, detected) in rows.items():
+        rate = 100 * detected / wrong if wrong else 100.0
+        print(
+            f"  {name:15s}: {instructions:3d} instructions, {cycles:5d} cycles, "
+            f"{detected}/{wrong} corruptions detected ({rate:.0f}%)"
+        )
+    base_instr, base_cycles, base_wrong, base_detected = rows["unoptimised"]
+    safe_instr, safe_cycles, safe_wrong, safe_detected = rows["safe (CSE+DCE)"]
+    alg_instr, alg_cycles, alg_wrong, alg_detected = rows["algebraic"]
+    # Safe pipeline: "almost unmodified" and detection intact.
+    assert safe_instr >= 0.85 * base_instr
+    assert safe_wrong > 0 and safe_detected / safe_wrong >= 0.9 * (
+        base_detected / base_wrong
+    )
+    # Aggressive pipeline: smaller/faster, and detection visibly
+    # degraded -- the additions' inverse checks are folded away (their
+    # comparators become constant false).  Multiplication checks still
+    # catch many adder faults because their check-summation itself runs
+    # on the faulty adder, so the drop is partial, not total.
+    assert alg_cycles < safe_cycles
+    assert alg_wrong > 0
+    assert alg_detected / alg_wrong <= (safe_detected / safe_wrong) - 0.1
+
+
+def test_checks_survive_safe_pipeline(programs):
+    base, _ = programs["unoptimised"]
+    safe, _ = programs["safe (CSE+DCE)"]
+    count = lambda p: sum(1 for i in p.instructions if i.opcode is Opcode.CMPNE)
+    assert count(safe) == count(base)
+
+
+def test_algebraic_removes_check_muls(programs):
+    base, _ = programs["unoptimised"]
+    aggressive, _ = programs["algebraic"]
+    muls = lambda p: sum(1 for i in p.instructions if i.opcode is Opcode.MUL)
+    assert muls(aggressive) <= muls(base)

@@ -1,0 +1,62 @@
+"""Ablation A1: checking-technique strength vs cost (paper Section 3.2).
+
+The paper remarks that the stronger control condition
+``(z-y==x)&&(z-x==y)`` "prov[es] higher fault coverage and hardware
+cost".  This ablation quantifies both halves of the trade-off on the
+same universe: coverage from the engine, hardware cost from the area
+model applied to a single checked addition.
+"""
+
+import pytest
+
+from repro.codesign.allocation import bind
+from repro.codesign.area import estimate_area
+from repro.codesign.dfg import DataflowGraph
+from repro.codesign.scheduling import asap_schedule
+from repro.codesign.sck_transform import enrich_with_sck
+from repro.coverage.engine import evaluate_adder
+
+
+@pytest.fixture(scope="module")
+def coverage():
+    return evaluate_adder(4)
+
+
+def _checked_add_area(technique: str) -> int:
+    graph = DataflowGraph("one_add")
+    graph.add_input("a")
+    graph.add_input("b")
+    graph.add_op("s", "add", ("a", "b"))
+    graph.add_output("y", "s")
+    enriched = enrich_with_sck(graph, {"add": technique})
+    return estimate_area(bind(asap_schedule(enriched))).total
+
+
+def test_ablation_coverage_vs_cost(coverage, once):
+    areas = once(lambda: {t: _checked_add_area(t) for t in ("tech1", "tech2", "both")})
+    print()
+    print("A1 -- technique strength vs cost (4-bit adder universe)")
+    for technique in ("tech1", "tech2", "both"):
+        stats = coverage[technique]
+        print(
+            f"  {technique:5s}: coverage {stats.coverage_percent:6.2f}%  "
+            f"single-add datapath {areas[technique]} slices"
+        )
+    # Both costs more area than either single technique...
+    assert areas["both"] > areas["tech1"]
+    assert areas["both"] > areas["tech2"]
+    # ...and buys the highest coverage.
+    assert coverage["both"].coverage >= coverage["tech2"].coverage
+    assert coverage["both"].coverage >= coverage["tech1"].coverage
+
+
+def test_ablation_marginal_return_shrinks(coverage):
+    """The second technique's coverage gain is smaller than the first's
+    (diminishing returns, the premise of the per-operator trade-off)."""
+    base = 0.0
+    t1 = coverage["tech1"].coverage
+    t2 = coverage["tech2"].coverage
+    both = coverage["both"].coverage
+    first_gain = max(t1, t2)
+    second_gain = both - first_gain
+    assert second_gain < first_gain

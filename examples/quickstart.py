@@ -1,0 +1,68 @@
+"""Quickstart: self-checking integers in five minutes.
+
+Demonstrates the paper's core idea: swap plain integers for the SCK
+type and every arithmetic operation transparently verifies itself with
+a hidden inverse operation, accumulating an error bit.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.arch.cell import effective_faulty_cells
+from repro.core import SCK, SCKContext, HardwareBackend, default_library
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. SCK values behave like fixed-width ints, but self-check.
+    # ------------------------------------------------------------------
+    with SCKContext(width=16) as ctx:
+        a = SCK(1200)
+        b = SCK(-34)
+        c = (a + b) * SCK(3) - SCK(10)
+        q = c / SCK(7)
+        print(f"(1200 - 34) * 3 - 10 = {c.value}, /7 = {q.value}")
+        print(f"error bits: c.E={c.error}, q.E={q.error}")
+        print(f"context: {ctx.describe()}")
+        print()
+
+    # ------------------------------------------------------------------
+    # 2. Inject a hardware fault into the adder: the same computation
+    #    now raises the error bit whenever the result is corrupted.
+    # ------------------------------------------------------------------
+    backend = HardwareBackend(16)
+    faulty_cell = effective_faulty_cells()[3]
+    backend.alu.inject_fault("adder", faulty_cell, position=5)
+    print(f"injected: {faulty_cell.fault.describe()} at adder cell 5")
+
+    with SCKContext(width=16, backend=backend) as ctx:
+        detected = silent = clean = 0
+        for x in range(-500, 500, 7):
+            result = SCK(x) + SCK(777)
+            if result.error:
+                detected += 1
+            elif result.value != x + 777:
+                silent += 1
+            else:
+                clean += 1
+        print(
+            f"143 additions on the faulty unit: {clean} correct, "
+            f"{detected} flagged, {silent} silent corruptions"
+        )
+        print()
+
+    # ------------------------------------------------------------------
+    # 3. The reliability library: pick a technique by trade-off.
+    # ------------------------------------------------------------------
+    library = default_library()
+    for operator in ("add", "sub", "mul", "div"):
+        choice = library.select(operator, min_coverage=96.0)
+        print(f"cheapest {operator} checker with >=96% coverage: {choice.describe()}")
+
+    # Use the stronger 'both' technique for additions only.
+    with SCKContext(width=16, techniques={"add": "both"}) as ctx:
+        SCK(5) + SCK(6)
+        print(f"\nwith add->both: {ctx.checks} check(s) logged: {ctx.log[0].describe()}")
+
+
+if __name__ == "__main__":
+    main()

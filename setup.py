@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e .`` can fall back to the legacy setuptools editable
+install when PEP 660 build hooks are unavailable (offline images).
+"""
+
+from setuptools import setup
+
+setup()

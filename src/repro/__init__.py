@@ -1,0 +1,55 @@
+"""repro -- self-checking data-paths via operator overloading.
+
+A faithful, self-contained reproduction of:
+
+    C. Bolchini, F. Salice, D. Sciuto, L. Pomante,
+    "Reliable System Specification for Self-Checking Data-Paths",
+    Design, Automation and Test in Europe (DATE), 2005.
+
+The package provides:
+
+* the :class:`~repro.core.SCK` self-checking data type (the paper's
+  contribution), with pluggable checking techniques and backends;
+* a gate-level netlist substrate with the paper's 32-fault full-adder
+  universe (:mod:`repro.gates`);
+* vectorised cell-level faulty datapath units (:mod:`repro.arch`);
+* a fault model and injection campaigns (:mod:`repro.faults`);
+* the worst-case fault-coverage engine regenerating Tables 1 and 2
+  (:mod:`repro.coverage`);
+* a monoprocessor VM and a hardware/software co-design flow
+  regenerating Table 3 (:mod:`repro.vm`, :mod:`repro.codesign`);
+* generators for the paper's figures and HDL artefacts
+  (:mod:`repro.hdlgen`);
+* benchmark applications, FIR first (:mod:`repro.apps`).
+"""
+
+from repro.core import SCK, SCKContext, current_context
+from repro.errors import (
+    CheckError,
+    CompilationError,
+    FaultError,
+    NetlistError,
+    OverflowPolicyError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    SpecificationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SCK",
+    "SCKContext",
+    "current_context",
+    "ReproError",
+    "NetlistError",
+    "SimulationError",
+    "FaultError",
+    "CheckError",
+    "SpecificationError",
+    "SchedulingError",
+    "CompilationError",
+    "OverflowPolicyError",
+    "__version__",
+]

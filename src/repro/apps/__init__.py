@@ -1,0 +1,37 @@
+"""Benchmark applications expressed over the public APIs.
+
+* :mod:`repro.apps.fir` -- the paper's FIR case study (Table 3);
+* :mod:`repro.apps.iir` -- an IIR biquad section;
+* :mod:`repro.apps.matmul` -- small fixed-size matrix multiply;
+* :mod:`repro.apps.dct` -- 1-D DCT-II on fixed-point coefficients.
+
+Each application offers a :func:`*_graph` builder returning the plain
+dataflow specification (ready for the co-design flow) and a
+:func:`*_reference` function computing expected outputs, plus SCK-based
+scalar implementations for the examples.
+"""
+
+from repro.apps.fir import (
+    FirSpec,
+    fir_graph,
+    fir_reference,
+    fir_sck,
+    make_input_streams,
+)
+from repro.apps.iir import biquad_graph, biquad_reference
+from repro.apps.matmul import matmul_graph, matmul_reference
+from repro.apps.dct import dct_graph, dct_reference
+
+__all__ = [
+    "FirSpec",
+    "fir_graph",
+    "fir_reference",
+    "fir_sck",
+    "make_input_streams",
+    "biquad_graph",
+    "biquad_reference",
+    "matmul_graph",
+    "matmul_reference",
+    "dct_graph",
+    "dct_reference",
+]

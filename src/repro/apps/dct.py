@@ -1,0 +1,46 @@
+"""1-D DCT-II on fixed-point integer coefficients.
+
+The DCT is the classic signal-processing kernel after FIR: a dense
+constant matrix-vector product with mixed-sign coefficients, so its
+SCK enrichment exercises negation-heavy check chains.  Coefficients are
+pre-scaled by ``SCALE`` and the outputs divided back down, keeping the
+whole computation in synthesisable integers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.apps.matmul import matmul_graph, matmul_reference
+from repro.codesign.dfg import DataflowGraph
+from repro.errors import SpecificationError
+
+SCALE = 64
+
+
+def dct_matrix(n: int = 4) -> List[List[int]]:
+    """Integer DCT-II matrix, scaled by :data:`SCALE`."""
+    if n < 2:
+        raise SpecificationError(f"DCT size must be >= 2, got {n}")
+    rows: List[List[int]] = []
+    for k in range(n):
+        row = []
+        for j in range(n):
+            coefficient = math.cos(math.pi * (j + 0.5) * k / n)
+            row.append(int(round(SCALE * coefficient)))
+        rows.append(row)
+    return rows
+
+
+def dct_graph(n: int = 4, name: str = "dct") -> DataflowGraph:
+    """Per-block dataflow body of an ``n``-point integer DCT-II."""
+    matrix = dct_matrix(n)
+    graph = matmul_graph(matrix, name=f"{name}{n}")
+    return graph
+
+
+def dct_reference(block: Sequence[int], width: int = 16) -> List[int]:
+    """Golden scaled DCT-II of one block."""
+    matrix = dct_matrix(len(block))
+    return matmul_reference(matrix, block, width=width)

@@ -1,0 +1,123 @@
+"""The FIR filter case study (paper Section 5.1, Table 3).
+
+A direct-form FIR of ``T`` taps computes, per output sample::
+
+    y[k] = sum_{i=0}^{T-1} c[i] * x[k-i]
+
+The dataflow body exposes the sample window ``x0..x{T-1}`` as inputs
+(``x{i}`` carrying ``x[k-i]``), the coefficients as constants, one
+``input``/``output`` transfer pair, and a chained accumulation -- the
+structure whose min-area/min-latency schedules produce the paper's
+``2 + 7n`` / ``2 + 5n`` latency formulas with the default 4-tap
+configuration.
+
+:func:`fir_sck` is the specification-level implementation using the
+:class:`~repro.core.SCK` type directly (what the paper's designer
+writes); :func:`fir_graph` is the co-design flow's view of the same
+computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.codesign.dfg import DataflowGraph
+from repro.core.context import current_context
+from repro.core.value import SCK
+from repro.errors import SpecificationError
+
+#: Default coefficients: a small symmetric low-pass kernel (the paper's
+#: exact taps are not published; symmetry matches a typical FIR).
+DEFAULT_COEFFICIENTS = (3, 7, 7, 3)
+
+
+@dataclass(frozen=True)
+class FirSpec:
+    """Configuration of a FIR instance."""
+
+    coefficients: Sequence[int] = DEFAULT_COEFFICIENTS
+
+    @property
+    def taps(self) -> int:
+        return len(self.coefficients)
+
+    def __post_init__(self) -> None:
+        if not self.coefficients:
+            raise SpecificationError("FIR needs at least one coefficient")
+
+
+def fir_graph(spec: FirSpec = FirSpec(), name: str = "fir") -> DataflowGraph:
+    """The per-sample dataflow body of the FIR."""
+    graph = DataflowGraph(name)
+    window = [graph.add_input(f"x{i}") for i in range(spec.taps)]
+    coefficients = [
+        graph.add_const(f"c{i}", int(c)) for i, c in enumerate(spec.coefficients)
+    ]
+    products = [
+        graph.add_op(f"p{i}", "mul", (coefficients[i], window[i]))
+        for i in range(spec.taps)
+    ]
+    # Natural chained accumulation, as a designer writes it
+    # (y += c[i] * x[i]); the min-latency synthesis point applies the
+    # tree-height-reduction pass of repro.codesign.sck_transform.
+    acc = products[0]
+    for i in range(1, spec.taps):
+        acc = graph.add_op(f"a{i}", "add", (acc, products[i]))
+    graph.add_output("y", acc)
+    graph.validate()
+    return graph
+
+
+def fir_reference(
+    samples: Sequence[int], spec: FirSpec = FirSpec(), width: int = 16
+) -> List[int]:
+    """Golden FIR output (fixed-width wrap, zero-padded history)."""
+    mask = (1 << width) - 1
+    half = 1 << (width - 1)
+
+    def wrap(v: int) -> int:
+        v &= mask
+        return v - (mask + 1) if v >= half else v
+
+    out: List[int] = []
+    history = [0] * spec.taps
+    for x in samples:
+        history = [int(x)] + history[:-1]
+        acc = 0
+        for c, h in zip(spec.coefficients, history):
+            acc = wrap(acc + wrap(int(c) * h))
+        out.append(acc)
+    return out
+
+
+def fir_sck(
+    samples: Sequence[int], spec: FirSpec = FirSpec()
+) -> List[SCK]:
+    """FIR over :class:`SCK` values in the ambient context.
+
+    Every multiply/accumulate is transparently checked; the returned
+    values carry their accumulated error bits.
+    """
+    ctx = current_context()
+    history: List[SCK] = [SCK(0, context=ctx) for _ in range(spec.taps)]
+    out: List[SCK] = []
+    for x in samples:
+        history = [SCK(int(x), context=ctx)] + history[:-1]
+        acc: Optional[SCK] = None
+        for c, h in zip(spec.coefficients, history):
+            term = h * int(c)
+            acc = term if acc is None else acc + term
+        out.append(acc)
+    return out
+
+
+def make_input_streams(
+    samples: Sequence[int], spec: FirSpec = FirSpec()
+) -> Dict[str, List[int]]:
+    """Window streams for the VM compiler: ``x{i}[k] = x[k-i]``."""
+    streams: Dict[str, List[int]] = {}
+    values = [int(v) for v in samples]
+    for i in range(spec.taps):
+        streams[f"x{i}"] = [0] * i + values[: len(values) - i]
+    return streams

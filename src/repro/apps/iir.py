@@ -1,0 +1,95 @@
+"""IIR biquad section (direct form I) as a second benchmark application.
+
+Per sample::
+
+    y[k] = b0*x[k] + b1*x[k-1] + b2*x[k-2] - a1*y[k-1] - a2*y[k-2]
+
+The feedback taps appear as body inputs (``yd1``, ``yd2``), so the body
+itself stays a pure dataflow graph; the reference implementation closes
+the loop.  Integer coefficients keep everything in the paper's
+synthesisable-int world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.codesign.dfg import DataflowGraph
+from repro.errors import SpecificationError
+
+
+@dataclass(frozen=True)
+class BiquadSpec:
+    """Integer biquad coefficients."""
+
+    b0: int = 4
+    b1: int = 8
+    b2: int = 4
+    a1: int = -2
+    a2: int = 1
+    shift_divisor: int = 16  # output scaling: y / shift_divisor
+
+    def __post_init__(self) -> None:
+        if self.shift_divisor == 0:
+            raise SpecificationError("shift divisor must be non-zero")
+
+
+def biquad_graph(spec: BiquadSpec = BiquadSpec(), name: str = "biquad") -> DataflowGraph:
+    """Per-sample body with explicit delayed inputs."""
+    graph = DataflowGraph(name)
+    x0 = graph.add_input("x0")
+    x1 = graph.add_input("x1")
+    x2 = graph.add_input("x2")
+    yd1 = graph.add_input("yd1")
+    yd2 = graph.add_input("yd2")
+    b0 = graph.add_const("b0", spec.b0)
+    b1 = graph.add_const("b1", spec.b1)
+    b2 = graph.add_const("b2", spec.b2)
+    a1 = graph.add_const("a1", spec.a1)
+    a2 = graph.add_const("a2", spec.a2)
+    divisor = graph.add_const("scale", spec.shift_divisor)
+    t0 = graph.add_op("t0", "mul", (b0, x0))
+    t1 = graph.add_op("t1", "mul", (b1, x1))
+    t2 = graph.add_op("t2", "mul", (b2, x2))
+    f1 = graph.add_op("f1", "mul", (a1, yd1))
+    f2 = graph.add_op("f2", "mul", (a2, yd2))
+    s1 = graph.add_op("s1", "add", (t0, t1))
+    s2 = graph.add_op("s2", "add", (s1, t2))
+    s3 = graph.add_op("s3", "sub", (s2, f1))
+    s4 = graph.add_op("s4", "sub", (s3, f2))
+    scaled = graph.add_op("yscaled", "div", (s4, divisor))
+    graph.add_output("y", scaled)
+    graph.validate()
+    return graph
+
+
+def biquad_reference(
+    samples: Sequence[int], spec: BiquadSpec = BiquadSpec(), width: int = 16
+) -> List[int]:
+    """Golden biquad output with fixed-width wrap and C division."""
+    mask = (1 << width) - 1
+    half = 1 << (width - 1)
+
+    def wrap(v: int) -> int:
+        v &= mask
+        return v - (mask + 1) if v >= half else v
+
+    def cdiv(a: int, b: int) -> int:
+        q = abs(a) // abs(b)
+        return -q if (a < 0) != (b < 0) else q
+
+    out: List[int] = []
+    x1 = x2 = y1 = y2 = 0
+    for x in samples:
+        x0 = wrap(int(x))
+        acc = wrap(spec.b0 * x0)
+        acc = wrap(acc + wrap(spec.b1 * x1))
+        acc = wrap(acc + wrap(spec.b2 * x2))
+        acc = wrap(acc - wrap(spec.a1 * y1))
+        acc = wrap(acc - wrap(spec.a2 * y2))
+        y0 = wrap(cdiv(acc, spec.shift_divisor))
+        out.append(y0)
+        x2, x1 = x1, x0
+        y2, y1 = y1, y0
+    return out

@@ -1,0 +1,66 @@
+"""Fixed-size matrix multiply as a third benchmark application.
+
+``C = A x B`` for small square matrices with one matrix constant
+(a typical linear-transform stage).  Each output element is an
+independent dot product, so the body stresses the scheduler with wide
+parallelism and the SCK transform with many independent check chains.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.codesign.dfg import DataflowGraph
+from repro.errors import SpecificationError
+
+
+def matmul_graph(
+    constant: Sequence[Sequence[int]],
+    name: str = "matmul",
+) -> DataflowGraph:
+    """Per-sample body computing ``y = M @ x`` for constant matrix M.
+
+    Inputs ``x0..x{n-1}`` are the vector elements; outputs
+    ``y0..y{n-1}`` the transformed vector.
+    """
+    n = len(constant)
+    if n == 0 or any(len(row) != n for row in constant):
+        raise SpecificationError("constant matrix must be square and non-empty")
+    graph = DataflowGraph(name)
+    xs = [graph.add_input(f"x{j}") for j in range(n)]
+    for i, row in enumerate(constant):
+        consts = [
+            graph.add_const(f"m{i}_{j}", int(row[j])) for j in range(n)
+        ]
+        terms = [
+            graph.add_op(f"t{i}_{j}", "mul", (consts[j], xs[j]))
+            for j in range(n)
+        ]
+        acc = terms[0]
+        for j in range(1, n):
+            acc = graph.add_op(f"s{i}_{j}", "add", (acc, terms[j]))
+        graph.add_output(f"y{i}", acc)
+    graph.validate()
+    return graph
+
+
+def matmul_reference(
+    constant: Sequence[Sequence[int]],
+    vector: Sequence[int],
+    width: int = 16,
+) -> List[int]:
+    """Golden ``M @ x`` with fixed-width wrap."""
+    mask = (1 << width) - 1
+    half = 1 << (width - 1)
+
+    def wrap(v: int) -> int:
+        v &= mask
+        return v - (mask + 1) if v >= half else v
+
+    out: List[int] = []
+    for row in constant:
+        acc = 0
+        for m, x in zip(row, vector):
+            acc = wrap(acc + wrap(int(m) * int(x)))
+        out.append(acc)
+    return out

@@ -1,0 +1,140 @@
+"""Vectorised n-bit ripple-carry adder with an optional faulty cell.
+
+The unit mirrors the paper's test architecture: a chain of full-adder
+cells where at most one cell (``fault_position``) behaves according to a
+faulty truth table.  Subtraction and negation are realised exactly as the
+paper describes the ``g`` function: one's-complement the second operand
+and assert the carry-in -- both flow through the *same* (possibly
+faulty) adder chain, which is what makes error compensation possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.arch.bitops import (
+    ArrayLike,
+    broadcast_pair,
+    check_width,
+    mask_of,
+    ones_complement,
+)
+from repro.arch.cell import FullAdderCell, reference_cell
+from repro.errors import FaultError, SimulationError
+
+
+@dataclass
+class RippleCarryAdderUnit:
+    """An n-bit ripple-carry adder functional unit.
+
+    Attributes:
+        width: operand width in bits.
+        faulty_cell: the behaviour of the faulty cell, or None.
+        fault_position: index of the faulty cell in the chain (0 = LSB).
+    """
+
+    width: int
+    faulty_cell: Optional[FullAdderCell] = None
+    fault_position: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        check_width(self.width)
+        if (self.faulty_cell is None) != (self.fault_position is None):
+            raise FaultError(
+                "faulty_cell and fault_position must be given together"
+            )
+        if self.fault_position is not None and not (
+            0 <= self.fault_position < self.width
+        ):
+            raise FaultError(
+                f"fault_position {self.fault_position} outside [0, {self.width})"
+            )
+        self._ref = reference_cell(
+            self.faulty_cell.fault.netlist_style
+            if self.faulty_cell is not None and self.faulty_cell.fault is not None
+            else "xor3_majority"
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def is_faulty(self) -> bool:
+        return self.faulty_cell is not None
+
+    @property
+    def mask(self) -> int:
+        return mask_of(self.width)
+
+    # ------------------------------------------------------------------
+    def add(
+        self, a: ArrayLike, b: ArrayLike, cin: int = 0
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Ripple-carry addition; returns ``(sum mod 2**width, carry_out)``.
+
+        Operands are unsigned ``width``-bit patterns (two's-complement
+        values should be masked by the caller; see
+        :mod:`repro.arch.bitops`).  Vectorised: operands may be NumPy
+        arrays of any broadcastable shape.
+        """
+        if cin not in (0, 1):
+            raise SimulationError(f"carry-in must be 0 or 1, got {cin!r}")
+        a_arr, b_arr = broadcast_pair(a, b)
+        if int(np.max(a_arr, initial=0)) > self.mask or int(
+            np.max(b_arr, initial=0)
+        ) > self.mask:
+            raise SimulationError(
+                f"operand exceeds {self.width}-bit range of this unit"
+            )
+        shape = np.broadcast_shapes(a_arr.shape, b_arr.shape)
+        total = np.zeros(shape, dtype=np.uint64)
+        carry = np.full(shape, np.uint64(cin), dtype=np.uint64)
+        one = np.uint64(1)
+        two = np.uint64(2)
+        if self.faulty_cell is not None:
+            s_lut, c_lut = self.faulty_cell.luts()
+        for i in range(self.width):
+            shift = np.uint64(i)
+            ai = (a_arr >> shift) & one
+            bi = (b_arr >> shift) & one
+            if self.fault_position == i:
+                idx = (ai | (bi << one) | (carry << two)).astype(np.int64)
+                si = s_lut[idx]
+                ci = c_lut[idx]
+            else:
+                si = ai ^ bi ^ carry
+                ci = (ai & bi) | (carry & (ai ^ bi))
+            total |= si << shift
+            carry = ci
+        return total, carry
+
+    def sub(self, a: ArrayLike, b: ArrayLike) -> Tuple[np.ndarray, np.ndarray]:
+        """Two's-complement subtraction ``a - b`` through the adder core.
+
+        Implements the paper's ``g`` function: the subtrahend is
+        one's-complemented and the carry-in is asserted, so the faulty
+        cell participates in the check operation exactly as in the
+        nominal one.  Returns ``(difference mod 2**width, carry_out)``
+        where the carry-out is the *not-borrow* flag.
+        """
+        _, b_arr = broadcast_pair(a, b)
+        return self.add(a, ones_complement(b_arr, self.width), cin=1)
+
+    def neg(self, a: ArrayLike) -> np.ndarray:
+        """Two's-complement negation ``-a`` through the adder core."""
+        a_arr = np.asarray(a, dtype=np.uint64)
+        zero = np.zeros_like(a_arr)
+        result, _ = self.add(zero, ones_complement(a_arr, self.width), cin=1)
+        return result
+
+    # ------------------------------------------------------------------
+    def golden_add(self, a: ArrayLike, b: ArrayLike, cin: int = 0) -> np.ndarray:
+        """Reference addition (never faulty), for expected values."""
+        a_arr, b_arr = broadcast_pair(a, b)
+        return (a_arr + b_arr + np.uint64(cin)) & np.uint64(self.mask)
+
+    def golden_sub(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        """Reference subtraction (never faulty)."""
+        a_arr, b_arr = broadcast_pair(a, b)
+        return (a_arr - b_arr) & np.uint64(self.mask)

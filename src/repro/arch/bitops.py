@@ -1,0 +1,83 @@
+"""Two's-complement bit manipulation helpers shared by the datapath units.
+
+All units operate on unsigned bit patterns (NumPy ``uint64`` arrays or
+Python ints); these helpers convert between bit patterns and signed
+integer interpretations and build width masks.  Width is limited to 62
+bits so intermediate ``uint64`` arithmetic cannot overflow.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+MAX_WIDTH = 62
+
+ArrayLike = Union[int, np.ndarray]
+
+
+def check_width(width: int) -> int:
+    """Validate an operand width; returns it for chaining."""
+    if not isinstance(width, (int, np.integer)):
+        raise SimulationError(f"width must be an int, got {type(width).__name__}")
+    if width < 1 or width > MAX_WIDTH:
+        raise SimulationError(f"width must be in [1, {MAX_WIDTH}], got {width}")
+    return int(width)
+
+
+def mask_of(width: int) -> int:
+    """All-ones mask of ``width`` bits."""
+    return (1 << check_width(width)) - 1
+
+
+def to_unsigned(value: ArrayLike, width: int) -> ArrayLike:
+    """Reduce a (possibly signed / out-of-range) value to ``width`` bits."""
+    mask = mask_of(width)
+    if isinstance(value, np.ndarray):
+        return (value.astype(np.int64) & np.int64(mask)).astype(np.uint64)
+    return int(value) & mask
+
+
+def to_signed(value: ArrayLike, width: int) -> ArrayLike:
+    """Interpret a ``width``-bit pattern as a two's-complement integer."""
+    mask = mask_of(width)
+    half = 1 << (width - 1)
+    if isinstance(value, np.ndarray):
+        v = value.astype(np.int64) & np.int64(mask)
+        return np.where(v >= half, v - (np.int64(mask) + 1), v)
+    v = int(value) & mask
+    return v - (mask + 1) if v >= half else v
+
+
+def bit_at(value: ArrayLike, index: int) -> ArrayLike:
+    """Extract bit ``index`` of a value/array (0 = LSB)."""
+    if isinstance(value, np.ndarray):
+        return (value >> np.uint64(index)) & np.uint64(1)
+    return (int(value) >> index) & 1
+
+
+def ones_complement(value: ArrayLike, width: int) -> ArrayLike:
+    """Bitwise complement limited to ``width`` bits (the paper's g fn)."""
+    mask = mask_of(width)
+    if isinstance(value, np.ndarray):
+        return (~value) & np.uint64(mask)
+    return (~int(value)) & mask
+
+
+def as_u64(value: ArrayLike) -> np.ndarray:
+    """Coerce to a ``uint64`` NumPy array (0-d for scalars)."""
+    return np.asarray(value, dtype=np.uint64)
+
+
+def broadcast_pair(a: ArrayLike, b: ArrayLike) -> tuple:
+    """Coerce two operands to broadcast-compatible uint64 arrays."""
+    a_arr = as_u64(a)
+    b_arr = as_u64(b)
+    try:
+        np.broadcast_shapes(a_arr.shape, b_arr.shape)
+    except ValueError as exc:
+        raise SimulationError(f"operand shapes do not broadcast: {exc}") from exc
+    return a_arr, b_arr

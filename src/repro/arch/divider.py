@@ -1,0 +1,140 @@
+"""Sequential restoring divider with a faulty cell in its subtractor core.
+
+The divider iterates the classical restoring algorithm: the partial
+remainder is shifted left one bit at a time and the divisor is
+conditionally subtracted.  The subtraction runs through an internal
+ripple-carry adder chain of ``width + 1`` cells (one guard bit), and a
+single cell of that chain may be faulty -- so a hardware fault corrupts
+*both* the quotient and the remainder in a correlated way, which is what
+the paper's division checks (``op1' = ris * op2 + (op1 % op2)``) must
+catch.
+
+Only unsigned operands are supported (the paper's precision discussion
+concerns the remainder correction, not signed semantics); division by
+zero raises :class:`~repro.errors.SimulationError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.arch.bitops import ArrayLike, broadcast_pair, check_width, mask_of, ones_complement
+from repro.arch.cell import FullAdderCell
+from repro.errors import FaultError, SimulationError
+
+
+@dataclass
+class RestoringDividerUnit:
+    """An n-bit restoring divider functional unit.
+
+    Attributes:
+        width: operand width in bits.
+        faulty_cell: faulty full-adder behaviour used inside the
+            subtractor chain, or None.
+        fault_position: index of the faulty cell in the internal
+            ``width + 1``-bit chain (0 = LSB).
+    """
+
+    width: int
+    faulty_cell: Optional[FullAdderCell] = None
+    fault_position: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        check_width(self.width)
+        if self.width + 1 > 62:
+            raise FaultError(f"divider width {self.width} exceeds implementation limit")
+        if (self.faulty_cell is None) != (self.fault_position is None):
+            raise FaultError("faulty_cell and fault_position must be given together")
+        if self.fault_position is not None and not (
+            0 <= self.fault_position <= self.width
+        ):
+            raise FaultError(
+                f"fault_position {self.fault_position} outside [0, {self.width}]"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def is_faulty(self) -> bool:
+        return self.faulty_cell is not None
+
+    @property
+    def mask(self) -> int:
+        return mask_of(self.width)
+
+    def _chain_sub(self, a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """``a - b`` through the internal (width+1)-cell chain.
+
+        Returns ``(difference, not_borrow)`` where ``not_borrow == 1``
+        means ``a >= b`` in the fault-free case.
+        """
+        chain_width = self.width + 1
+        nb = ones_complement(b, chain_width)
+        shape = np.broadcast_shapes(a.shape, nb.shape)
+        total = np.zeros(shape, dtype=np.uint64)
+        carry = np.ones(shape, dtype=np.uint64)  # +1 of the two's complement
+        one = np.uint64(1)
+        two = np.uint64(2)
+        if self.faulty_cell is not None:
+            s_lut, c_lut = self.faulty_cell.luts()
+        for i in range(chain_width):
+            shift = np.uint64(i)
+            ai = (a >> shift) & one
+            bi = (nb >> shift) & one
+            if self.fault_position == i:
+                idx = (ai | (bi << one) | (carry << two)).astype(np.int64)
+                si = s_lut[idx]
+                ci = c_lut[idx]
+            else:
+                si = ai ^ bi ^ carry
+                ci = (ai & bi) | (carry & (ai ^ bi))
+            total |= si << shift
+            carry = ci
+        return total, carry
+
+    # ------------------------------------------------------------------
+    def divmod(self, a: ArrayLike, b: ArrayLike) -> Tuple[np.ndarray, np.ndarray]:
+        """Restoring division; returns ``(quotient, remainder)``.
+
+        Vectorised; every element of ``b`` must be non-zero.
+        """
+        a_arr, b_arr = broadcast_pair(a, b)
+        if np.any(b_arr == 0):
+            raise SimulationError("division by zero in RestoringDividerUnit")
+        if int(np.max(a_arr, initial=0)) > self.mask or int(
+            np.max(b_arr, initial=0)
+        ) > self.mask:
+            raise SimulationError(
+                f"operand exceeds {self.width}-bit range of this unit"
+            )
+        shape = np.broadcast_shapes(a_arr.shape, b_arr.shape)
+        remainder = np.zeros(shape, dtype=np.uint64)
+        quotient = np.zeros(shape, dtype=np.uint64)
+        one = np.uint64(1)
+        for k in range(self.width - 1, -1, -1):
+            remainder = (remainder << one) | ((a_arr >> np.uint64(k)) & one)
+            trial, not_borrow = self._chain_sub(remainder, b_arr)
+            take = not_borrow.astype(bool)
+            remainder = np.where(take, trial, remainder).astype(np.uint64)
+            quotient |= not_borrow << np.uint64(k)
+        # Keep results in unit range even under faults.
+        mask = np.uint64(self.mask)
+        return quotient & mask, remainder & mask
+
+    def div(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        """Quotient only."""
+        return self.divmod(a, b)[0]
+
+    def mod(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        """Remainder only."""
+        return self.divmod(a, b)[1]
+
+    # ------------------------------------------------------------------
+    def golden_divmod(self, a: ArrayLike, b: ArrayLike) -> Tuple[np.ndarray, np.ndarray]:
+        """Reference division (never faulty)."""
+        a_arr, b_arr = broadcast_pair(a, b)
+        if np.any(b_arr == 0):
+            raise SimulationError("division by zero in RestoringDividerUnit")
+        return a_arr // b_arr, a_arr % b_arr

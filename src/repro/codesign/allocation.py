@@ -1,0 +1,175 @@
+"""Functional-unit allocation and binding.
+
+Given a schedule, binding assigns every operation to a concrete unit
+instance of its class.  The binder is *reliability-aware*: when a check
+operation (role ``"check"``) could land on the same unit instance as
+the nominal operation it guards, and another compatible instance is
+free, the binder prefers the other instance -- the paper's Section 2.1
+observation that "using a multi functional resource system and a proper
+allocation/scheduling policy it is possible to achieve a 100% fault
+coverage if different functional units perform the two operations".
+
+The binder reports whether full separation was achieved
+(:attr:`Allocation.fully_separated`), which the flow uses to decide
+whether the hardware implementation's coverage is complete (100 %) or
+limited to the worst-case same-unit figures of Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.codesign.dfg import DataflowGraph, Node
+from repro.codesign.scheduling import Schedule, unit_class_of
+from repro.errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class Binding:
+    """One operation bound to one unit instance."""
+
+    node: str
+    unit_class: str
+    instance: int
+    start: int
+    finish: int
+
+
+@dataclass
+class Allocation:
+    """Complete binding of a schedule onto unit instances."""
+
+    schedule: Schedule
+    bindings: Dict[str, Binding] = field(default_factory=dict)
+    instances: Dict[str, int] = field(default_factory=dict)
+    separation_conflicts: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def fully_separated(self) -> bool:
+        """True when no check shares a unit with its guarded operation."""
+        return not self.separation_conflicts
+
+    def unit_of(self, node: str) -> Optional[Tuple[str, int]]:
+        binding = self.bindings.get(node)
+        if binding is None:
+            return None
+        return binding.unit_class, binding.instance
+
+    def ops_on(self, unit_class: str, instance: int) -> List[str]:
+        return [
+            b.node
+            for b in self.bindings.values()
+            if b.unit_class == unit_class and b.instance == instance
+        ]
+
+    def sharing_degree(self) -> Dict[Tuple[str, int], int]:
+        """Operations mapped per unit instance (mux pressure driver)."""
+        degree: Dict[Tuple[str, int], int] = {}
+        for binding in self.bindings.values():
+            key = (binding.unit_class, binding.instance)
+            degree[key] = degree.get(key, 0) + 1
+        return degree
+
+
+def _guarded_nominal(graph: DataflowGraph, check: Node) -> Optional[str]:
+    """The nominal operation a check node guards, by naming convention.
+
+    The SCK transform names check nodes ``<nominal>_chk_*`` and the
+    embedded transform ``<output>_emb*``; only the former has a
+    same-class nominal ancestor worth separating from.
+    """
+    name = check.name
+    if "_chk_" in name:
+        return name.split("_chk_", 1)[0]
+    return None
+
+
+def bind(
+    schedule: Schedule,
+    resources: Optional[Dict[str, int]] = None,
+    prefer_separation: bool = True,
+) -> Allocation:
+    """Bind every scheduled operation to a unit instance.
+
+    Args:
+        schedule: a verified schedule.
+        resources: unit counts per class; defaults to the schedule's
+            own resource map, falling back to peak usage (minimum
+            feasible allocation).
+        prefer_separation: apply the reliability-aware rule.
+    """
+    graph = schedule.graph
+    usage = schedule.unit_usage()
+    limits: Dict[str, int] = dict(usage)
+    if schedule.resources:
+        limits.update(schedule.resources)
+    if resources:
+        limits.update(resources)
+    for unit, peak in usage.items():
+        if limits.get(unit, peak) < peak:
+            raise SchedulingError(
+                f"cannot bind: {unit} peak usage {peak} exceeds "
+                f"allocation {limits[unit]}"
+            )
+
+    allocation = Allocation(schedule)
+    allocation.instances = {
+        unit: limits.get(unit, peak) for unit, peak in usage.items()
+    }
+    busy_until: Dict[Tuple[str, int], int] = {}
+    dedicated = schedule.dedicated_checkers
+    ordered = sorted(
+        (
+            node
+            for node in graph.nodes
+            if unit_class_of(node, dedicated) is not None
+        ),
+        key=lambda n: (schedule.start[n.name], n.name),
+    )
+    for node in ordered:
+        unit = unit_class_of(node, dedicated)
+        begin = schedule.start[node.name]
+        end = schedule.finish(node.name)
+        count = allocation.instances.get(unit, 0) or 1
+        allocation.instances[unit] = count
+        free = [
+            i
+            for i in range(count)
+            if busy_until.get((unit, i), 0) <= begin
+        ]
+        if not free:
+            raise SchedulingError(
+                f"no free {unit} instance for {node.name!r} at cycle {begin}"
+            )
+        choice = free[0]
+        if prefer_separation and node.role == "check":
+            guarded = _guarded_nominal(graph, node)
+            if guarded is not None and guarded in allocation.bindings:
+                nominal = allocation.bindings[guarded]
+                if nominal.unit_class == unit:
+                    others = [i for i in free if i != nominal.instance]
+                    if others:
+                        choice = others[0]
+        allocation.bindings[node.name] = Binding(node.name, unit, choice, begin, end)
+        busy_until[(unit, choice)] = end
+
+    # Separation audit: under the single-functional-unit failure model a
+    # check is only trustworthy if its unit instance executes *no*
+    # nominal operation at all -- a fault in a shared instance corrupts
+    # both the computation and its check.  Record every check bound to a
+    # mixed-role instance.
+    ops_by_instance: Dict[Tuple[str, int], List[str]] = {}
+    for binding in allocation.bindings.values():
+        ops_by_instance.setdefault(
+            (binding.unit_class, binding.instance), []
+        ).append(binding.node)
+    for (unit, instance), ops in ops_by_instance.items():
+        roles = {graph.node(name).role for name in ops}
+        if "check" in roles and "nominal" in roles:
+            for name in ops:
+                if graph.node(name).role == "check":
+                    allocation.separation_conflicts.append(
+                        (name, f"{unit}[{instance}] shared with nominal ops")
+                    )
+    return allocation

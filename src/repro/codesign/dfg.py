@@ -1,0 +1,260 @@
+"""Dataflow-graph IR for the co-design flow.
+
+A :class:`DataflowGraph` describes one iteration of the computation a
+system performs per input sample: pure operator nodes connected by data
+edges.  It is the co-design analogue of the paper's SystemC-Plus
+behavioural specification -- the SCK enrichment pass rewrites it exactly
+as the class template's overloaded operators rewrite the computation.
+
+Node operations:
+
+=============  =======================================================
+``input``      primary input (one value per sample)
+``const``      compile-time constant (e.g. a filter coefficient)
+``add/sub``    two-operand arithmetic, mapped onto an ALU unit
+``mul``        two-operand multiply, mapped onto a multiplier unit
+``div/mod``    two-operand divide/modulo, mapped onto a divider unit
+``neg``        unary negate, mapped onto an ALU unit
+``cmpne``      not-equal comparator producing an error bit
+``or``         error-bit accumulation (OR gate / flag update)
+``output``     primary output (one value per sample)
+=============  =======================================================
+
+``role`` distinguishes nominal computation from inserted reliability
+logic (``"nominal"``, ``"check"``, ``"compare"``, ``"error"``), which
+the area/timing models and the VM compiler use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SpecificationError
+
+BINARY_OPS = ("add", "sub", "mul", "div", "mod", "cmpne", "or")
+UNARY_OPS = ("neg",)
+LEAF_OPS = ("input", "const")
+ALL_OPS = LEAF_OPS + BINARY_OPS + UNARY_OPS + ("output",)
+
+#: Operation -> functional unit class used by scheduling/allocation.
+UNIT_OF_OP = {
+    "add": "alu",
+    "sub": "alu",
+    "neg": "alu",
+    "mul": "mult",
+    "div": "div",
+    "mod": "div",
+    "cmpne": "cmp",
+    "or": "cmp",
+}
+
+ROLES = ("nominal", "check", "compare", "error")
+
+
+@dataclass
+class Node:
+    """One operation in the dataflow graph."""
+
+    name: str
+    op: str
+    args: Tuple[str, ...] = ()
+    value: Optional[int] = None  # for const nodes
+    role: str = "nominal"
+
+    def __post_init__(self) -> None:
+        if self.op not in ALL_OPS:
+            raise SpecificationError(f"unknown operation {self.op!r}")
+        if self.role not in ROLES:
+            raise SpecificationError(f"unknown role {self.role!r}")
+        if self.op == "const" and self.value is None:
+            raise SpecificationError(f"const node {self.name!r} needs a value")
+        arity = {"input": 0, "const": 0, "output": 1, "neg": 1}.get(self.op, 2)
+        if len(self.args) != arity:
+            raise SpecificationError(
+                f"{self.op} node {self.name!r} takes {arity} args, "
+                f"got {len(self.args)}"
+            )
+
+    @property
+    def unit(self) -> Optional[str]:
+        """Functional unit class executing this node (None for leaves/IO)."""
+        return UNIT_OF_OP.get(self.op)
+
+    @property
+    def is_operation(self) -> bool:
+        return self.op in UNIT_OF_OP
+
+
+class DataflowGraph:
+    """A named, acyclic dataflow graph with stable insertion order."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._nodes: Dict[str, Node] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _add(self, node: Node) -> str:
+        if node.name in self._nodes:
+            raise SpecificationError(f"duplicate node name {node.name!r}")
+        for arg in node.args:
+            if arg not in self._nodes:
+                raise SpecificationError(
+                    f"node {node.name!r} references unknown node {arg!r}"
+                )
+        self._nodes[node.name] = node
+        return node.name
+
+    def add_input(self, name: str) -> str:
+        return self._add(Node(name, "input"))
+
+    def add_const(self, name: str, value: int) -> str:
+        return self._add(Node(name, "const", value=value))
+
+    def add_op(
+        self,
+        name: str,
+        op: str,
+        args: Sequence[str],
+        role: str = "nominal",
+    ) -> str:
+        return self._add(Node(name, op, tuple(args), role=role))
+
+    def add_output(self, name: str, source: str, role: str = "nominal") -> str:
+        return self._add(Node(name, "output", (source,), role=role))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> List[Node]:
+        return list(self._nodes.values())
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise SpecificationError(f"no node named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def inputs(self) -> List[Node]:
+        return [n for n in self.nodes if n.op == "input"]
+
+    @property
+    def outputs(self) -> List[Node]:
+        return [n for n in self.nodes if n.op == "output"]
+
+    @property
+    def operations(self) -> List[Node]:
+        return [n for n in self.nodes if n.is_operation]
+
+    def consumers(self, name: str) -> List[Node]:
+        return [n for n in self.nodes if name in n.args]
+
+    def operation_counts(self) -> Dict[str, int]:
+        """Histogram of operation kinds (excluding leaves and outputs)."""
+        counts: Dict[str, int] = {}
+        for node in self.operations:
+            counts[node.op] = counts.get(node.op, 0) + 1
+        return counts
+
+    def unit_demand(self) -> Dict[str, int]:
+        """Operations per functional unit class."""
+        demand: Dict[str, int] = {}
+        for node in self.operations:
+            demand[node.unit] = demand.get(node.unit, 0) + 1
+        return demand
+
+    # ------------------------------------------------------------------
+    # Validation and evaluation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural sanity: acyclic by construction (nodes may
+        only reference already-added nodes); here we verify outputs
+        exist and every non-leaf value is reachable from an output."""
+        if not self.outputs:
+            raise SpecificationError(f"graph {self.name!r} has no outputs")
+        live = set()
+        stack = [o.args[0] for o in self.outputs]
+        while stack:
+            name = stack.pop()
+            if name in live:
+                continue
+            live.add(name)
+            stack.extend(self._nodes[name].args)
+        dead = [
+            n.name
+            for n in self.nodes
+            if n.is_operation and n.name not in live
+        ]
+        if dead:
+            raise SpecificationError(
+                f"graph {self.name!r} has dead operations: {dead}"
+            )
+
+    def evaluate(self, inputs: Dict[str, int], width: int = 32) -> Dict[str, int]:
+        """Reference interpretation with fixed-width wrap (C semantics).
+
+        Returns the value of every output node.  ``cmpne`` yields 0/1;
+        division follows C truncation.
+        """
+        mask = (1 << width) - 1
+        half = 1 << (width - 1)
+
+        def wrap(v: int) -> int:
+            v &= mask
+            return v - (mask + 1) if v >= half else v
+
+        values: Dict[str, int] = {}
+        for node in self.nodes:  # insertion order is topological
+            if node.op == "input":
+                if node.name not in inputs:
+                    raise SpecificationError(f"missing input {node.name!r}")
+                values[node.name] = wrap(inputs[node.name])
+            elif node.op == "const":
+                values[node.name] = wrap(node.value)
+            elif node.op == "output":
+                values[node.name] = values[node.args[0]]
+            else:
+                args = [values[a] for a in node.args]
+                values[node.name] = wrap(_apply(node.op, args))
+        return {o.name: values[o.name] for o in self.outputs}
+
+    def copy(self, name: Optional[str] = None) -> "DataflowGraph":
+        """Shallow structural copy (nodes are immutable enough to share)."""
+        out = DataflowGraph(name or self.name)
+        for node in self.nodes:
+            out._add(Node(node.name, node.op, node.args, node.value, node.role))
+        return out
+
+
+def _apply(op: str, args: List[int]) -> int:
+    if op == "add":
+        return args[0] + args[1]
+    if op == "sub":
+        return args[0] - args[1]
+    if op == "mul":
+        return args[0] * args[1]
+    if op in ("div", "mod"):
+        a, b = args
+        if b == 0:
+            raise SpecificationError("division by zero in DFG evaluation")
+        q = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            q = -q
+        return q if op == "div" else a - q * b
+    if op == "neg":
+        return -args[0]
+    if op == "cmpne":
+        return int(args[0] != args[1])
+    if op == "or":
+        return int(bool(args[0]) or bool(args[1]))
+    raise SpecificationError(f"cannot evaluate op {op!r}")

@@ -1,0 +1,220 @@
+"""The end-to-end reliable co-design flow (paper Figure 3).
+
+``specification -> (SCK / embedded enrichment) -> scheduling -> binding
+-> area/timing models`` for hardware, and ``-> VM compilation ->
+optimisation -> execution`` for software.  One :class:`FlowResult`
+bundles everything Table 3 reports for one specification variant.
+
+Two hardware design points per variant, as in the paper:
+
+* **min area** -- one unit per class, checks share the nominal units
+  (maximum resource sharing; the binder cannot separate check from
+  nominal, so worst-case Table 2 coverage applies and the shared
+  checker path stretches the clock);
+* **min latency** -- unconstrained allocation with dedicated checker
+  units (full separation: complete fault coverage and the plain
+  design's clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.codesign.allocation import Allocation, bind
+from repro.codesign.area import AreaModel, AreaReport, estimate_area
+from repro.codesign.dfg import DataflowGraph
+from repro.codesign.scheduling import Schedule, asap_schedule, list_schedule
+from repro.codesign.sck_transform import (
+    balance_accumulation,
+    embed_output_checks,
+    enrich_with_sck,
+)
+from repro.codesign.swmodel import SoftwareEstimate, estimate_software
+from repro.codesign.timing import TimingModel, estimate_clock
+from repro.errors import SpecificationError
+
+#: Cycles of pipeline prologue before the first sample's result (input
+#: transfer + controller start), the constant term of the paper's
+#: ``2 + k*n`` latency formulas.
+PROLOGUE_CYCLES = 2
+
+#: Minimum-area resource set: one unit per class (io handles the sample
+#: stream, cmp the error comparators/OR tree).
+MIN_AREA_RESOURCES: Dict[str, int] = {"alu": 1, "mult": 1, "div": 1, "io": 1, "cmp": 1}
+
+VARIANTS = ("plain", "sck", "embedded")
+
+
+@dataclass
+class HardwareResult:
+    """One hardware design point."""
+
+    variant: str
+    objective: str  # "min_area" or "min_latency"
+    schedule: Schedule
+    allocation: Allocation
+    area: AreaReport
+    clock: Dict[str, float]
+    fully_separated: bool
+
+    @property
+    def cycles_per_sample(self) -> int:
+        """Per-sample initiation interval.
+
+        Two lower bounds, the larger of which governs a modulo-scheduled
+        streaming implementation: the data critical path (a sample's
+        result cannot appear earlier) and the busiest unit's utilisation
+        (a shared unit must execute all of its sample-k operations --
+        nominal and check -- before it can serve sample k+1).
+        """
+        import math
+
+        graph = self.schedule.graph
+        busy: Dict[str, int] = {}
+        from repro.codesign.scheduling import unit_class_of
+
+        for node in graph.nodes:
+            unit = unit_class_of(node, self.schedule.dedicated_checkers)
+            if unit is None:
+                continue
+            busy[unit] = busy.get(unit, 0) + self.schedule.latency_of[node.name]
+        utilisation = 0
+        for unit, total in busy.items():
+            instances = max(1, self.allocation.instances.get(unit, 1))
+            utilisation = max(utilisation, math.ceil(total / instances))
+        return max(self.schedule.data_length, utilisation)
+
+    @property
+    def latency_formula(self) -> str:
+        return f"{PROLOGUE_CYCLES} + {self.cycles_per_sample}n"
+
+    @property
+    def slices(self) -> int:
+        return self.area.total
+
+    @property
+    def frequency_mhz(self) -> float:
+        return self.clock["frequency_mhz"]
+
+    @property
+    def coverage_claim(self) -> str:
+        """The paper's qualitative coverage statement for this point."""
+        if self.variant == "plain":
+            return "none (no checks)"
+        if self.fully_separated:
+            return "complete (checks on different units)"
+        return "worst-case same-unit (Table 2 band)"
+
+    def describe(self) -> str:
+        return (
+            f"{self.variant}/{self.objective}: latency {self.latency_formula} "
+            f"@ {self.frequency_mhz:.2f} MHz, {self.slices} slices, "
+            f"coverage: {self.coverage_claim}"
+        )
+
+
+@dataclass
+class FlowResult:
+    """All Table 3 data for one specification variant."""
+
+    variant: str
+    graph: DataflowGraph
+    hw_min_area: HardwareResult
+    hw_min_latency: HardwareResult
+    software: SoftwareEstimate
+
+
+class ReliableCoDesignFlow:
+    """Drives a specification through the reliable co-design flow.
+
+    Args:
+        specification: the plain (unchecked) per-sample dataflow graph.
+        techniques: per-operator SCK technique selection.
+        samples: workload size for the software measurements.
+        area_model / timing_model: cost-model overrides.
+    """
+
+    def __init__(
+        self,
+        specification: DataflowGraph,
+        techniques: Optional[Dict[str, str]] = None,
+        samples: int = 20_000_000,
+        width: int = 16,
+        area_model: AreaModel = AreaModel(),
+        timing_model: TimingModel = TimingModel(),
+    ) -> None:
+        specification.validate()
+        self.specification = specification
+        self.techniques = techniques or {}
+        self.samples = samples
+        self.width = width
+        self.area_model = area_model
+        self.timing_model = timing_model
+
+    # ------------------------------------------------------------------
+    def variant_graph(self, variant: str, balanced: bool = False) -> DataflowGraph:
+        """The specification enriched per ``variant``.
+
+        ``balanced=True`` applies tree-height reduction before the
+        enrichment (the minimum-latency synthesis point).
+        """
+        base = (
+            balance_accumulation(self.specification)
+            if balanced
+            else self.specification
+        )
+        if variant == "plain":
+            return base
+        if variant == "sck":
+            return enrich_with_sck(base, self.techniques)
+        if variant == "embedded":
+            return embed_output_checks(base)
+        raise SpecificationError(
+            f"unknown variant {variant!r}; choose from {VARIANTS}"
+        )
+
+    def _hardware(self, variant: str, graph: DataflowGraph, objective: str) -> HardwareResult:
+        if objective == "min_area":
+            schedule = list_schedule(
+                graph, MIN_AREA_RESOURCES, dedicated_checkers=False
+            )
+        elif objective == "min_latency":
+            schedule = asap_schedule(graph)
+            schedule.dedicated_checkers = True
+        else:
+            raise SpecificationError(f"unknown objective {objective!r}")
+        allocation = bind(schedule)
+        area = estimate_area(allocation, self.area_model)
+        clock = estimate_clock(allocation, self.timing_model)
+        return HardwareResult(
+            variant=variant,
+            objective=objective,
+            schedule=schedule,
+            allocation=allocation,
+            area=area,
+            clock=clock,
+            fully_separated=allocation.fully_separated,
+        )
+
+    def run_variant(self, variant: str) -> FlowResult:
+        """Full hardware + software evaluation of one variant."""
+        graph = self.variant_graph(variant)
+        balanced_graph = self.variant_graph(variant, balanced=True)
+        software = estimate_software(
+            graph,
+            samples=self.samples,
+            width=self.width,
+            uses_sck_template=(variant == "sck"),
+        )
+        return FlowResult(
+            variant=variant,
+            graph=graph,
+            hw_min_area=self._hardware(variant, graph, "min_area"),
+            hw_min_latency=self._hardware(variant, balanced_graph, "min_latency"),
+            software=software,
+        )
+
+    def run(self) -> Dict[str, FlowResult]:
+        """Evaluate all three Table 3 variants."""
+        return {variant: self.run_variant(variant) for variant in VARIANTS}

@@ -1,0 +1,95 @@
+"""Hardware/software partitioning.
+
+The paper's methodology is implementation-agnostic: the SCK-enriched
+specification can go to hardware, software, or a mix, "as in any hw/sw
+co-design flow".  This partitioner makes that decision explicit with a
+classical cost heuristic: hardware when the throughput constraint rules
+software out, software when it fits, reporting the margins either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.codesign.dfg import DataflowGraph
+from repro.codesign.scheduling import list_schedule
+from repro.codesign.swmodel import SoftwareEstimate, estimate_software
+from repro.errors import SpecificationError
+
+
+@dataclass
+class PartitionDecision:
+    """Outcome of the hw/sw partitioning step."""
+
+    target: str  # "hardware" or "software"
+    reason: str
+    sw_cycles_per_sample: float
+    hw_cycles_per_sample: int
+    required_cycles_per_sample: Optional[float]
+
+    def describe(self) -> str:
+        return f"{self.target} ({self.reason})"
+
+
+def partition(
+    graph: DataflowGraph,
+    sample_rate_hz: Optional[float] = None,
+    cpu_clock_hz: float = 100e6,
+    hw_clock_hz: float = 20e6,
+    hw_resources: Optional[dict] = None,
+    prefer: str = "software",
+) -> PartitionDecision:
+    """Choose an implementation target for ``graph``.
+
+    Args:
+        sample_rate_hz: required throughput; None means no constraint
+            (the cheaper software mapping wins).
+        cpu_clock_hz / hw_clock_hz: technology assumptions.
+        hw_resources: resource set for the hardware schedule estimate.
+        prefer: tie-break when both targets meet the constraint.
+    """
+    if prefer not in ("software", "hardware"):
+        raise SpecificationError(f"prefer must be software|hardware, got {prefer!r}")
+    sw = estimate_software(graph, samples=64, run_samples=64)
+    resources = hw_resources or {"alu": 1, "mult": 1, "io": 1}
+    hw_schedule = list_schedule(graph, resources)
+    hw_cycles = hw_schedule.length
+
+    if sample_rate_hz is None:
+        target = prefer
+        reason = "no throughput constraint; preference applies"
+        required = None
+    else:
+        required = None
+        sw_rate = cpu_clock_hz / sw.cycles_per_sample
+        hw_rate = hw_clock_hz / hw_cycles
+        required = sample_rate_hz
+        sw_ok = sw_rate >= sample_rate_hz
+        hw_ok = hw_rate >= sample_rate_hz
+        if sw_ok and (prefer == "software" or not hw_ok):
+            target = "software"
+            reason = (
+                f"software sustains {sw_rate:,.0f} samples/s >= "
+                f"{sample_rate_hz:,.0f} required"
+            )
+        elif hw_ok:
+            target = "hardware"
+            reason = (
+                f"hardware sustains {hw_rate:,.0f} samples/s >= "
+                f"{sample_rate_hz:,.0f} required"
+                + ("" if sw_ok else "; software cannot")
+            )
+        else:
+            target = "hardware"
+            reason = (
+                f"neither target meets {sample_rate_hz:,.0f} samples/s; "
+                f"hardware is closer ({hw_rate:,.0f} vs {sw_rate:,.0f})"
+            )
+    return PartitionDecision(
+        target=target,
+        reason=reason,
+        sw_cycles_per_sample=sw.cycles_per_sample,
+        hw_cycles_per_sample=hw_cycles,
+        required_cycles_per_sample=required,
+    )

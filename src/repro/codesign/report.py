@@ -1,0 +1,136 @@
+"""Table 3 renderer.
+
+Run as a module::
+
+    python -m repro.codesign.report table3 --samples 100000
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional
+
+from repro.codesign.flow import FlowResult, ReliableCoDesignFlow
+
+#: Paper's Table 3 reference values.
+PAPER_TABLE3_HW = {
+    ("plain", "min_area"): ("2 + 7n", 20.0, 412),
+    ("plain", "min_latency"): ("2 + 5n", 20.0, 477),
+    ("sck", "min_area"): ("2 + 10n", 16.67, 1926),
+    ("sck", "min_latency"): ("2 + 5n", 20.0, 1593),
+    ("embedded", "min_area"): ("2 + 9n", 15.38, 634),
+    ("embedded", "min_latency"): ("2 + 5n", 20.0, 861),
+}
+
+PAPER_TABLE3_SW = {
+    "plain": (6.83, 889),
+    "sck": (10.02, 893),
+    "embedded": (7.90, 889),
+}
+
+_VARIANT_LABEL = {
+    "plain": "FIR",
+    "sck": "FIR with SCK",
+    "embedded": "FIR embedded SCK",
+}
+
+
+def _fmt(cells, widths):
+    return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+
+def render_table3(
+    results: Optional[Dict[str, FlowResult]] = None,
+    samples: int = 20_000_000,
+    spec=None,
+) -> str:
+    """Regenerate Table 3 (FIR hardware + software costs)."""
+    if results is None:
+        # Imported here: repro.apps builds on repro.codesign, so the
+        # module level cannot depend on it.
+        from repro.apps.fir import FirSpec, fir_graph
+
+        flow = ReliableCoDesignFlow(
+            fir_graph(spec if spec is not None else FirSpec()), samples=samples
+        )
+        results = flow.run()
+    widths = (18, 12, 12, 10, 8, 26)
+    lines = [
+        "Table 3 -- application of the methodology to the FIR",
+        "",
+        "Hardware implementation",
+        _fmt(
+            ("variant", "objective", "latency", "clock MHz", "slices", "paper (lat/MHz/slices)"),
+            widths,
+        ),
+    ]
+    for variant in ("plain", "sck", "embedded"):
+        result = results[variant]
+        for objective, hw in (
+            ("min_area", result.hw_min_area),
+            ("min_latency", result.hw_min_latency),
+        ):
+            paper = PAPER_TABLE3_HW[(variant, objective)]
+            lines.append(
+                _fmt(
+                    (
+                        _VARIANT_LABEL[variant],
+                        objective,
+                        hw.latency_formula,
+                        f"{hw.frequency_mhz:.2f}",
+                        hw.slices,
+                        f"{paper[0]} / {paper[1]} / {paper[2]}",
+                    ),
+                    widths,
+                )
+            )
+    sw_widths = (18, 14, 14, 24)
+    lines += [
+        "",
+        "Software implementation",
+        _fmt(("variant", "exe time (s)", "exe size (KB)", "paper (s / KB)"), sw_widths),
+    ]
+    for variant in ("plain", "sck", "embedded"):
+        sw = results[variant].software
+        paper = PAPER_TABLE3_SW[variant]
+        lines.append(
+            _fmt(
+                (
+                    _VARIANT_LABEL[variant],
+                    f"{sw.seconds:.2f}",
+                    f"{sw.image_kilobytes:.0f}",
+                    f"{paper[0]:.2f} / {paper[1]}",
+                ),
+                sw_widths,
+            )
+        )
+    plain = results["plain"]
+    sck = results["sck"]
+    embedded = results["embedded"]
+    lines += [
+        "",
+        "Relative overheads (this reproduction vs paper)",
+        f"  HW min-area slices:   SCK x{sck.hw_min_area.slices / plain.hw_min_area.slices:.2f} "
+        f"(paper x{1926 / 412:.2f}), embedded x{embedded.hw_min_area.slices / plain.hw_min_area.slices:.2f} "
+        f"(paper x{634 / 412:.2f})",
+        f"  HW min-lat slices:    SCK x{sck.hw_min_latency.slices / plain.hw_min_latency.slices:.2f} "
+        f"(paper x{1593 / 477:.2f}), embedded x{embedded.hw_min_latency.slices / plain.hw_min_latency.slices:.2f} "
+        f"(paper x{861 / 477:.2f})",
+        f"  SW time:              SCK x{sck.software.seconds / plain.software.seconds:.2f} "
+        f"(paper x{10.02 / 6.83:.2f}), embedded x{embedded.software.seconds / plain.software.seconds:.2f} "
+        f"(paper x{7.90 / 6.83:.2f})",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="Co-design flow reports")
+    parser.add_argument("table", choices=("table3",))
+    parser.add_argument("--samples", type=int, default=20_000_000)
+    args = parser.parse_args(argv)
+    print(render_table3(samples=args.samples))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

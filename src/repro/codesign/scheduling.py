@@ -1,0 +1,294 @@
+"""Operation scheduling for the high-level-synthesis model.
+
+Implements the three classical schedulers the co-design flow needs:
+
+* :func:`asap_schedule` -- as soon as possible (unlimited resources);
+* :func:`alap_schedule` -- as late as possible, given a deadline;
+* :func:`list_schedule` -- resource-constrained list scheduling with
+  ALAP-derived priorities (critical path first).
+
+Operation latencies are in clock cycles; a unit executing a multi-cycle
+operation is busy for all its cycles (non-pipelined units, matching the
+behavioural-synthesis setting of the paper's flow).
+
+IO nodes (``input``/``output``) are scheduled on an ``io`` unit class so
+that sample acquisition and delivery occupy real schedule steps -- this
+is what produces the paper's ``2 + k*n`` latency shape, where the
+prologue accounts for the first input transfer and controller start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.codesign.dfg import DataflowGraph, Node
+from repro.errors import SchedulingError
+
+#: Default per-operation latencies (clock cycles).
+DEFAULT_LATENCY: Dict[str, int] = {
+    "add": 1,
+    "sub": 1,
+    "neg": 1,
+    "mul": 1,
+    "div": 4,
+    "mod": 4,
+    "cmpne": 0,  # combinational comparator, folded into the cycle
+    "or": 0,     # combinational error network
+    "input": 1,
+    "output": 1,
+}
+
+#: Unit class used per operation when scheduling (role-aware: check
+#: operations run on dedicated checker units so the reliability logic's
+#: resource usage is a separate design knob, as in the paper's
+#: self-checking operator modules).
+def unit_class_of(node: Node, dedicated_checkers: bool = True) -> Optional[str]:
+    if node.op == "output" and node.role == "error":
+        return None  # the error flag is a latch, not a port transfer
+    if node.op in ("input", "output"):
+        return "io"
+    if not node.is_operation:
+        return None
+    if node.op in ("cmpne", "or"):
+        return None  # combinational logic, not a scheduled unit
+    if node.role == "check" and dedicated_checkers:
+        return "checker"
+    return node.unit
+
+
+@dataclass
+class Schedule:
+    """A complete schedule: start cycle and unit class per node."""
+
+    graph: DataflowGraph
+    start: Dict[str, int]
+    latency_of: Dict[str, int]
+    resources: Optional[Dict[str, int]] = None
+    dedicated_checkers: bool = True
+
+    @property
+    def length(self) -> int:
+        """Total schedule length in cycles (the per-sample cycle count)."""
+        if not self.start:
+            return 0
+        return max(
+            self.start[name] + self.latency_of.get(name, 1)
+            for name in self.start
+        )
+
+    @property
+    def data_length(self) -> int:
+        """Cycles until every *nominal data* output is delivered.
+
+        The error flag of a checked design is a side signal: it may
+        settle after the data without affecting the sample latency, so
+        the paper-style latency formulas use this measure while the
+        controller cost uses :attr:`length`.
+        """
+        finishes = [
+            self.finish(node.name)
+            for node in self.graph.outputs
+            if node.role == "nominal"
+        ]
+        return max(finishes) if finishes else self.length
+
+    def finish(self, name: str) -> int:
+        return self.start[name] + self.latency_of.get(name, 1)
+
+    def nodes_at(self, cycle: int) -> List[str]:
+        """Node names whose execution covers ``cycle``."""
+        return [
+            name
+            for name, begin in self.start.items()
+            if begin <= cycle < begin + self.latency_of.get(name, 1)
+        ]
+
+    def unit_usage(self) -> Dict[str, int]:
+        """Peak concurrent usage per unit class."""
+        peak: Dict[str, int] = {}
+        for cycle in range(self.length):
+            counts: Dict[str, int] = {}
+            for name in self.nodes_at(cycle):
+                unit = unit_class_of(self.graph.node(name), self.dedicated_checkers)
+                if unit is not None:
+                    counts[unit] = counts.get(unit, 0) + 1
+            for unit, count in counts.items():
+                peak[unit] = max(peak.get(unit, 0), count)
+        return peak
+
+    def verify(self) -> None:
+        """Check precedence and (if given) resource feasibility."""
+        for node in self.graph.nodes:
+            if node.name not in self.start:
+                raise SchedulingError(f"node {node.name!r} is unscheduled")
+            for arg in node.args:
+                producer = self.graph.node(arg)
+                if producer.op == "const":
+                    continue
+                if self.finish(arg) > self.start[node.name]:
+                    raise SchedulingError(
+                        f"precedence violated: {node.name!r} starts at "
+                        f"{self.start[node.name]} before {arg!r} finishes "
+                        f"at {self.finish(arg)}"
+                    )
+        if self.resources is not None:
+            usage = self.unit_usage()
+            for unit, peak in usage.items():
+                limit = self.resources.get(unit)
+                if limit is not None and peak > limit:
+                    raise SchedulingError(
+                        f"resource violated: {unit} peak {peak} > limit {limit}"
+                    )
+
+
+def _latencies(graph: DataflowGraph, latency: Mapping[str, int]) -> Dict[str, int]:
+    table = dict(DEFAULT_LATENCY)
+    table.update(latency)
+    out: Dict[str, int] = {}
+    for node in graph.nodes:
+        if node.op == "const":
+            out[node.name] = 0
+        elif node.op == "output" and node.role == "error":
+            out[node.name] = 0  # error latch update, within the cycle
+        else:
+            out[node.name] = table.get(node.op, 1)
+    return out
+
+
+def asap_schedule(
+    graph: DataflowGraph, latency: Mapping[str, int] = ()
+) -> Schedule:
+    """Earliest-start schedule with unlimited resources."""
+    latency_of = _latencies(graph, dict(latency))
+    start: Dict[str, int] = {}
+    for node in graph.nodes:  # insertion order is topological
+        ready = 0
+        for arg in node.args:
+            producer = graph.node(arg)
+            if producer.op == "const":
+                continue
+            ready = max(ready, start[arg] + latency_of[arg])
+        start[node.name] = ready
+    return Schedule(graph, start, latency_of)
+
+
+def alap_schedule(
+    graph: DataflowGraph,
+    deadline: Optional[int] = None,
+    latency: Mapping[str, int] = (),
+) -> Schedule:
+    """Latest-start schedule meeting ``deadline`` (default: ASAP length)."""
+    latency_of = _latencies(graph, dict(latency))
+    asap = asap_schedule(graph, latency)
+    horizon = deadline if deadline is not None else asap.length
+    if horizon < asap.length:
+        raise SchedulingError(
+            f"deadline {horizon} below critical path {asap.length}"
+        )
+    start: Dict[str, int] = {}
+    for node in reversed(graph.nodes):
+        latest = horizon - latency_of[node.name]
+        for consumer in graph.consumers(node.name):
+            latest = min(latest, start[consumer.name] - latency_of[node.name])
+        start[node.name] = latest
+    return Schedule(graph, start, latency_of)
+
+
+def list_schedule(
+    graph: DataflowGraph,
+    resources: Mapping[str, int],
+    latency: Mapping[str, int] = (),
+    dedicated_checkers: bool = True,
+) -> Schedule:
+    """Resource-constrained list scheduling (ALAP slack priority).
+
+    ``resources`` maps unit class -> available unit count; classes not
+    listed are unconstrained.  Raises
+    :class:`~repro.errors.SchedulingError` if a class is constrained to
+    zero but required.
+    """
+    resources = dict(resources)
+    latency_of = _latencies(graph, dict(latency))
+    demand = set()
+    for node in graph.nodes:
+        unit = unit_class_of(node, dedicated_checkers)
+        if unit is not None:
+            demand.add(unit)
+    for unit in demand:
+        if resources.get(unit, 1) < 1:
+            raise SchedulingError(f"zero {unit!r} units allocated but required")
+
+    alap = alap_schedule(graph, latency=dict(latency))
+    priority = {name: alap.start[name] for name in alap.start}
+
+    start: Dict[str, int] = {}
+    done_at: Dict[str, int] = {}
+    for node in graph.nodes:
+        if node.op == "const":
+            start[node.name] = 0
+            done_at[node.name] = 0
+    pending = [n for n in graph.nodes if n.op != "const"]
+    busy_until: Dict[str, List[int]] = {
+        unit: [0] * count for unit, count in resources.items()
+    }
+    cycle = 0
+    guard = 0
+    while pending:
+        guard += 1
+        if guard > 10_000_000:  # pragma: no cover - defensive
+            raise SchedulingError("list scheduler failed to converge")
+        ready = [
+            node
+            for node in pending
+            if all(arg in done_at and done_at[arg] <= cycle for arg in node.args)
+        ]
+        # Critical path first; on equal slack prefer nominal data ops,
+        # so shared resources deliver the sample result before they
+        # service the (latency-tolerant) checking operations.
+        role_rank = {"nominal": 0, "check": 1, "compare": 2, "error": 3}
+        ready.sort(
+            key=lambda n: (priority[n.name], role_rank.get(n.role, 1), n.name)
+        )
+        scheduled_any = False
+        for node in ready:
+            unit = unit_class_of(node, dedicated_checkers)
+            if unit is None:
+                start[node.name] = cycle
+                done_at[node.name] = cycle + latency_of[node.name]
+                pending.remove(node)
+                scheduled_any = True
+                continue
+            if unit not in busy_until:
+                # Unconstrained class: always available.
+                start[node.name] = cycle
+                done_at[node.name] = cycle + latency_of[node.name]
+                pending.remove(node)
+                scheduled_any = True
+                continue
+            slots = busy_until[unit]
+            for i, free_at in enumerate(slots):
+                if free_at <= cycle:
+                    start[node.name] = cycle
+                    done_at[node.name] = cycle + latency_of[node.name]
+                    slots[i] = cycle + latency_of[node.name]
+                    pending.remove(node)
+                    scheduled_any = True
+                    break
+        cycle += 1
+        if not scheduled_any and not any(
+            all(arg in done_at and done_at[arg] <= cycle for arg in node.args)
+            for node in pending
+        ) and cycle > max(done_at.values(), default=0) + 1:
+            raise SchedulingError(
+                f"deadlock: {[n.name for n in pending]} can never become ready"
+            )
+    schedule = Schedule(
+        graph,
+        start,
+        latency_of,
+        resources=dict(resources),
+        dedicated_checkers=dedicated_checkers,
+    )
+    schedule.verify()
+    return schedule

@@ -1,0 +1,318 @@
+"""Specification-enrichment passes.
+
+Two ways of adding concurrent error detection to a dataflow graph, the
+two reliable variants of Table 3:
+
+* :func:`enrich_with_sck` -- the paper's transparent SCK mechanism: every
+  checked operator grows its hidden inverse operation(s) plus a
+  comparator, and the error bits accumulate into a dedicated ``error``
+  output.  This mirrors exactly what the overloaded operators of
+  :class:`repro.core.SCK` do at run time, but as a compile-time graph
+  rewrite that the scheduler and the VM compiler can see.
+
+* :func:`embed_output_checks` -- the "FIR embedded SCK" variant: a
+  hand-placed, algorithm-level check.  For an accumulation tree the
+  check re-subtracts every product from the final result and compares
+  the residue against zero -- one check chain instead of per-operator
+  checks, which is why its cost sits between the plain and the full SCK
+  versions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.codesign.dfg import DataflowGraph, Node
+from repro.errors import SpecificationError
+
+#: Operators that receive hidden checks in the SCK enrichment.
+CHECKABLE_OPS = ("add", "sub", "mul", "div", "mod", "neg")
+
+
+def _fresh(graph: DataflowGraph, base: str) -> str:
+    """A node name not yet present in ``graph``."""
+    if base not in graph:
+        return base
+    i = 1
+    while f"{base}_{i}" in graph:
+        i += 1
+    return f"{base}_{i}"
+
+
+def _accumulate_error(
+    graph: DataflowGraph, error_terms: List[str], prefix: str
+) -> Optional[str]:
+    """OR-reduce error terms as a balanced tree; returns the error net.
+
+    A balanced tree keeps the error network's depth logarithmic, so it
+    neither stretches the schedule nor distorts the list scheduler's
+    critical-path priorities.
+    """
+    if not error_terms:
+        return None
+    level = list(error_terms)
+    stage = 0
+    while len(level) > 1:
+        merged = []
+        for i in range(0, len(level) - 1, 2):
+            name = _fresh(graph, f"{prefix}_or{stage}_{i // 2}")
+            graph.add_op(name, "or", (level[i], level[i + 1]), role="error")
+            merged.append(name)
+        if len(level) % 2:
+            merged.append(level[-1])
+        level = merged
+        stage += 1
+    return level[0]
+
+
+def _check_nodes_for(
+    graph: DataflowGraph, node: Node, technique: str
+) -> List[str]:
+    """Insert the hidden check(s) for ``node``; returns error-bit nets."""
+    op1 = node.args[0] if node.args else None
+    op2 = node.args[1] if len(node.args) > 1 else None
+    ris = node.name
+    errors: List[str] = []
+
+    def add_check(op: str, args: Tuple[str, ...], tag: str) -> str:
+        name = _fresh(graph, f"{ris}_chk_{tag}")
+        graph.add_op(name, op, args, role="check")
+        return name
+
+    def negated(source: str, tag: str) -> str:
+        """``-source``; negation of a constant folds to a new constant,
+        as any synthesiser or compiler would fold it."""
+        producer = graph.node(source)
+        if producer.op == "const":
+            name = _fresh(graph, f"{ris}_nc_{tag}")
+            graph.add_const(name, -producer.value)
+            return name
+        return add_check("neg", (source,), tag)
+
+    def add_compare(left: str, right_zero: bool, right: Optional[str], tag: str) -> None:
+        if right_zero:
+            zero = _fresh(graph, f"{ris}_zero_{tag}")
+            graph.add_const(zero, 0)
+            right = zero
+        name = _fresh(graph, f"{ris}_cmp_{tag}")
+        graph.add_op(name, "cmpne", (left, right), role="compare")
+        errors.append(name)
+
+    wants1 = technique in ("tech1", "both")
+    wants2 = technique in ("tech2", "both")
+    if node.op == "add":
+        if wants1:
+            add_compare(add_check("sub", (ris, op1), "t1"), False, op2, "t1")
+        if wants2:
+            add_compare(add_check("sub", (ris, op2), "t2"), False, op1, "t2")
+    elif node.op == "sub":
+        if wants1:
+            add_compare(add_check("add", (ris, op2), "t1"), False, op1, "t1")
+        if wants2:
+            reversed_diff = add_check("sub", (op2, op1), "t2")
+            total = add_check("add", (ris, reversed_diff), "t2s")
+            add_compare(total, True, None, "t2")
+    elif node.op == "mul":
+        if wants1:
+            neg1 = negated(op1, "t1n")
+            prod = add_check("mul", (neg1, op2), "t1m")
+            total = add_check("add", (ris, prod), "t1s")
+            add_compare(total, True, None, "t1")
+        if wants2:
+            neg2 = negated(op2, "t2n")
+            prod = add_check("mul", (op1, neg2), "t2m")
+            total = add_check("add", (ris, prod), "t2s")
+            add_compare(total, True, None, "t2")
+    elif node.op in ("div", "mod"):
+        # Reconstruction check ris*op2 + rem == op1 needs both quotient
+        # and remainder; materialise the sibling result as a check op.
+        sibling_op = "mod" if node.op == "div" else "div"
+        sibling = add_check(sibling_op, (op1, op2), "sib")
+        quotient, remainder = (
+            (ris, sibling) if node.op == "div" else (sibling, ris)
+        )
+        prod = add_check("mul", (quotient, op2), "t1m")
+        total = add_check("add", (prod, remainder), "t1s")
+        add_compare(total, False, op1, "t1")
+    elif node.op == "neg":
+        total = add_check("add", (ris, op1), "t1s")
+        add_compare(total, True, None, "t1")
+    else:  # pragma: no cover - guarded by caller
+        raise SpecificationError(f"operator {node.op!r} is not checkable")
+    return errors
+
+
+def enrich_with_sck(
+    graph: DataflowGraph,
+    techniques: Optional[Dict[str, str]] = None,
+    name_suffix: str = "_sck",
+) -> DataflowGraph:
+    """Rewrite ``graph`` with per-operator hidden checks (SCK semantics).
+
+    Args:
+        graph: the plain specification.
+        techniques: per-operator technique selection (default
+            ``tech1`` everywhere, like the published SCK class).
+
+    Returns a new graph with an additional ``error`` output that ORs
+    every comparator; the nominal data outputs are unchanged.
+    """
+    techniques = techniques or {}
+    enriched = graph.copy(graph.name + name_suffix)
+    error_terms: List[str] = []
+    for node in list(enriched.nodes):
+        if node.op in CHECKABLE_OPS and node.role == "nominal":
+            technique = techniques.get(node.op, "tech1")
+            error_terms.extend(_check_nodes_for(enriched, node, technique))
+    error_net = _accumulate_error(enriched, error_terms, "sck")
+    if error_net is not None:
+        enriched.add_output(_fresh(enriched, "error"), error_net, role="error")
+    enriched.validate()
+    return enriched
+
+
+def embed_output_checks(
+    graph: DataflowGraph,
+    name_suffix: str = "_embedded",
+) -> DataflowGraph:
+    """Hand-placed algorithm-level check (the "embedded SCK" variant).
+
+    For every data output the pass walks the nominal add/sub
+    accumulation tree feeding it, re-subtracts each leaf term from the
+    output value on the check path and compares the residue with zero.
+    Multiplications inside the tree are *not* re-executed -- their
+    products are reused -- so a single check chain guards the whole
+    accumulation at roughly half the hidden-operation count of the full
+    SCK enrichment.
+    """
+    enriched = graph.copy(graph.name + name_suffix)
+    error_terms: List[str] = []
+    for output in list(enriched.outputs):
+        if output.role != "nominal":
+            continue
+        terms = _accumulation_terms(enriched, output.args[0])
+        if len(terms) < 2:
+            continue
+        residue = output.args[0]
+        for i, (term, sign) in enumerate(terms):
+            name = _fresh(enriched, f"{output.name}_emb{i}")
+            op = "sub" if sign > 0 else "add"
+            enriched.add_op(name, op, (residue, term), role="check")
+            residue = name
+        cmp_name = _fresh(enriched, f"{output.name}_embcmp")
+        zero = _fresh(enriched, f"{output.name}_embzero")
+        enriched.add_const(zero, 0)
+        enriched.add_op(cmp_name, "cmpne", (residue, zero), role="compare")
+        error_terms.append(cmp_name)
+    error_net = _accumulate_error(enriched, error_terms, "emb")
+    if error_net is not None:
+        enriched.add_output(_fresh(enriched, "error"), error_net, role="error")
+    enriched.validate()
+    return enriched
+
+
+def balance_accumulation(
+    graph: DataflowGraph, name_suffix: str = "_bal"
+) -> DataflowGraph:
+    """Tree-height reduction of nominal add/sub accumulation chains.
+
+    The classical minimum-latency HLS transformation: every chained
+    accumulation feeding an output whose intermediate results have no
+    other consumers is rebuilt as a balanced tree, shortening the data
+    critical path from ``T - 1`` to ``ceil(log2 T)`` additions.  Graphs
+    without such chains come back structurally unchanged (new name
+    aside).
+    """
+    rebuilt = DataflowGraph(graph.name + name_suffix)
+    skip: Dict[str, List[Tuple[str, int]]] = {}
+    internal: set = set()
+    for output in graph.outputs:
+        if output.role != "nominal":
+            continue
+        root = output.args[0]
+        terms = _accumulation_terms(graph, root)
+        if len(terms) < 3:
+            continue
+        # Internal nodes: the add/sub chain itself; bail out if any has
+        # consumers outside the chain (the value is observable).
+        chain: List[str] = []
+        stack = [root]
+        while stack:
+            current = stack.pop()
+            node = graph.node(current)
+            if node.op in ("add", "sub") and node.role == "nominal":
+                chain.append(current)
+                stack.extend(node.args)
+        safe = True
+        chain_set = set(chain)
+        for member in chain:
+            consumers = {c.name for c in graph.consumers(member)}
+            consumers.discard(output.name)
+            if not consumers <= chain_set:
+                safe = False
+                break
+        if safe:
+            skip[output.name] = terms
+            internal |= chain_set
+    for node in graph.nodes:
+        if node.name in internal:
+            continue
+        if node.op == "output" and node.name in skip:
+            terms = skip[node.name]
+            positives = [t for t, sign in terms if sign > 0]
+            negatives = [t for t, sign in terms if sign < 0]
+
+            def tree(leaves: List[str], tag: str) -> str:
+                level = list(leaves)
+                stage = 0
+                while len(level) > 1:
+                    merged = []
+                    for i in range(0, len(level) - 1, 2):
+                        merged.append(
+                            rebuilt.add_op(
+                                _fresh(rebuilt, f"{node.name}_{tag}{stage}_{i // 2}"),
+                                "add",
+                                (level[i], level[i + 1]),
+                            )
+                        )
+                    if len(level) % 2:
+                        merged.append(level[-1])
+                    level = merged
+                    stage += 1
+                return level[0]
+
+            acc = tree(positives, "p")
+            if negatives:
+                neg_sum = tree(negatives, "n")
+                acc = rebuilt.add_op(
+                    _fresh(rebuilt, f"{node.name}_bsub"), "sub", (acc, neg_sum)
+                )
+            rebuilt.add_output(node.name, acc, role=node.role)
+        elif node.op == "output":
+            rebuilt.add_output(node.name, node.args[0], role=node.role)
+        elif node.op == "input":
+            rebuilt.add_input(node.name)
+        elif node.op == "const":
+            rebuilt.add_const(node.name, node.value)
+        else:
+            rebuilt.add_op(node.name, node.op, node.args, role=node.role)
+    rebuilt.validate()
+    return rebuilt
+
+
+def _accumulation_terms(
+    graph: DataflowGraph, root: str
+) -> List[Tuple[str, int]]:
+    """Leaf terms (with signs) of the add/sub tree rooted at ``root``.
+
+    A leaf is any node that is not a nominal add/sub -- products,
+    inputs, constants.
+    """
+    node = graph.node(root)
+    if node.op not in ("add", "sub") or node.role != "nominal":
+        return [(root, +1)]
+    left = _accumulation_terms(graph, node.args[0])
+    right = _accumulation_terms(graph, node.args[1])
+    if node.op == "sub":
+        right = [(name, -sign) for name, sign in right]
+    return left + right

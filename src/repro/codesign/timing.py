@@ -1,0 +1,84 @@
+"""Clock-period model.
+
+The paper's checked FIR variants close timing at lower clock rates when
+resources are shared (min-area SCK: 16.67 MHz; embedded: 15.38 MHz)
+while every min-latency variant keeps the plain design's 20 MHz.  The
+mechanism is combinational: with aggressive resource sharing the unit's
+input multiplexers and the checker's compare path chain into the same
+cycle; with dedicated units the checkers sit on their own paths.
+
+The model computes the critical cycle delay as::
+
+    period = unit_delay(max over classes in use)
+             + mux_levels * mux_delay
+             + compare_delay (if a comparator is chained after a shared
+               unit in the same cycle)
+
+and quantises the result up to the next nanosecond.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.codesign.allocation import Allocation
+from repro.codesign.scheduling import unit_class_of
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Delay constants in nanoseconds."""
+
+    alu_delay: float = 38.0
+    mult_delay: float = 38.0
+    div_delay: float = 46.0
+    checker_delay: float = 38.0
+    cmp_delay: float = 12.0
+    io_delay: float = 20.0
+    mux_delay: float = 4.0
+    register_setup: float = 4.0
+
+    def unit_delay(self, unit_class: str) -> float:
+        return {
+            "alu": self.alu_delay,
+            "mult": self.mult_delay,
+            "div": self.div_delay,
+            "checker": self.checker_delay,
+            "cmp": self.cmp_delay,
+            "io": self.io_delay,
+        }.get(unit_class, self.alu_delay)
+
+
+def _mux_levels(fanin: int) -> int:
+    """Select-tree depth of a ``fanin``-way multiplexer."""
+    if fanin <= 1:
+        return 0
+    return max(1, math.ceil(math.log2(fanin)))
+
+
+def estimate_clock(
+    allocation: Allocation,
+    model: TimingModel = TimingModel(),
+) -> Dict[str, float]:
+    """Estimate clock period (ns) and frequency (MHz) for a binding."""
+    schedule = allocation.schedule
+    graph = schedule.graph
+    sharing = allocation.sharing_degree()
+
+    worst = 0.0
+    for (unit_class, instance), degree in sharing.items():
+        delay = model.unit_delay(unit_class)
+        delay += _mux_levels(degree) * model.mux_delay
+        # Self-checking operator modules fuse the checker comparator
+        # combinationally behind the unit output (the RTL generator in
+        # repro.hdlgen.datapath emits exactly that structure), so a unit
+        # instance serving check operations pays the compare path once.
+        ops = allocation.ops_on(unit_class, instance)
+        if any(graph.node(name).role == "check" for name in ops):
+            delay += model.cmp_delay
+        worst = max(worst, delay)
+    period = math.ceil(worst + model.register_setup)
+    frequency = 1000.0 / period if period else float("inf")
+    return {"period_ns": float(period), "frequency_mhz": round(frequency, 2)}

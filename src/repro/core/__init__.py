@@ -1,0 +1,52 @@
+"""The SCK self-checking data type -- the paper's primary contribution.
+
+An :class:`SCK` value behaves like a fixed-width integer whose arithmetic
+operators *transparently* verify their own results with hidden inverse
+operations and carry an error bit that propagates through every
+computation, exactly as the paper's SystemC-Plus ``SCK<TYPE>`` class
+template does via operator overloading.
+
+Quick start::
+
+    from repro.core import SCK, SCKContext
+
+    with SCKContext(width=16) as ctx:
+        a = SCK(1200)
+        b = SCK(-34)
+        c = a + b          # also computes c - b and compares with a
+        assert not c.error
+        assert c.value == 1166
+
+Key pieces:
+
+* :mod:`repro.core.value` -- the :class:`SCK` class itself;
+* :mod:`repro.core.context` -- execution context: width, backend,
+  technique policy, error log, allocation of check operations;
+* :mod:`repro.core.techniques` -- the spec-level checking strategies
+  (Table 1) applied by the overloaded operators;
+* :mod:`repro.core.backends` -- ideal and hardware (cell-level faulty)
+  execution backends;
+* :mod:`repro.core.library` -- the extensible reliability library with
+  cost / fault-coverage characterisation per technique;
+* :mod:`repro.core.overflow` -- overflow policies (the paper handles
+  overflow separately from the inverse-operation check).
+"""
+
+from repro.core.backends import HardwareBackend, IdealBackend
+from repro.core.context import CheckEvent, SCKContext, current_context
+from repro.core.library import CheckerDescriptor, CheckerLibrary, default_library
+from repro.core.overflow import OVERFLOW_POLICIES
+from repro.core.value import SCK
+
+__all__ = [
+    "SCK",
+    "SCKContext",
+    "current_context",
+    "CheckEvent",
+    "IdealBackend",
+    "HardwareBackend",
+    "CheckerLibrary",
+    "CheckerDescriptor",
+    "default_library",
+    "OVERFLOW_POLICIES",
+]

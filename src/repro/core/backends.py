@@ -1,0 +1,119 @@
+"""Execution backends for SCK arithmetic.
+
+The overloaded operators delegate the nominal and checking computations
+to a backend:
+
+* :class:`IdealBackend` -- pure fixed-width Python integer arithmetic.
+  Useful for functional development and as the "different functional
+  unit" reference: it can never produce a wrong result, so any check
+  mismatch observed against it reveals the other unit's fault.
+* :class:`HardwareBackend` -- routes operations through a
+  :class:`~repro.arch.alu.FaultableALU`, so injected faults corrupt
+  results exactly as the cell-level datapath units would.
+
+Both expose the same fixed-width *signed* operation set with C
+truncation semantics for division.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.arch.alu import FaultableALU
+from repro.arch.bitops import check_width, to_signed, to_unsigned
+from repro.errors import SimulationError
+
+
+class IdealBackend:
+    """Fixed-width two's-complement integer arithmetic, never faulty."""
+
+    def __init__(self, width: int = 16) -> None:
+        self.width = check_width(width)
+
+    # All operations return the exact (unwrapped) integer result; the
+    # SCK layer applies the overflow policy.  Division follows C
+    # semantics (truncation toward zero).
+    def add(self, a: int, b: int) -> int:
+        return a + b
+
+    def sub(self, a: int, b: int) -> int:
+        return a - b
+
+    def neg(self, a: int) -> int:
+        return -a
+
+    def mul(self, a: int, b: int) -> int:
+        return a * b
+
+    def divmod(self, a: int, b: int) -> Tuple[int, int]:
+        if b == 0:
+            raise SimulationError("division by zero")
+        q = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            q = -q
+        return q, a - q * b
+
+    def div(self, a: int, b: int) -> int:
+        return self.divmod(a, b)[0]
+
+    def mod(self, a: int, b: int) -> int:
+        return self.divmod(a, b)[1]
+
+    @property
+    def is_faulty(self) -> bool:
+        return False
+
+
+@dataclass
+class HardwareBackend:
+    """Backend executing on cell-level datapath units.
+
+    The ALU applies fixed-width wrap internally, so results returned
+    here are already reduced; the SCK overflow policy then sees a
+    value that is always in range (matching real hardware, where the
+    separate overflow logic watches the carry/overflow flags instead).
+
+    Attributes:
+        width: operand width in bits.
+        alu: the (possibly faulty) ALU; created fault-free by default.
+    """
+
+    width: int = 16
+    alu: Optional[FaultableALU] = None
+    cell_netlist: str = "xor3_majority"
+
+    def __post_init__(self) -> None:
+        check_width(self.width)
+        if self.alu is None:
+            self.alu = FaultableALU(self.width, self.cell_netlist)
+        elif self.alu.width != self.width:
+            raise SimulationError(
+                f"ALU width {self.alu.width} != backend width {self.width}"
+            )
+
+    def add(self, a: int, b: int) -> int:
+        return int(self.alu.add(a, b))
+
+    def sub(self, a: int, b: int) -> int:
+        return int(self.alu.sub(a, b))
+
+    def neg(self, a: int) -> int:
+        return int(self.alu.neg(a))
+
+    def mul(self, a: int, b: int) -> int:
+        return int(self.alu.mul(a, b))
+
+    def divmod(self, a: int, b: int) -> Tuple[int, int]:
+        q, r = self.alu.divmod(a, b)
+        return int(q), int(r)
+
+    def div(self, a: int, b: int) -> int:
+        return self.divmod(a, b)[0]
+
+    def mod(self, a: int, b: int) -> int:
+        return self.divmod(a, b)[1]
+
+    @property
+    def is_faulty(self) -> bool:
+        return self.alu.faulty_unit is not None

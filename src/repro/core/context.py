@@ -1,0 +1,186 @@
+"""Execution context for SCK arithmetic.
+
+A :class:`SCKContext` fixes everything the overloaded operators need:
+operand width, execution backend, which checking technique guards each
+operator, where the checking operations execute (same unit as the
+nominal operation, or a different one -- the paper's Section 2.1
+allocation discussion), the overflow policy, and the error log.
+
+Contexts nest as context managers; :func:`current_context` returns the
+innermost active one (a default 16-bit ideal context is created on first
+use so the SCK type works out of the box).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.backends import HardwareBackend, IdealBackend
+from repro.core.overflow import get_policy
+from repro.errors import CheckError, ReproError
+
+Backend = Union[IdealBackend, HardwareBackend]
+
+#: Operators that may carry a checking technique.
+CHECKED_OPERATORS = ("add", "sub", "mul", "div", "mod", "neg")
+
+DEFAULT_TECHNIQUES: Dict[str, str] = {
+    "add": "tech1",
+    "sub": "tech1",
+    "mul": "tech1",
+    "div": "tech1",
+    "mod": "tech1",
+    "neg": "tech1",
+}
+
+
+@dataclass(frozen=True)
+class CheckEvent:
+    """One hidden-check execution, recorded in the context log."""
+
+    operator: str
+    technique: str
+    operands: Tuple[int, ...]
+    result: int
+    detected: bool
+
+    def describe(self) -> str:
+        status = "ERROR DETECTED" if self.detected else "ok"
+        return (
+            f"{self.operator}({', '.join(map(str, self.operands))}) = "
+            f"{self.result} [{self.technique}] {status}"
+        )
+
+
+class SCKContext:
+    """Configuration + state scope for SCK computations.
+
+    Args:
+        width: operand width in bits (the synthesisable integer width).
+        backend: ``"ideal"``, ``"hardware"`` or a backend instance.
+        techniques: per-operator technique overrides, e.g.
+            ``{"add": "both"}``; unknown operators are rejected.
+        check_allocation: ``"same_unit"`` runs checking operations
+            through the same backend (worst case -- a faulty unit checks
+            itself); ``"different_unit"`` runs them on a dedicated
+            fault-free unit (the multi-resource allocation that the
+            paper shows achieves 100 % coverage).
+        overflow: overflow policy name (see :mod:`repro.core.overflow`).
+        strict: raise :class:`~repro.errors.CheckError` the moment a
+            check detects an error, instead of only latching error bits.
+    """
+
+    _local = threading.local()
+
+    def __init__(
+        self,
+        width: int = 16,
+        backend: Union[str, Backend] = "ideal",
+        techniques: Optional[Dict[str, str]] = None,
+        check_allocation: str = "same_unit",
+        overflow: str = "wrap",
+        strict: bool = False,
+    ) -> None:
+        self.width = width
+        if isinstance(backend, str):
+            if backend == "ideal":
+                backend = IdealBackend(width)
+            elif backend == "hardware":
+                backend = HardwareBackend(width)
+            else:
+                raise ReproError(
+                    f"unknown backend {backend!r}; use 'ideal', 'hardware' "
+                    f"or a backend instance"
+                )
+        if backend.width != width:
+            raise ReproError(
+                f"backend width {backend.width} != context width {width}"
+            )
+        self.backend: Backend = backend
+        self.techniques = dict(DEFAULT_TECHNIQUES)
+        for op, name in (techniques or {}).items():
+            if op not in CHECKED_OPERATORS:
+                raise ReproError(
+                    f"cannot set technique for unknown operator {op!r}"
+                )
+            self.techniques[op] = name
+        if check_allocation not in ("same_unit", "different_unit"):
+            raise ReproError(
+                f"check_allocation must be 'same_unit' or 'different_unit', "
+                f"got {check_allocation!r}"
+            )
+        self.check_allocation = check_allocation
+        self._check_backend: Backend = (
+            backend if check_allocation == "same_unit" else IdealBackend(width)
+        )
+        self.overflow_policy_name = overflow
+        self.overflow_policy = get_policy(overflow)
+        self.strict = strict
+        self.log: List[CheckEvent] = []
+        self.operations = 0
+        self.checks = 0
+        self.errors_detected = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def check_backend(self) -> Backend:
+        """Backend executing the hidden checking operations."""
+        return self._check_backend
+
+    def record(self, event: CheckEvent) -> None:
+        """Log one check; updates counters and enforces strict mode."""
+        self.log.append(event)
+        self.checks += 1
+        if event.detected:
+            self.errors_detected += 1
+            if self.strict:
+                raise CheckError(f"self-check failed: {event.describe()}")
+
+    def wrap(self, value: int) -> Tuple[int, bool]:
+        """Apply the overflow policy; returns (value, overflow_flagged)."""
+        return self.overflow_policy(value, self.width)
+
+    def reset_log(self) -> None:
+        """Clear the event log and counters (backend faults unaffected)."""
+        self.log.clear()
+        self.operations = 0
+        self.checks = 0
+        self.errors_detected = 0
+
+    # ------------------------------------------------------------------
+    # Context-manager protocol / ambient context
+    # ------------------------------------------------------------------
+    @classmethod
+    def _stack(cls) -> List["SCKContext"]:
+        if not hasattr(cls._local, "stack"):
+            cls._local.stack = []
+        return cls._local.stack
+
+    def __enter__(self) -> "SCKContext":
+        self._stack().append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        stack = self._stack()
+        if not stack or stack[-1] is not self:
+            raise ReproError("SCKContext exited out of order")
+        stack.pop()
+
+    def describe(self) -> str:
+        return (
+            f"SCKContext(width={self.width}, "
+            f"backend={'hardware' if isinstance(self.backend, HardwareBackend) else 'ideal'}, "
+            f"allocation={self.check_allocation}, overflow={self.overflow_policy_name}, "
+            f"ops={self.operations}, checks={self.checks}, "
+            f"errors={self.errors_detected})"
+        )
+
+
+def current_context() -> SCKContext:
+    """The innermost active context (creating a default one if needed)."""
+    stack = SCKContext._stack()
+    if not stack:
+        stack.append(SCKContext())
+    return stack[-1]

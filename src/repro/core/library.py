@@ -1,0 +1,148 @@
+"""The extensible reliability library.
+
+The paper highlights that operator overloading yields "a library of
+readily-available Self-Checking designs for the basic operators, each
+one with a cost / fault coverage characterisation", from which the
+designer picks the trade-off.  :class:`CheckerLibrary` is that registry:
+each :class:`CheckerDescriptor` couples a technique with its measured
+(or paper-published) coverage and its cost in extra operations, and the
+selection helpers pick the cheapest technique meeting a coverage floor.
+
+The co-design flow (:mod:`repro.codesign`) consumes the same descriptors
+to size the hardware checkers it inserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.coverage.techniques import TECHNIQUES
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class CheckerDescriptor:
+    """Cost / coverage characterisation of one checking technique.
+
+    Attributes:
+        operator: guarded operator (``add``, ``sub``, ``mul``, ``div``).
+        technique: technique name (``tech1``, ``tech2``, ``both``).
+        coverage_percent: worst-case (same-unit) fault coverage.
+        extra_operations: hidden operations executed per nominal
+            operation (the performance cost in a software mapping).
+        extra_units: additional functional units a hardware mapping
+            needs to run the checks concurrently (the area cost driver).
+    """
+
+    operator: str
+    technique: str
+    coverage_percent: float
+    extra_operations: int
+    extra_units: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.operator}/{self.technique}: {self.coverage_percent:.2f}% "
+            f"coverage, +{self.extra_operations} ops, +{self.extra_units} units"
+        )
+
+
+class CheckerLibrary:
+    """A registry of checker descriptors with trade-off queries."""
+
+    def __init__(self, descriptors: Iterable[CheckerDescriptor] = ()) -> None:
+        self._by_key: Dict[Tuple[str, str], CheckerDescriptor] = {}
+        for descriptor in descriptors:
+            self.register(descriptor)
+
+    def register(self, descriptor: CheckerDescriptor) -> None:
+        """Add or replace a descriptor."""
+        self._by_key[(descriptor.operator, descriptor.technique)] = descriptor
+
+    def get(self, operator: str, technique: str) -> CheckerDescriptor:
+        try:
+            return self._by_key[(operator, technique)]
+        except KeyError:
+            raise ReproError(
+                f"no checker registered for {operator!r}/{technique!r}"
+            ) from None
+
+    def techniques_for(self, operator: str) -> List[CheckerDescriptor]:
+        """All descriptors of ``operator``, cheapest first."""
+        found = [d for (op, _), d in self._by_key.items() if op == operator]
+        if not found:
+            raise ReproError(f"no checkers registered for operator {operator!r}")
+        return sorted(found, key=lambda d: (d.extra_operations, -d.coverage_percent))
+
+    def select(
+        self,
+        operator: str,
+        min_coverage: float = 0.0,
+        max_extra_operations: Optional[int] = None,
+    ) -> CheckerDescriptor:
+        """Cheapest technique meeting the coverage floor.
+
+        Raises :class:`~repro.errors.ReproError` when no registered
+        technique satisfies the constraints, so infeasible reliability
+        requirements fail loudly at design time.
+        """
+        candidates = [
+            d
+            for d in self.techniques_for(operator)
+            if d.coverage_percent >= min_coverage
+            and (
+                max_extra_operations is None
+                or d.extra_operations <= max_extra_operations
+            )
+        ]
+        if not candidates:
+            raise ReproError(
+                f"no {operator!r} technique with coverage >= {min_coverage}%"
+                + (
+                    f" and <= {max_extra_operations} extra ops"
+                    if max_extra_operations is not None
+                    else ""
+                )
+            )
+        return candidates[0]
+
+    def plan(self, min_coverage: float = 0.0) -> Dict[str, str]:
+        """Per-operator technique map meeting a uniform coverage floor."""
+        operators = sorted({op for (op, _) in self._by_key})
+        return {
+            op: self.select(op, min_coverage=min_coverage).technique
+            for op in operators
+        }
+
+
+#: Extra functional units per technique in a fully parallel HW mapping.
+_EXTRA_UNITS = {
+    ("add", "tech1"): 1,
+    ("add", "tech2"): 1,
+    ("add", "both"): 2,
+    ("sub", "tech1"): 1,
+    ("sub", "tech2"): 1,
+    ("sub", "both"): 2,
+    ("mul", "tech1"): 1,
+    ("mul", "tech2"): 1,
+    ("mul", "both"): 2,
+    ("div", "tech1"): 1,
+    ("div", "tech2"): 1,
+}
+
+
+def default_library() -> CheckerLibrary:
+    """Library populated from the paper's Table 1 characterisation."""
+    library = CheckerLibrary()
+    for (operator, name), technique in TECHNIQUES.items():
+        library.register(
+            CheckerDescriptor(
+                operator=operator,
+                technique=name,
+                coverage_percent=technique.paper_coverage,
+                extra_operations=technique.extra_ops,
+                extra_units=_EXTRA_UNITS.get((operator, name), 1),
+            )
+        )
+    return library

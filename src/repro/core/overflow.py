@@ -1,0 +1,78 @@
+"""Overflow policies for SCK arithmetic.
+
+The paper's inverse-operation check assumes modular (fixed-width)
+arithmetic, "with the exception of overflows (which are separately dealt
+with)".  This module provides that separate handling:
+
+* ``"wrap"``      -- two's-complement wrap-around, silent (C semantics);
+* ``"flag"``      -- wrap, but raise the value's error bit (an overflow
+  is an erroneous result from the application's viewpoint);
+* ``"raise"``     -- raise :class:`~repro.errors.OverflowPolicyError`;
+* ``"saturate"``  -- clamp to the representable range, silent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.errors import OverflowPolicyError, ReproError
+
+
+def _range_of(width: int) -> Tuple[int, int]:
+    half = 1 << (width - 1)
+    return -half, half - 1
+
+
+def _wrap(value: int, width: int) -> Tuple[int, bool]:
+    mask = (1 << width) - 1
+    half = 1 << (width - 1)
+    wrapped = value & mask
+    if wrapped >= half:
+        wrapped -= 1 << width
+    return wrapped, wrapped != value
+
+
+def apply_wrap(value: int, width: int) -> Tuple[int, bool]:
+    """Silent wrap; overflow never sets the error bit."""
+    wrapped, _ = _wrap(value, width)
+    return wrapped, False
+
+
+def apply_flag(value: int, width: int) -> Tuple[int, bool]:
+    """Wrap, flagging the overflow through the error bit."""
+    return _wrap(value, width)
+
+
+def apply_raise(value: int, width: int) -> Tuple[int, bool]:
+    """Raise on overflow."""
+    wrapped, overflowed = _wrap(value, width)
+    if overflowed:
+        lo, hi = _range_of(width)
+        raise OverflowPolicyError(
+            f"value {value} outside [{lo}, {hi}] under 'raise' overflow policy"
+        )
+    return wrapped, False
+
+
+def apply_saturate(value: int, width: int) -> Tuple[int, bool]:
+    """Clamp to the representable range, silently."""
+    lo, hi = _range_of(width)
+    return min(max(value, lo), hi), False
+
+
+OVERFLOW_POLICIES: Dict[str, Callable[[int, int], Tuple[int, bool]]] = {
+    "wrap": apply_wrap,
+    "flag": apply_flag,
+    "raise": apply_raise,
+    "saturate": apply_saturate,
+}
+
+
+def get_policy(name: str) -> Callable[[int, int], Tuple[int, bool]]:
+    """Look up an overflow policy by name."""
+    try:
+        return OVERFLOW_POLICIES[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown overflow policy {name!r}; choose from {sorted(OVERFLOW_POLICIES)}"
+        ) from None

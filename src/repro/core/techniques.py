@@ -1,0 +1,157 @@
+"""Spec-level checking strategies applied by the overloaded operators.
+
+Each function computes the *hidden* checking operation(s) of one
+technique (Table 1) for one nominal operation, returning True when a
+mismatch -- i.e. an error -- is detected.  The checking computations run
+on the context's check backend: with ``same_unit`` allocation that is
+the very backend that produced the (possibly wrong) nominal result,
+reproducing the paper's worst case; with ``different_unit`` it is a
+dedicated fault-free unit.
+
+All comparisons happen on wrapped (fixed-width) values, because that is
+what the synthesised comparator sees.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.core.context import SCKContext
+from repro.errors import ReproError
+
+#: A checker maps (context, operands..., nominal result) -> detected.
+Checker = Callable[..., bool]
+
+
+def _w(ctx: SCKContext, value: int) -> int:
+    wrapped, _ = ctx.wrap(value)
+    return wrapped
+
+
+# ----------------------------------------------------------------------
+# Addition: ris = op1 + op2
+# ----------------------------------------------------------------------
+def add_tech1(ctx: SCKContext, op1: int, op2: int, ris: int) -> bool:
+    """``op2' = ris - op1``; error when ``op2' != op2``."""
+    op2p = _w(ctx, ctx.check_backend.sub(ris, op1))
+    return op2p != _w(ctx, op2)
+
+
+def add_tech2(ctx: SCKContext, op1: int, op2: int, ris: int) -> bool:
+    """``op1' = ris - op2``; error when ``op1' != op1``."""
+    op1p = _w(ctx, ctx.check_backend.sub(ris, op2))
+    return op1p != _w(ctx, op1)
+
+
+def add_both(ctx: SCKContext, op1: int, op2: int, ris: int) -> bool:
+    """Both subtractions; higher coverage at twice the check cost."""
+    return add_tech1(ctx, op1, op2, ris) or add_tech2(ctx, op1, op2, ris)
+
+
+# ----------------------------------------------------------------------
+# Subtraction: ris = op1 - op2
+# ----------------------------------------------------------------------
+def sub_tech1(ctx: SCKContext, op1: int, op2: int, ris: int) -> bool:
+    """``op1' = ris + op2``; error when ``op1' != op1``."""
+    op1p = _w(ctx, ctx.check_backend.add(ris, op2))
+    return op1p != _w(ctx, op1)
+
+
+def sub_tech2(ctx: SCKContext, op1: int, op2: int, ris: int) -> bool:
+    """``ris' = op2 - op1``; error when ``ris + ris' != 0``."""
+    risp = _w(ctx, ctx.check_backend.sub(op2, op1))
+    return _w(ctx, ris + risp) != 0
+
+
+def sub_both(ctx: SCKContext, op1: int, op2: int, ris: int) -> bool:
+    return sub_tech1(ctx, op1, op2, ris) or sub_tech2(ctx, op1, op2, ris)
+
+
+# ----------------------------------------------------------------------
+# Multiplication: ris = op1 * op2
+# ----------------------------------------------------------------------
+def mul_tech1(ctx: SCKContext, op1: int, op2: int, ris: int) -> bool:
+    """``ris' = (-op1) * op2``; error when ``ris + ris' != 0``."""
+    chk = ctx.check_backend
+    risp = _w(ctx, chk.mul(_w(ctx, chk.neg(op1)), op2))
+    return _w(ctx, ris + risp) != 0
+
+
+def mul_tech2(ctx: SCKContext, op1: int, op2: int, ris: int) -> bool:
+    """``ris' = op1 * (-op2)``; error when ``ris + ris' != 0``."""
+    chk = ctx.check_backend
+    risp = _w(ctx, chk.mul(op1, _w(ctx, chk.neg(op2))))
+    return _w(ctx, ris + risp) != 0
+
+
+def mul_both(ctx: SCKContext, op1: int, op2: int, ris: int) -> bool:
+    return mul_tech1(ctx, op1, op2, ris) or mul_tech2(ctx, op1, op2, ris)
+
+
+# ----------------------------------------------------------------------
+# Division / modulo: (ris, rem) = divmod(op1, op2); C truncation.
+# Both quotient and remainder come from the same (possibly faulty)
+# divider, so the checker receives the pair.
+# ----------------------------------------------------------------------
+def div_tech1(ctx: SCKContext, op1: int, op2: int, ris: int, rem: int) -> bool:
+    """``op1' = ris * op2 + rem``; error when ``op1' != op1``."""
+    chk = ctx.check_backend
+    op1p = _w(ctx, chk.add(_w(ctx, chk.mul(ris, op2)), rem))
+    return op1p != _w(ctx, op1)
+
+
+def div_tech2(ctx: SCKContext, op1: int, op2: int, ris: int, rem: int) -> bool:
+    """Tech 1 plus the remainder precision check ``|rem| < |op2|`` with
+    the C sign convention (remainder carries the dividend's sign)."""
+    if div_tech1(ctx, op1, op2, ris, rem):
+        return True
+    if abs(rem) >= abs(op2):
+        return True
+    if rem != 0 and (rem < 0) != (op1 < 0):
+        return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Negation: ris = -op1
+# ----------------------------------------------------------------------
+def neg_tech1(ctx: SCKContext, op1: int, ris: int) -> bool:
+    """``z = ris + op1``; error when ``z != 0``."""
+    return _w(ctx, ctx.check_backend.add(ris, op1)) != 0
+
+
+_CHECKERS: Dict[Tuple[str, str], Checker] = {
+    ("add", "tech1"): add_tech1,
+    ("add", "tech2"): add_tech2,
+    ("add", "both"): add_both,
+    ("sub", "tech1"): sub_tech1,
+    ("sub", "tech2"): sub_tech2,
+    ("sub", "both"): sub_both,
+    ("mul", "tech1"): mul_tech1,
+    ("mul", "tech2"): mul_tech2,
+    ("mul", "both"): mul_both,
+    ("div", "tech1"): div_tech1,
+    ("div", "tech2"): div_tech2,
+    ("mod", "tech1"): div_tech1,
+    ("mod", "tech2"): div_tech2,
+    ("neg", "tech1"): neg_tech1,
+}
+
+
+def get_checker(operator: str, technique: str) -> Checker:
+    """Look up the spec-level checker for ``operator``/``technique``."""
+    try:
+        return _CHECKERS[(operator, technique)]
+    except KeyError:
+        raise ReproError(
+            f"no checker registered for operator {operator!r} "
+            f"technique {technique!r}"
+        ) from None
+
+
+def available_techniques(operator: str) -> Tuple[str, ...]:
+    """Technique names registered for ``operator``, in definition order."""
+    names = tuple(name for (op, name) in _CHECKERS if op == operator)
+    if not names:
+        raise ReproError(f"no techniques for operator {operator!r}")
+    return names

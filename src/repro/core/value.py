@@ -1,0 +1,284 @@
+"""The SCK self-checking value type.
+
+Python counterpart of the paper's SystemC-Plus ``SCK<TYPE>`` class
+template (Figures 1 and 2): a fixed-width integer with an associated
+error bit ``E``.  Every arithmetic operator
+
+1. computes the nominal result on the context backend,
+2. transparently executes the hidden checking operation(s) of the
+   technique selected for that operator,
+3. raises the error bit on a mismatch, and
+4. propagates the error bits of its operands into the result.
+
+The class is immutable; operators return new instances.  ``GetID`` and
+``GetError`` mirror the paper's method names; Pythonic ``value`` /
+``error`` properties are the primary API.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from repro.core.context import CheckEvent, SCKContext, current_context
+from repro.core.techniques import get_checker
+from repro.errors import ReproError, SimulationError
+
+Number = Union[int, "SCK"]
+
+
+class SCK:
+    """A self-checking fixed-width integer value.
+
+    Args:
+        value: initial integer value (wrapped per the context's
+            overflow policy).
+        error: initial error bit (normally False; propagated copies of
+            faulty values keep their flag).
+        context: explicit context; defaults to the ambient one.
+    """
+
+    __slots__ = ("_value", "_error", "_ctx")
+
+    def __init__(
+        self,
+        value: int = 0,
+        error: bool = False,
+        context: Optional[SCKContext] = None,
+    ) -> None:
+        if isinstance(value, SCK):
+            context = context or value._ctx
+            error = error or value._error
+            value = value._value
+        if not isinstance(value, (int,)) or isinstance(value, bool):
+            raise ReproError(
+                f"SCK holds integers, got {type(value).__name__}"
+            )
+        ctx = context or current_context()
+        wrapped, overflowed = ctx.wrap(int(value))
+        self._value = wrapped
+        self._error = bool(error) or overflowed
+        self._ctx = ctx
+
+    # ------------------------------------------------------------------
+    # Accessors (paper naming + Pythonic properties)
+    # ------------------------------------------------------------------
+    @property
+    def value(self) -> int:
+        """The internal data ``ID``."""
+        return self._value
+
+    @property
+    def error(self) -> bool:
+        """The error bit ``E``."""
+        return self._error
+
+    def GetID(self) -> int:  # noqa: N802 - paper API (Figure 1)
+        """Paper-style accessor for the internal data."""
+        return self._value
+
+    def GetError(self) -> bool:  # noqa: N802 - paper API (Figure 1)
+        """Paper-style accessor for the error bit."""
+        return self._error
+
+    @property
+    def context(self) -> SCKContext:
+        return self._ctx
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+    def __bool__(self) -> bool:
+        return self._value != 0
+
+    def __repr__(self) -> str:
+        flag = ", E" if self._error else ""
+        return f"SCK({self._value}{flag})"
+
+    def __hash__(self) -> int:
+        return hash((self._value, self._error))
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _coerce(self, other: Number) -> Tuple[int, bool]:
+        if isinstance(other, SCK):
+            if other._ctx is not self._ctx and other._ctx.width != self._ctx.width:
+                raise ReproError(
+                    "cannot mix SCK values from contexts of different widths"
+                )
+            return other._value, other._error
+        if isinstance(other, bool) or not isinstance(other, int):
+            return NotImplemented, False
+        wrapped, _ = self._ctx.wrap(int(other))
+        return wrapped, False
+
+    def _result(self, value: int, error: bool) -> "SCK":
+        wrapped, overflowed = self._ctx.wrap(value)
+        out = SCK.__new__(SCK)
+        out._value = wrapped
+        out._error = error or overflowed
+        out._ctx = self._ctx
+        return out
+
+    def _binary(self, operator: str, op1: int, op2: int, carry_error: bool) -> "SCK":
+        ctx = self._ctx
+        ctx.operations += 1
+        if operator in ("div", "mod"):
+            q, r = ctx.backend.divmod(op1, op2)
+            ris = q if operator == "div" else r
+            technique = ctx.techniques[operator]
+            detected = get_checker(operator, technique)(ctx, op1, op2, q, r)
+            ctx.record(CheckEvent(operator, technique, (op1, op2), ris, detected))
+            return self._result(ris, carry_error or detected)
+        compute = getattr(ctx.backend, operator)
+        raw = compute(op1, op2)
+        ris, overflowed = ctx.wrap(raw)
+        technique = ctx.techniques[operator]
+        if ctx.overflow_policy_name == "saturate" and ris != raw:
+            # Saturation breaks the modular inverse identity; overflow
+            # is "separately dealt with" (the policy already acted), so
+            # the hidden check is skipped for this operation.
+            detected = False
+        else:
+            detected = get_checker(operator, technique)(ctx, op1, op2, ris)
+        ctx.record(CheckEvent(operator, technique, (op1, op2), ris, detected))
+        return self._result(ris, carry_error or detected or overflowed)
+
+    # ------------------------------------------------------------------
+    # Overloaded arithmetic (the paper's contribution)
+    # ------------------------------------------------------------------
+    def __add__(self, other: Number) -> "SCK":
+        op2, err = self._coerce(other)
+        if op2 is NotImplemented:
+            return NotImplemented
+        return self._binary("add", self._value, op2, self._error or err)
+
+    def __radd__(self, other: int) -> "SCK":
+        op1, err = self._coerce(other)
+        if op1 is NotImplemented:
+            return NotImplemented
+        return self._binary("add", op1, self._value, self._error or err)
+
+    def __sub__(self, other: Number) -> "SCK":
+        op2, err = self._coerce(other)
+        if op2 is NotImplemented:
+            return NotImplemented
+        return self._binary("sub", self._value, op2, self._error or err)
+
+    def __rsub__(self, other: int) -> "SCK":
+        op1, err = self._coerce(other)
+        if op1 is NotImplemented:
+            return NotImplemented
+        return self._binary("sub", op1, self._value, self._error or err)
+
+    def __mul__(self, other: Number) -> "SCK":
+        op2, err = self._coerce(other)
+        if op2 is NotImplemented:
+            return NotImplemented
+        return self._binary("mul", self._value, op2, self._error or err)
+
+    def __rmul__(self, other: int) -> "SCK":
+        op1, err = self._coerce(other)
+        if op1 is NotImplemented:
+            return NotImplemented
+        return self._binary("mul", op1, self._value, self._error or err)
+
+    def _divide(self, operator: str, other: Number, reverse: bool = False) -> "SCK":
+        operand, err = self._coerce(other)
+        if operand is NotImplemented:
+            return NotImplemented
+        op1, op2 = (operand, self._value) if reverse else (self._value, operand)
+        if op2 == 0:
+            raise SimulationError("SCK division by zero")
+        return self._binary(operator, op1, op2, self._error or err)
+
+    def __truediv__(self, other: Number) -> "SCK":
+        """Integer division with C truncation semantics.
+
+        The paper's ``SCK<int>`` maps ``/`` onto the synthesisable
+        integer divider, so ``/`` here is integer division (like C
+        ``int / int``), not float division.
+        """
+        return self._divide("div", other)
+
+    def __rtruediv__(self, other: int) -> "SCK":
+        return self._divide("div", other, reverse=True)
+
+    def __floordiv__(self, other: Number) -> "SCK":
+        """Alias of :meth:`__truediv__` (C truncation, not Python floor)."""
+        return self._divide("div", other)
+
+    def __rfloordiv__(self, other: int) -> "SCK":
+        return self._divide("div", other, reverse=True)
+
+    def __mod__(self, other: Number) -> "SCK":
+        """Remainder with C semantics (takes the dividend's sign)."""
+        return self._divide("mod", other)
+
+    def __rmod__(self, other: int) -> "SCK":
+        return self._divide("mod", other, reverse=True)
+
+    def __neg__(self) -> "SCK":
+        ctx = self._ctx
+        ctx.operations += 1
+        raw = ctx.backend.neg(self._value)
+        ris, overflowed = ctx.wrap(raw)
+        technique = ctx.techniques["neg"]
+        detected = get_checker("neg", technique)(ctx, self._value, ris)
+        ctx.record(CheckEvent("neg", technique, (self._value,), ris, detected))
+        return self._result(ris, self._error or detected or overflowed)
+
+    def __pos__(self) -> "SCK":
+        return self
+
+    def __abs__(self) -> "SCK":
+        return -self if self._value < 0 else self
+
+    # ------------------------------------------------------------------
+    # Comparisons: value semantics, like the underlying integer type.
+    # ------------------------------------------------------------------
+    def _cmp_operand(self, other: Number):
+        if isinstance(other, SCK):
+            return other._value
+        if isinstance(other, bool) or not isinstance(other, int):
+            return NotImplemented
+        return int(other)
+
+    def __eq__(self, other: object) -> bool:
+        operand = self._cmp_operand(other)  # type: ignore[arg-type]
+        if operand is NotImplemented:
+            return NotImplemented
+        return self._value == operand
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __lt__(self, other: Number) -> bool:
+        operand = self._cmp_operand(other)
+        if operand is NotImplemented:
+            return NotImplemented
+        return self._value < operand
+
+    def __le__(self, other: Number) -> bool:
+        operand = self._cmp_operand(other)
+        if operand is NotImplemented:
+            return NotImplemented
+        return self._value <= operand
+
+    def __gt__(self, other: Number) -> bool:
+        operand = self._cmp_operand(other)
+        if operand is NotImplemented:
+            return NotImplemented
+        return self._value > operand
+
+    def __ge__(self, other: Number) -> bool:
+        operand = self._cmp_operand(other)
+        if operand is NotImplemented:
+            return NotImplemented
+        return self._value >= operand

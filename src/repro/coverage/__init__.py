@@ -1,0 +1,48 @@
+"""Fault-coverage analysis engine (the paper's Sections 2.1 and 4).
+
+Evaluates, for every arithmetic operator and overloading technique, the
+worst-case fault coverage when the checking operation is executed on the
+*same* faulty functional unit as the nominal operation:
+
+* :mod:`repro.coverage.situations` -- the paper's situation-count
+  formulas;
+* :mod:`repro.coverage.techniques` -- the checking techniques of Table 1
+  expressed at the hardware level;
+* :mod:`repro.coverage.engine` -- exhaustive / Monte-Carlo evaluation;
+* :mod:`repro.coverage.report` -- renderers regenerating Tables 1 and 2
+  and the in-text 2-bit analysis.
+"""
+
+from repro.coverage.situations import (
+    adder_situations,
+    divider_situations,
+    multiplier_situations,
+)
+from repro.coverage.techniques import TECHNIQUES, CheckTechnique, techniques_for
+from repro.coverage.engine import (
+    CoverageStats,
+    evaluate_adder,
+    evaluate_divider,
+    evaluate_multiplier,
+    evaluate_operator,
+    evaluate_subtractor,
+)
+from repro.coverage.report import render_table1, render_table2, render_two_bit_analysis
+
+__all__ = [
+    "adder_situations",
+    "multiplier_situations",
+    "divider_situations",
+    "TECHNIQUES",
+    "CheckTechnique",
+    "techniques_for",
+    "CoverageStats",
+    "evaluate_operator",
+    "evaluate_adder",
+    "evaluate_subtractor",
+    "evaluate_multiplier",
+    "evaluate_divider",
+    "render_table1",
+    "render_table2",
+    "render_two_bit_analysis",
+]

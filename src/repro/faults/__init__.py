@@ -1,0 +1,47 @@
+"""Fault model: descriptors, activation schedules and campaign injection.
+
+The paper's fault model is the *single functional unit failure*: any
+number of physical faults may affect one (and only one) functional unit,
+manifesting as errors (stuck-at, bit-flip...) on the bits of the result.
+Permanent, transient and intermittent faults are all covered.
+
+* :mod:`repro.faults.model` -- fault descriptors and activation
+  schedules (permanent / transient / intermittent);
+* :mod:`repro.faults.universe` -- the canonical 32-fault full-adder
+  universe and enumeration of (fault, location) cases per unit type;
+* :mod:`repro.faults.injector` -- campaign orchestration over a
+  :class:`~repro.arch.alu.FaultableALU`.
+"""
+
+from repro.faults.model import (
+    ActivationSchedule,
+    FaultDescriptor,
+    intermittent,
+    permanent,
+    transient,
+)
+from repro.faults.universe import (
+    AdderFaultCase,
+    DividerFaultCase,
+    MultiplierFaultCase,
+    adder_fault_cases,
+    divider_fault_cases,
+    multiplier_fault_cases,
+)
+from repro.faults.injector import CampaignResult, FaultInjector
+
+__all__ = [
+    "ActivationSchedule",
+    "FaultDescriptor",
+    "permanent",
+    "transient",
+    "intermittent",
+    "AdderFaultCase",
+    "MultiplierFaultCase",
+    "DividerFaultCase",
+    "adder_fault_cases",
+    "multiplier_fault_cases",
+    "divider_fault_cases",
+    "FaultInjector",
+    "CampaignResult",
+]

@@ -1,0 +1,131 @@
+"""Fault-injection campaigns over a :class:`~repro.arch.alu.FaultableALU`.
+
+A campaign runs a user-supplied workload once per fault descriptor and
+classifies each run:
+
+* ``correct``   -- every output matched the golden run;
+* ``detected``  -- at least one output differed *and* the workload's
+  error indication was raised (or the run raised an exception);
+* ``escaped``   -- an output differed silently (undetected error);
+* ``false_alarm`` -- outputs matched but the error indication fired
+  (the paper counts these as *useful* early detections: "the technique
+  allows fault detection also when the produced result is correct").
+
+The workload is any callable receiving the (possibly faulty) ALU and
+returning ``(outputs, error_flag)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+from repro.arch.alu import FaultableALU
+from repro.errors import CheckError, ReproError
+from repro.faults.model import FaultDescriptor
+
+Workload = Callable[[FaultableALU], Tuple[Sequence[int], bool]]
+
+
+@dataclass
+class CampaignOutcome:
+    """Classification of one fault's run."""
+
+    fault: FaultDescriptor
+    classification: str
+    outputs: Tuple[int, ...] = ()
+
+    def describe(self) -> str:
+        return f"{self.classification:11s} {self.fault.describe()}"
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate result of a fault-injection campaign."""
+
+    outcomes: List[CampaignOutcome] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    def count(self, classification: str) -> int:
+        return sum(1 for o in self.outcomes if o.classification == classification)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of faults that did not silently escape.
+
+        Matches the paper's definition: the result is either correct or
+        an error signal is raised.
+        """
+        if not self.outcomes:
+            return 1.0
+        return 1.0 - self.count("escaped") / self.total
+
+    @property
+    def detection_while_correct(self) -> int:
+        """Faults flagged although the final outputs were correct."""
+        return self.count("false_alarm")
+
+    def escaped_faults(self) -> List[FaultDescriptor]:
+        return [o.fault for o in self.outcomes if o.classification == "escaped"]
+
+    def summary(self) -> str:
+        return (
+            f"{self.total} faults: {self.count('correct')} silent-correct, "
+            f"{self.count('false_alarm')} detected-while-correct, "
+            f"{self.count('detected')} detected, "
+            f"{self.count('escaped')} escaped "
+            f"(coverage {100.0 * self.coverage:.2f}%)"
+        )
+
+
+class FaultInjector:
+    """Runs fault-injection campaigns for a fixed-width workload."""
+
+    def __init__(self, width: int = 16, cell_netlist: str = "xor3_majority") -> None:
+        self.width = width
+        self.cell_netlist = cell_netlist
+
+    def golden_run(self, workload: Workload) -> Tuple[Tuple[int, ...], bool]:
+        """Run the workload on a fault-free ALU."""
+        alu = FaultableALU(self.width, self.cell_netlist)
+        outputs, error = workload(alu)
+        return tuple(int(v) for v in outputs), bool(error)
+
+    def run(
+        self,
+        workload: Workload,
+        faults: Iterable[FaultDescriptor],
+    ) -> CampaignResult:
+        """Inject each fault, run the workload, classify the outcome."""
+        golden_outputs, golden_error = self.golden_run(workload)
+        if golden_error:
+            raise CheckError(
+                "workload raises its error indication on a fault-free ALU; "
+                "campaign classifications would be meaningless"
+            )
+        result = CampaignResult()
+        for fault in faults:
+            alu = FaultableALU(self.width, self.cell_netlist)
+            alu.inject_fault(fault.unit, fault.cell, fault.position, fault.column)
+            try:
+                outputs, error = workload(alu)
+            except ReproError:
+                # A crash (e.g. division by zero caused by a corrupted
+                # divisor) is an error indication in its own right.
+                result.outcomes.append(CampaignOutcome(fault, "detected"))
+                continue
+            outputs = tuple(int(v) for v in outputs)
+            wrong = outputs != golden_outputs
+            if wrong and error:
+                cls = "detected"
+            elif wrong:
+                cls = "escaped"
+            elif error:
+                cls = "false_alarm"
+            else:
+                cls = "correct"
+            result.outcomes.append(CampaignOutcome(fault, cls, outputs))
+        return result

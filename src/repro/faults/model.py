@@ -1,0 +1,101 @@
+"""Fault descriptors and activation schedules.
+
+A :class:`FaultDescriptor` names *what* is broken (which unit class,
+which cell, which stuck-at behaviour); an :class:`ActivationSchedule`
+says *when* the fault is active.  The paper covers permanent, transient
+and intermittent faults; schedules model these as predicates over a
+discrete operation counter, so the same campaign machinery exercises all
+three duration classes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.arch.cell import FullAdderCell
+from repro.errors import FaultError
+
+
+@dataclass(frozen=True)
+class ActivationSchedule:
+    """When a fault is active, as a predicate over an operation counter.
+
+    Attributes:
+        kind: ``"permanent"``, ``"transient"`` or ``"intermittent"``.
+        predicate: maps the 0-based operation index to True when the
+            fault is active during that operation.
+    """
+
+    kind: str
+    predicate: Callable[[int], bool]
+
+    def active_at(self, op_index: int) -> bool:
+        """True if the fault affects the ``op_index``-th operation."""
+        if op_index < 0:
+            raise FaultError(f"operation index must be >= 0, got {op_index}")
+        return bool(self.predicate(op_index))
+
+
+def permanent() -> ActivationSchedule:
+    """A fault active during every operation."""
+    return ActivationSchedule("permanent", lambda _: True)
+
+
+def transient(at: int, duration: int = 1) -> ActivationSchedule:
+    """A fault active for ``duration`` consecutive operations from ``at``."""
+    if at < 0:
+        raise FaultError(f"transient start must be >= 0, got {at}")
+    if duration < 1:
+        raise FaultError(f"transient duration must be >= 1, got {duration}")
+    return ActivationSchedule("transient", lambda i: at <= i < at + duration)
+
+
+def intermittent(
+    probability: float, seed: Optional[int] = None
+) -> ActivationSchedule:
+    """A fault active on each operation independently with ``probability``.
+
+    A seeded RNG with memoisation keeps the schedule deterministic and
+    consistent when the same operation index is queried twice (as the
+    nominal/check pair does).
+    """
+    if not (0.0 <= probability <= 1.0):
+        raise FaultError(f"probability must be in [0, 1], got {probability}")
+    rng = random.Random(seed)
+    memo = {}
+
+    def predicate(i: int) -> bool:
+        if i not in memo:
+            memo[i] = rng.random() < probability
+        return memo[i]
+
+    return ActivationSchedule("intermittent", predicate)
+
+
+@dataclass(frozen=True)
+class FaultDescriptor:
+    """A complete fault specification for campaign injection.
+
+    Attributes:
+        unit: functional unit class (``"adder"``, ``"multiplier"``,
+            ``"divider"``).
+        cell: the faulty full-adder behaviour.
+        position: chain position (adder/divider) or row (multiplier).
+        column: multiplier column; ignored otherwise.
+        schedule: when the fault is active.
+    """
+
+    unit: str
+    cell: FullAdderCell
+    position: int = 0
+    column: int = 0
+    schedule: ActivationSchedule = field(default_factory=permanent)
+
+    def describe(self) -> str:
+        where = f"{self.unit}[{self.position}]"
+        if self.unit == "multiplier":
+            where = f"{self.unit}[{self.position},{self.column}]"
+        what = self.cell.fault.describe() if self.cell.fault else "custom cell"
+        return f"{what} in {where} ({self.schedule.kind})"

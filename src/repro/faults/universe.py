@@ -1,0 +1,83 @@
+"""Enumeration of (fault, location) cases per functional unit type.
+
+Table 2's situation count is ``num_faults_1bit * n * 2**(2n)``: every one
+of the 32 faulty full-adder behaviours, at every one of the ``n`` chain
+positions, for every input pair.  This module produces those
+(behaviour, location) case lists for each unit type so the coverage
+engine and the campaign injector iterate the exact same universe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.arch.cell import DEFAULT_CELL_NETLIST, FullAdderCell, faulty_cell_library
+from repro.arch.multiplier import ArrayMultiplierUnit
+from repro.errors import FaultError
+
+
+@dataclass(frozen=True)
+class AdderFaultCase:
+    """One faulty-cell case of an n-bit adder chain."""
+
+    cell: FullAdderCell
+    position: int
+
+
+@dataclass(frozen=True)
+class MultiplierFaultCase:
+    """One faulty-cell case of a truncated array multiplier."""
+
+    cell: FullAdderCell
+    row: int
+    column: int
+
+
+@dataclass(frozen=True)
+class DividerFaultCase:
+    """One faulty-cell case of a restoring divider's subtractor chain."""
+
+    cell: FullAdderCell
+    position: int
+
+
+def adder_fault_cases(
+    width: int, cell_netlist: str = DEFAULT_CELL_NETLIST
+) -> List[AdderFaultCase]:
+    """All ``32 * width`` faulty cases of a ``width``-bit adder."""
+    if width < 1:
+        raise FaultError(f"width must be >= 1, got {width}")
+    cells = faulty_cell_library(cell_netlist)
+    return [
+        AdderFaultCase(cell, pos) for cell in cells for pos in range(width)
+    ]
+
+
+def multiplier_fault_cases(
+    width: int, cell_netlist: str = DEFAULT_CELL_NETLIST
+) -> List[MultiplierFaultCase]:
+    """All ``32 * width*(width-1)/2`` faulty cases of the array multiplier."""
+    if width < 2:
+        raise FaultError(f"multiplier fault cases need width >= 2, got {width}")
+    cells = faulty_cell_library(cell_netlist)
+    positions = ArrayMultiplierUnit.cell_positions(width)
+    return [
+        MultiplierFaultCase(cell, row, col)
+        for cell in cells
+        for row, col in positions
+    ]
+
+
+def divider_fault_cases(
+    width: int, cell_netlist: str = DEFAULT_CELL_NETLIST
+) -> List[DividerFaultCase]:
+    """All ``32 * (width+1)`` faulty cases of the divider's subtract chain."""
+    if width < 1:
+        raise FaultError(f"width must be >= 1, got {width}")
+    cells = faulty_cell_library(cell_netlist)
+    return [
+        DividerFaultCase(cell, pos)
+        for cell in cells
+        for pos in range(width + 1)
+    ]

@@ -1,0 +1,43 @@
+"""Gate-level netlist substrate.
+
+This package models combinational circuits at the structural gate level:
+
+* :mod:`repro.gates.netlist` -- nets, gates and the :class:`Netlist` graph;
+* :mod:`repro.gates.cells` -- the primitive cell library (AND, OR, XOR...);
+* :mod:`repro.gates.builders` -- parameterised generators for the
+  arithmetic blocks used throughout the paper (full adder, ripple-carry
+  adder, carry-lookahead adder, subtractor, comparator, array multiplier);
+* :mod:`repro.gates.faults` -- the classical single-stuck-at fault
+  universe (stems plus fanout branches), fault collapsing;
+* :mod:`repro.gates.simulate` -- scalar and NumPy-vectorised logic
+  simulation with optional fault injection;
+* :mod:`repro.gates.emit` -- structural VHDL emission.
+
+The paper's Section 4.1 test environment models the faulty functional unit
+as a single full adder in a chain; the 32-fault universe it quotes
+(``num_faults_1bit == 32``) is exactly the stem+branch single-stuck-at
+fault list of the standard five-gate full adder built here.
+"""
+
+from repro.gates.netlist import Gate, Net, Netlist
+from repro.gates.cells import CELL_LIBRARY, CellType, cell_function
+from repro.gates.faults import FaultSite, StuckAtFault, enumerate_fault_sites, full_fault_list
+from repro.gates.simulate import NetlistSimulator, simulate, simulate_vector
+from repro.gates import builders
+
+__all__ = [
+    "Gate",
+    "Net",
+    "Netlist",
+    "CELL_LIBRARY",
+    "CellType",
+    "cell_function",
+    "FaultSite",
+    "StuckAtFault",
+    "enumerate_fault_sites",
+    "full_fault_list",
+    "NetlistSimulator",
+    "simulate",
+    "simulate_vector",
+    "builders",
+]

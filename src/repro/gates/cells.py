@@ -1,0 +1,128 @@
+"""Primitive cell library for gate-level netlists.
+
+Each cell type is a named boolean function of one or more inputs.  The
+functions are written against NumPy so that the same definition serves the
+scalar simulator (0-d arrays / Python ints) and the vectorised simulator
+(1-d arrays spanning many input combinations at once).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.errors import NetlistError
+
+
+class CellType(str, enum.Enum):
+    """Enumeration of the supported primitive gates."""
+
+    AND = "and"
+    OR = "or"
+    NOT = "not"
+    NAND = "nand"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    BUF = "buf"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def _and(inputs: Sequence[np.ndarray]) -> np.ndarray:
+    out = inputs[0]
+    for value in inputs[1:]:
+        out = out & value
+    return out
+
+
+def _or(inputs: Sequence[np.ndarray]) -> np.ndarray:
+    out = inputs[0]
+    for value in inputs[1:]:
+        out = out | value
+    return out
+
+
+def _xor(inputs: Sequence[np.ndarray]) -> np.ndarray:
+    out = inputs[0]
+    for value in inputs[1:]:
+        out = out ^ value
+    return out
+
+
+def _not(inputs: Sequence[np.ndarray]) -> np.ndarray:
+    return inputs[0] ^ 1
+
+
+def _nand(inputs: Sequence[np.ndarray]) -> np.ndarray:
+    return _and(inputs) ^ 1
+
+
+def _nor(inputs: Sequence[np.ndarray]) -> np.ndarray:
+    return _or(inputs) ^ 1
+
+
+def _xnor(inputs: Sequence[np.ndarray]) -> np.ndarray:
+    return _xor(inputs) ^ 1
+
+
+def _buf(inputs: Sequence[np.ndarray]) -> np.ndarray:
+    return inputs[0]
+
+
+CELL_LIBRARY: Dict[CellType, Callable[[Sequence[np.ndarray]], np.ndarray]] = {
+    CellType.AND: _and,
+    CellType.OR: _or,
+    CellType.XOR: _xor,
+    CellType.NOT: _not,
+    CellType.NAND: _nand,
+    CellType.NOR: _nor,
+    CellType.XNOR: _xnor,
+    CellType.BUF: _buf,
+}
+
+#: Minimum number of inputs accepted by each cell type.
+MIN_ARITY: Dict[CellType, int] = {
+    CellType.AND: 2,
+    CellType.OR: 2,
+    CellType.XOR: 2,
+    CellType.NAND: 2,
+    CellType.NOR: 2,
+    CellType.XNOR: 2,
+    CellType.NOT: 1,
+    CellType.BUF: 1,
+}
+
+#: Maximum number of inputs accepted by each cell type (None = unbounded).
+MAX_ARITY: Dict[CellType, int] = {
+    CellType.NOT: 1,
+    CellType.BUF: 1,
+}
+
+
+def cell_function(cell_type: CellType) -> Callable[[Sequence[np.ndarray]], np.ndarray]:
+    """Return the boolean function implementing ``cell_type``.
+
+    Raises :class:`~repro.errors.NetlistError` for unknown cell types.
+    """
+    try:
+        return CELL_LIBRARY[cell_type]
+    except KeyError:
+        raise NetlistError(f"unknown cell type: {cell_type!r}") from None
+
+
+def validate_arity(cell_type: CellType, n_inputs: int) -> None:
+    """Check that a gate of ``cell_type`` may legally have ``n_inputs``."""
+    lo = MIN_ARITY.get(cell_type, 1)
+    hi = MAX_ARITY.get(cell_type)
+    if n_inputs < lo:
+        raise NetlistError(
+            f"{cell_type} gate requires at least {lo} inputs, got {n_inputs}"
+        )
+    if hi is not None and n_inputs > hi:
+        raise NetlistError(
+            f"{cell_type} gate accepts at most {hi} inputs, got {n_inputs}"
+        )

@@ -1,0 +1,113 @@
+"""Structural HDL emission for gate-level netlists.
+
+Used by the examples and by :mod:`repro.hdlgen.testarch` to regenerate
+the paper's Section 4.1 test environment artefacts.  The emitted VHDL is
+plain structural 1993-style code (entity + architecture with one
+concurrent signal assignment per gate) so it can be diffed and inspected;
+a Verilog emitter is provided as well.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gates.cells import CellType
+from repro.gates.netlist import Gate, Netlist
+
+_VHDL_OPS = {
+    CellType.AND: "and",
+    CellType.OR: "or",
+    CellType.XOR: "xor",
+    CellType.NAND: "nand",
+    CellType.NOR: "nor",
+    CellType.XNOR: "xnor",
+}
+
+_VERILOG_OPS = {
+    CellType.AND: "&",
+    CellType.OR: "|",
+    CellType.XOR: "^",
+}
+
+
+def _vhdl_expr(gate: Gate) -> str:
+    if gate.cell_type is CellType.NOT:
+        return f"not {gate.inputs[0]}"
+    if gate.cell_type is CellType.BUF:
+        return gate.inputs[0]
+    op = _VHDL_OPS[gate.cell_type]
+    return f" {op} ".join(gate.inputs)
+
+
+def to_vhdl(netlist: Netlist, entity: str = None) -> str:
+    """Render ``netlist`` as a structural VHDL entity/architecture pair."""
+    netlist.validate()
+    entity = entity or netlist.name
+    ports: List[str] = []
+    for net in netlist.primary_inputs:
+        ports.append(f"    {net} : in  std_logic")
+    for net in netlist.primary_outputs:
+        ports.append(f"    {net} : out std_logic")
+    internal = [
+        net
+        for net in netlist.nets
+        if net not in netlist.primary_inputs and net not in netlist.primary_outputs
+    ]
+    lines = [
+        "library ieee;",
+        "use ieee.std_logic_1164.all;",
+        "",
+        f"entity {entity} is",
+        "  port (",
+        ";\n".join(ports),
+        "  );",
+        f"end entity {entity};",
+        "",
+        f"architecture structural of {entity} is",
+    ]
+    if internal:
+        lines.append(f"  signal {', '.join(internal)} : std_logic;")
+    lines.append("begin")
+    for gate in netlist.topological_gates():
+        lines.append(f"  {gate.output} <= {_vhdl_expr(gate)};  -- {gate.name}")
+    lines.append(f"end architecture structural;")
+    return "\n".join(lines) + "\n"
+
+
+def _verilog_expr(gate: Gate) -> str:
+    if gate.cell_type is CellType.NOT:
+        return f"~{gate.inputs[0]}"
+    if gate.cell_type is CellType.BUF:
+        return gate.inputs[0]
+    if gate.cell_type in (CellType.NAND, CellType.NOR, CellType.XNOR):
+        base = {
+            CellType.NAND: "&",
+            CellType.NOR: "|",
+            CellType.XNOR: "^",
+        }[gate.cell_type]
+        return "~(" + f" {base} ".join(gate.inputs) + ")"
+    op = _VERILOG_OPS[gate.cell_type]
+    return f" {op} ".join(gate.inputs)
+
+
+def to_verilog(netlist: Netlist, module: str = None) -> str:
+    """Render ``netlist`` as a flat Verilog module of assign statements."""
+    netlist.validate()
+    module = module or netlist.name
+    ports = netlist.primary_inputs + netlist.primary_outputs
+    lines = [f"module {module}({', '.join(ports)});"]
+    for net in netlist.primary_inputs:
+        lines.append(f"  input {net};")
+    for net in netlist.primary_outputs:
+        lines.append(f"  output {net};")
+    internal = [
+        net
+        for net in netlist.nets
+        if net not in netlist.primary_inputs and net not in netlist.primary_outputs
+    ]
+    for net in internal:
+        lines.append(f"  wire {net};")
+    for gate in netlist.topological_gates():
+        lines.append(f"  assign {gate.output} = {_verilog_expr(gate)};  // {gate.name}")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,107 @@
+"""Single-stuck-at fault universe for gate-level netlists.
+
+Fault sites follow the classical rule used in structural testing:
+
+* every net *stem* (the driver side of a net) is one site;
+* every *fanout branch* (an individual gate input pin) of a net whose
+  fanout is two or more is an additional, distinct site.
+
+A net with fanout one contributes a single site (stem and branch are
+electrically the same wire).  Primary outputs observe the stem.
+
+Applied to the standard five-gate full adder (two XOR, two AND, one OR),
+this rule yields 16 sites -- the nets ``a``, ``b``, ``cin`` and the
+internal propagate signal each fan out twice (stem + 2 branches = 3 sites
+each, 12 total), the two AND outputs have fanout one (2 sites) and the two
+primary outputs add 2 more -- hence 32 single stuck-at faults, exactly the
+``num_faults_1bit = 32`` the paper uses to size Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import FaultError
+from repro.gates.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """A location where a stuck-at fault may be injected.
+
+    ``branch`` is ``None`` for a stem fault (affects the net everywhere);
+    otherwise it is a ``(gate_name, pin_index)`` pair identifying the
+    single gate input pin affected.
+    """
+
+    net: str
+    branch: Optional[Tuple[str, int]] = None
+
+    @property
+    def is_stem(self) -> bool:
+        return self.branch is None
+
+    def describe(self) -> str:
+        if self.branch is None:
+            return f"{self.net} (stem)"
+        gate, pin = self.branch
+        return f"{self.net} -> {gate}.pin{pin} (branch)"
+
+
+@dataclass(frozen=True)
+class StuckAtFault:
+    """A single stuck-at fault: ``site`` forced to constant ``value``."""
+
+    site: FaultSite
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise FaultError(f"stuck-at value must be 0 or 1, got {self.value!r}")
+
+    def describe(self) -> str:
+        return f"SA{self.value} @ {self.site.describe()}"
+
+
+def enumerate_fault_sites(netlist: Netlist) -> List[FaultSite]:
+    """Enumerate fault sites of ``netlist`` per the stem+branch rule."""
+    sites: List[FaultSite] = []
+    for net in netlist.nets:
+        sites.append(FaultSite(net))
+        readers = netlist.fanout(net)
+        if len(readers) >= 2:
+            for gate, pin in readers:
+                sites.append(FaultSite(net, (gate.name, pin)))
+    return sites
+
+
+def full_fault_list(netlist: Netlist) -> List[StuckAtFault]:
+    """The uncollapsed single-stuck-at fault list (two faults per site)."""
+    faults: List[StuckAtFault] = []
+    for site in enumerate_fault_sites(netlist):
+        faults.append(StuckAtFault(site, 0))
+        faults.append(StuckAtFault(site, 1))
+    return faults
+
+
+def collapse_equivalent(
+    netlist: Netlist, faults: List[StuckAtFault], behaviors: Dict[StuckAtFault, bytes]
+) -> List[StuckAtFault]:
+    """Collapse faults whose full input/output behaviour is identical.
+
+    ``behaviors`` maps each fault to an opaque byte signature (typically
+    the concatenated faulty truth table produced by exhaustive
+    simulation).  One representative per distinct signature is kept, in
+    the original order.  This is *functional* collapsing -- stronger than
+    structural equivalence rules -- and is used only for reporting; the
+    coverage experiments of the paper count the full 32-fault list.
+    """
+    seen: Dict[bytes, StuckAtFault] = {}
+    kept: List[StuckAtFault] = []
+    for fault in faults:
+        signature = behaviors[fault]
+        if signature not in seen:
+            seen[signature] = fault
+            kept.append(fault)
+    return kept

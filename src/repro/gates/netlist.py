@@ -1,0 +1,214 @@
+"""Structural netlist representation.
+
+A :class:`Netlist` is a directed acyclic graph of :class:`Gate` instances
+connected by named :class:`Net` objects.  Primary inputs are nets with no
+driving gate that are explicitly declared; primary outputs are declared
+nets that external logic observes.
+
+The representation keeps an explicit notion of *connections* (gate input
+pins): every pin has a stable index, which the fault machinery uses to
+distinguish a stuck-at on a fanout branch (one pin) from a stuck-at on a
+stem (the net itself).  This distinction is what yields the classical
+32-fault universe of the five-gate full adder quoted by the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import NetlistError
+from repro.gates.cells import CellType, validate_arity
+
+
+@dataclass(frozen=True)
+class Net:
+    """A single-bit wire identified by name."""
+
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass
+class Gate:
+    """A primitive gate instance.
+
+    Attributes:
+        name: unique instance name within the netlist.
+        cell_type: the primitive function (AND, XOR...).
+        inputs: names of the nets driving each input pin, in pin order.
+        output: name of the net driven by this gate.
+    """
+
+    name: str
+    cell_type: CellType
+    inputs: Tuple[str, ...]
+    output: str
+
+    def __post_init__(self) -> None:
+        validate_arity(self.cell_type, len(self.inputs))
+
+
+@dataclass
+class Netlist:
+    """A combinational netlist: gates, nets, primary inputs and outputs."""
+
+    name: str
+    primary_inputs: List[str] = field(default_factory=list)
+    primary_outputs: List[str] = field(default_factory=list)
+    gates: List[Gate] = field(default_factory=list)
+    _drivers: Dict[str, str] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def add_input(self, name: str) -> str:
+        """Declare a primary input net and return its name."""
+        if name in self._drivers:
+            raise NetlistError(f"net {name!r} already driven by {self._drivers[name]!r}")
+        if name in self.primary_inputs:
+            raise NetlistError(f"duplicate primary input {name!r}")
+        self.primary_inputs.append(name)
+        self._drivers[name] = "<input>"
+        return name
+
+    def add_gate(
+        self,
+        cell_type: CellType,
+        inputs: Sequence[str],
+        output: str,
+        name: Optional[str] = None,
+    ) -> Gate:
+        """Instantiate a gate driving net ``output`` from ``inputs``."""
+        if output in self._drivers:
+            raise NetlistError(
+                f"net {output!r} already driven by {self._drivers[output]!r}"
+            )
+        gate_name = name if name is not None else f"g{len(self.gates)}_{cell_type.value}"
+        gate = Gate(gate_name, cell_type, tuple(inputs), output)
+        self.gates.append(gate)
+        self._drivers[output] = gate_name
+        return gate
+
+    def mark_output(self, name: str) -> str:
+        """Declare net ``name`` as a primary output."""
+        if name in self.primary_outputs:
+            raise NetlistError(f"duplicate primary output {name!r}")
+        self.primary_outputs.append(name)
+        return name
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def nets(self) -> List[str]:
+        """All net names, inputs first, then gate outputs in gate order."""
+        seen = dict.fromkeys(self.primary_inputs)
+        for gate in self.gates:
+            seen.setdefault(gate.output, None)
+            for net in gate.inputs:
+                seen.setdefault(net, None)
+        return list(seen)
+
+    def driver_of(self, net: str) -> Optional[Gate]:
+        """Return the gate driving ``net``, or None for primary inputs."""
+        for gate in self.gates:
+            if gate.output == net:
+                return gate
+        return None
+
+    def fanout(self, net: str) -> List[Tuple[Gate, int]]:
+        """Return (gate, pin_index) pairs reading ``net``."""
+        readers: List[Tuple[Gate, int]] = []
+        for gate in self.gates:
+            for pin, source in enumerate(gate.inputs):
+                if source == net:
+                    readers.append((gate, pin))
+        return readers
+
+    def fanout_count(self, net: str) -> int:
+        """Number of gate input pins reading ``net`` (PO counts as 0)."""
+        return sum(1 for gate in self.gates for source in gate.inputs if source == net)
+
+    # ------------------------------------------------------------------
+    # Validation / ordering
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`NetlistError` on structural problems."""
+        driven = set(self.primary_inputs) | {g.output for g in self.gates}
+        for gate in self.gates:
+            for net in gate.inputs:
+                if net not in driven:
+                    raise NetlistError(
+                        f"gate {gate.name!r} reads undriven net {net!r}"
+                    )
+        for net in self.primary_outputs:
+            if net not in driven:
+                raise NetlistError(f"primary output {net!r} is undriven")
+        self.topological_gates()  # raises on combinational cycles
+
+    def topological_gates(self) -> List[Gate]:
+        """Return gates sorted so every gate follows its input drivers.
+
+        Raises :class:`NetlistError` if the netlist has a combinational
+        cycle.
+        """
+        producer: Dict[str, Gate] = {g.output: g for g in self.gates}
+        order: List[Gate] = []
+        state: Dict[str, int] = {}  # 0 unvisited, 1 visiting, 2 done
+
+        def visit(gate: Gate) -> None:
+            mark = state.get(gate.name, 0)
+            if mark == 2:
+                return
+            if mark == 1:
+                raise NetlistError(f"combinational cycle through gate {gate.name!r}")
+            state[gate.name] = 1
+            for net in gate.inputs:
+                upstream = producer.get(net)
+                if upstream is not None:
+                    visit(upstream)
+            state[gate.name] = 2
+            order.append(gate)
+
+        for gate in self.gates:
+            visit(gate)
+        return order
+
+    def stats(self) -> Dict[str, int]:
+        """Simple size statistics (gate count per type, net count)."""
+        counts: Dict[str, int] = {}
+        for gate in self.gates:
+            counts[gate.cell_type.value] = counts.get(gate.cell_type.value, 0) + 1
+        counts["gates"] = len(self.gates)
+        counts["nets"] = len(self.nets)
+        counts["inputs"] = len(self.primary_inputs)
+        counts["outputs"] = len(self.primary_outputs)
+        return counts
+
+
+def merge_netlists(name: str, parts: Iterable[Netlist], prefix: bool = True) -> Netlist:
+    """Flatten several netlists into one, prefixing names to avoid clashes.
+
+    Nets with identical names across parts are *not* connected; use
+    explicit stitching (build composite circuits via the builder API
+    instead) -- this helper exists for size accounting and emission of
+    multi-unit designs.
+    """
+    merged = Netlist(name)
+    for part in parts:
+        pre = f"{part.name}__" if prefix else ""
+        for net in part.primary_inputs:
+            merged.add_input(pre + net)
+        for gate in part.gates:
+            merged.add_gate(
+                gate.cell_type,
+                [pre + n for n in gate.inputs],
+                pre + gate.output,
+                name=pre + gate.name,
+            )
+        for net in part.primary_outputs:
+            merged.mark_output(pre + net)
+    return merged

@@ -1,0 +1,27 @@
+"""Generators for the paper's figures and HDL artefacts.
+
+* :mod:`repro.hdlgen.sck_class` -- emits the SystemC-Plus ``SCK`` class
+  template: the interface of Figure 1 and the self-checking
+  ``operator+`` of Figure 2, for any technique in the registry;
+* :mod:`repro.hdlgen.flow_diagram` -- the reliable co-design flow of
+  Figure 3 as ASCII/Graphviz;
+* :mod:`repro.hdlgen.testarch` -- the Section 4.1 fault-injection test
+  architecture as structural VHDL;
+* :mod:`repro.hdlgen.datapath` -- a self-checking RTL datapath emitted
+  from a scheduled and bound dataflow graph.
+"""
+
+from repro.hdlgen.sck_class import emit_sck_interface, emit_sck_operator, emit_sck_class
+from repro.hdlgen.flow_diagram import emit_flow_ascii, emit_flow_dot
+from repro.hdlgen.testarch import emit_test_architecture
+from repro.hdlgen.datapath import emit_datapath_rtl
+
+__all__ = [
+    "emit_sck_interface",
+    "emit_sck_operator",
+    "emit_sck_class",
+    "emit_flow_ascii",
+    "emit_flow_dot",
+    "emit_test_architecture",
+    "emit_datapath_rtl",
+]

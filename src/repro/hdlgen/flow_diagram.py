@@ -1,0 +1,73 @@
+"""The reliable co-design flow diagram (Figure 3).
+
+The paper's Figure 3 shows the tool pipeline: a SystemC-Plus
+self-checking specification feeding the OFFIS synthesiser, which forks
+into a hardware branch (Synopsys CoCentric behavioural synthesis) and a
+software branch (g++).  This module renders the same flow -- with this
+repository's substitutions annotated -- as ASCII art and as Graphviz
+dot, so the figure regenerates from code.
+"""
+
+from __future__ import annotations
+
+STAGES = (
+    ("spec", "Self-checking specification", "SystemC-Plus SCK<TYPE>", "repro.core.SCK / repro.codesign.dfg"),
+    ("synth", "SystemC-Plus synthesiser", "OFFIS (SystemC-Plus -> SystemC)", "repro.codesign.sck_transform"),
+    ("hw", "Behavioural HW synthesis", "Synopsys CoCentric -> Xilinx CLBs", "repro.codesign scheduling/area/timing"),
+    ("sw", "SW compilation", "g++ on host processor", "repro.vm compiler/optimizer/machine"),
+    ("eval", "Cost/performance evaluation", "Table 3", "repro.codesign.report"),
+)
+
+
+def emit_flow_ascii() -> str:
+    """Figure 3 as ASCII art, annotated with this repo's substitutes."""
+    lines = [
+        "+------------------------------------------------------------+",
+        "|  Self-checking specification (SystemC-Plus, SCK<TYPE>)      |",
+        "|      here: repro.core.SCK / repro.codesign.dfg              |",
+        "+------------------------------+-------------------------------+",
+        "                               |",
+        "                               v",
+        "+------------------------------------------------------------+",
+        "|  SystemC-Plus synthesiser (OFFIS)                            |",
+        "|      here: repro.codesign.sck_transform enrichment passes   |",
+        "+---------------+----------------------------+-----------------+",
+        "                |                            |",
+        "        hardware branch               software branch",
+        "                |                            |",
+        "                v                            v",
+        "+-------------------------------+  +--------------------------+",
+        "|  Behavioural synthesis        |  |  g++ compilation          |",
+        "|  (Synopsys CoCentric -> CLBs) |  |  here: repro.vm compiler/ |",
+        "|  here: repro.codesign         |  |  optimizer on the mono-   |",
+        "|  scheduling/allocation/area   |  |  processor VM             |",
+        "+---------------+---------------+  +------------+-------------+",
+        "                |                               |",
+        "                +---------------+---------------+",
+        "                                v",
+        "+------------------------------------------------------------+",
+        "|  Cost / performance / coverage evaluation  (Table 3)        |",
+        "|      here: repro.codesign.report, repro.coverage.report     |",
+        "+------------------------------------------------------------+",
+    ]
+    return "\n".join(lines)
+
+
+def emit_flow_dot() -> str:
+    """Figure 3 as a Graphviz digraph."""
+    lines = [
+        "digraph reliable_codesign_flow {",
+        '  rankdir=TB; node [shape=box, fontname="Helvetica"];',
+    ]
+    for key, title, paper_tool, repro_tool in STAGES:
+        label = f"{title}\\n(paper: {paper_tool})\\n(here: {repro_tool})"
+        lines.append(f'  {key} [label="{label}"];')
+    lines += [
+        "  spec -> synth;",
+        '  synth -> hw [label="hardware"];',
+        '  synth -> sw [label="software"];',
+        "  hw -> eval;",
+        "  sw -> eval;",
+        "}",
+    ]
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,154 @@
+"""SystemC-Plus ``SCK`` class template emitter (Figures 1 and 2).
+
+The paper presents the self-checking class as C++ source: Figure 1 the
+interface (error bit ``E``, internal data ``ID``, accessors, operator
+prototypes), Figure 2 the self-checking ``operator+`` body.  This module
+regenerates that source text for any operator/technique combination in
+the registry, so the figures -- and the whole "extensible reliability
+library" of checker variants -- are reproducible artefacts rather than
+screenshots.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.techniques import available_techniques
+from repro.errors import ReproError
+
+_OP_SYMBOL = {"add": "+", "sub": "-", "mul": "*", "div": "/", "mod": "%"}
+
+_CHECK_BODY = {
+    ("add", "tech1"): [
+        "TYPE chk = ris.ID - op1.ID;   // hidden inverse operation",
+        "err = err || (chk != op2.ID);",
+    ],
+    ("add", "tech2"): [
+        "TYPE chk = ris.ID - op2.ID;   // hidden inverse operation",
+        "err = err || (chk != op1.ID);",
+    ],
+    ("add", "both"): [
+        "TYPE chk1 = ris.ID - op1.ID;  // hidden inverse operations",
+        "TYPE chk2 = ris.ID - op2.ID;",
+        "err = err || (chk1 != op2.ID) || (chk2 != op1.ID);",
+    ],
+    ("sub", "tech1"): [
+        "TYPE chk = ris.ID + op2.ID;   // hidden inverse operation",
+        "err = err || (chk != op1.ID);",
+    ],
+    ("sub", "tech2"): [
+        "TYPE chk = op2.ID - op1.ID;   // reversed difference",
+        "err = err || ((ris.ID + chk) != 0);",
+    ],
+    ("sub", "both"): [
+        "TYPE chk1 = ris.ID + op2.ID;",
+        "TYPE chk2 = op2.ID - op1.ID;",
+        "err = err || (chk1 != op1.ID) || ((ris.ID + chk2) != 0);",
+    ],
+    ("mul", "tech1"): [
+        "TYPE chk = (-op1.ID) * op2.ID;  // hidden dual product",
+        "err = err || ((ris.ID + chk) != 0);",
+    ],
+    ("mul", "tech2"): [
+        "TYPE chk = op1.ID * (-op2.ID);  // hidden dual product",
+        "err = err || ((ris.ID + chk) != 0);",
+    ],
+    ("mul", "both"): [
+        "TYPE chk1 = (-op1.ID) * op2.ID;",
+        "TYPE chk2 = op1.ID * (-op2.ID);",
+        "err = err || ((ris.ID + chk1) != 0) || ((ris.ID + chk2) != 0);",
+    ],
+    ("div", "tech1"): [
+        "TYPE rem = op1.ID % op2.ID;     // remainder correction",
+        "TYPE chk = ris.ID * op2.ID + rem;",
+        "err = err || (chk != op1.ID);",
+    ],
+    ("div", "tech2"): [
+        "TYPE rem = op1.ID % op2.ID;     // remainder correction",
+        "TYPE chk = ris.ID * op2.ID + rem;",
+        "err = err || (chk != op1.ID) || (rem < 0 ? -rem : rem) >= (op2.ID < 0 ? -op2.ID : op2.ID);",
+    ],
+}
+
+
+def emit_sck_interface(operators: Iterable[str] = ("add",)) -> str:
+    """The ``SCK`` interface, as in Figure 1 (error bit + accessors).
+
+    ``operators`` selects which operator prototypes are listed; the
+    paper's figure limits itself to ``=`` and ``+`` "for clarity".
+    """
+    prototype_lines = []
+    for operator in operators:
+        symbol = _OP_SYMBOL.get(operator)
+        if symbol is None:
+            raise ReproError(f"no C++ symbol for operator {operator!r}")
+        prototype_lines.append(
+            f"    SCK<TYPE> operator{symbol}(const SCK<TYPE> &op2) const;"
+        )
+    prototypes = "\n".join(prototype_lines)
+    return f"""template <class TYPE>
+class SCK
+{{
+  private:
+    TYPE ID;    // internal data
+    bool E;     // error bit
+
+  public:
+    SCK() {{}}                       // empty constructor (synthesis)
+    SCK(TYPE v) : ID(v), E(false) {{}}
+
+    TYPE GetID() const   {{ return ID; }}
+    bool GetError() const {{ return E; }}
+
+    SCK<TYPE> &operator=(const SCK<TYPE> &src);
+{prototypes}
+}};
+"""
+
+
+def emit_sck_operator(operator: str = "add", technique: str = "tech1") -> str:
+    """A self-checking operator body, as in Figure 2 for ``+``/tech1."""
+    symbol = _OP_SYMBOL.get(operator)
+    if symbol is None:
+        raise ReproError(f"no C++ symbol for operator {operator!r}")
+    try:
+        body = _CHECK_BODY[(operator, technique)]
+    except KeyError:
+        raise ReproError(
+            f"no emitter for operator {operator!r} technique {technique!r}"
+        ) from None
+    check = "\n".join(f"    {line}" for line in body)
+    return f"""template <class TYPE>
+SCK<TYPE> SCK<TYPE>::operator{symbol}(const SCK<TYPE> &op2) const
+{{
+    const SCK<TYPE> &op1 = *this;
+    SCK<TYPE> ris;
+    bool err = op1.E || op2.E;        // error propagation
+    ris.ID = op1.ID {symbol} op2.ID;  // nominal operation
+{check}
+    ris.E = err;
+    return ris;
+}}
+"""
+
+
+def emit_sck_class(
+    operators: Iterable[str] = ("add", "sub", "mul", "div"),
+    technique: str = "tech1",
+    techniques: Optional[dict] = None,
+) -> str:
+    """The complete class: interface plus every operator body.
+
+    ``techniques`` may override the technique per operator, mirroring
+    the checker library's trade-off selection.
+    """
+    operators = list(operators)
+    parts = [emit_sck_interface(operators)]
+    for operator in operators:
+        chosen = (techniques or {}).get(operator, technique)
+        if chosen not in available_techniques(operator):
+            raise ReproError(
+                f"technique {chosen!r} is not available for {operator!r}"
+            )
+        parts.append(emit_sck_operator(operator, chosen))
+    return "\n".join(parts)

@@ -1,0 +1,40 @@
+"""Monoprocessor virtual machine -- the software execution substrate.
+
+The paper's software implementation runs the SCK-enriched specification
+on a single processor, where the nominal operation and its hidden check
+necessarily share the one ALU (the worst case of Section 2.1).  This VM
+reproduces that setting deterministically:
+
+* :mod:`repro.vm.isa` -- the register instruction set with its cycle and
+  byte cost tables;
+* :mod:`repro.vm.program` -- programs, labels, and an assembler-style
+  builder;
+* :mod:`repro.vm.machine` -- the interpreter; its arithmetic routes
+  through a :class:`~repro.arch.alu.FaultableALU` so injected hardware
+  faults corrupt software results exactly as on the cell-level units;
+* :mod:`repro.vm.compiler` -- compiles a dataflow graph (one loop body)
+  into a sample-processing loop;
+* :mod:`repro.vm.optimizer` -- value-numbering optimiser used to verify
+  the paper's claim that redundant checking operations are *not*
+  simplified away (they feed the live-out error flag); an optional
+  algebraic mode shows what an over-aggressive compiler would destroy.
+"""
+
+from repro.vm.isa import CYCLE_COST, INSTRUCTION_BYTES, Instruction, Opcode
+from repro.vm.program import Program, ProgramBuilder
+from repro.vm.machine import ExecutionResult, Machine
+from repro.vm.compiler import compile_dfg
+from repro.vm.optimizer import optimize
+
+__all__ = [
+    "Opcode",
+    "Instruction",
+    "CYCLE_COST",
+    "INSTRUCTION_BYTES",
+    "Program",
+    "ProgramBuilder",
+    "Machine",
+    "ExecutionResult",
+    "compile_dfg",
+    "optimize",
+]

@@ -1,0 +1,202 @@
+"""Dataflow-graph to VM compiler.
+
+Compiles one DFG (the per-sample loop body) into a program that
+processes ``n`` samples::
+
+    for k in 0..n-1:
+        load every DFG input i from mem[input_base[i] + k]
+        evaluate the body
+        store every DFG output o to mem[output_base[o] + k]
+
+The error output of an SCK-enriched graph is OR-accumulated across
+samples in a dedicated register and stored once at ``ERROR_FLAG_ADDR``
+after the loop -- the software error indication of the paper.
+
+Register conventions: r0 = loop counter, r1 = sample count, r2 = spill
+scratch, r3 = accumulated error flag, r4.. = allocatable.  Node values
+live in registers with last-use freeing; exhausted pressure spills to a
+per-node frame slot, so arbitrarily large bodies compile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.codesign.dfg import DataflowGraph, Node
+from repro.errors import CompilationError
+from repro.vm.isa import NUM_REGISTERS, Opcode
+from repro.vm.program import Program, ProgramBuilder
+
+#: Memory layout constants.
+ERROR_FLAG_ADDR = 0
+FRAME_BASE = 64
+STREAM_STRIDE = 4096
+
+REG_LOOP = 0
+REG_COUNT = 1
+REG_SCRATCH = 2
+REG_ERROR = 3
+FIRST_ALLOCATABLE = 4
+
+
+@dataclass
+class MemoryMap:
+    """Addresses of the input/output streams and the spill frame."""
+
+    input_base: Dict[str, int] = field(default_factory=dict)
+    output_base: Dict[str, int] = field(default_factory=dict)
+    frame_base: int = FRAME_BASE
+
+    def stream_for_input(self, name: str) -> int:
+        return self.input_base[name]
+
+    def stream_for_output(self, name: str) -> int:
+        return self.output_base[name]
+
+
+def default_memory_map(graph: DataflowGraph) -> MemoryMap:
+    """Lay streams out at fixed strides, inputs first."""
+    memory_map = MemoryMap()
+    base = STREAM_STRIDE
+    for node in graph.inputs:
+        memory_map.input_base[node.name] = base
+        base += STREAM_STRIDE
+    for node in graph.outputs:
+        memory_map.output_base[node.name] = base
+        base += STREAM_STRIDE
+    return memory_map
+
+
+class _RegisterFile:
+    """Greedy register allocator with spill-to-frame fallback."""
+
+    def __init__(self, builder: ProgramBuilder, frame_base: int) -> None:
+        self.builder = builder
+        self.frame_base = frame_base
+        self.free = list(range(FIRST_ALLOCATABLE, NUM_REGISTERS))
+        self.loc: Dict[str, Tuple[str, int]] = {}  # name -> ("reg"/"frame", where)
+        self.frame_slots: Dict[str, int] = {}
+        self.next_slot = 0
+        self.reg_owner: Dict[int, str] = {}
+
+    def _frame_slot(self, name: str) -> int:
+        if name not in self.frame_slots:
+            self.frame_slots[name] = self.frame_base + self.next_slot
+            self.next_slot += 1
+        return self.frame_slots[name]
+
+    def allocate(self, name: str) -> int:
+        """A register to hold the value of ``name`` (spilling if needed)."""
+        if not self.free:
+            # Spill the oldest register-resident value.
+            victim_reg, victim_name = next(iter(self.reg_owner.items()))
+            slot = self._frame_slot(victim_name)
+            self.builder.ldi(REG_SCRATCH, 0)
+            self.builder.st(REG_SCRATCH, victim_reg, offset=slot)
+            self.loc[victim_name] = ("frame", slot)
+            del self.reg_owner[victim_reg]
+            self.free.append(victim_reg)
+        reg = self.free.pop(0)
+        self.loc[name] = ("reg", reg)
+        self.reg_owner[reg] = name
+        return reg
+
+    def read(self, name: str) -> int:
+        """Register currently holding ``name`` (reloading a spill)."""
+        kind, where = self.loc[name]
+        if kind == "reg":
+            return where
+        reg = self.allocate(name)
+        self.builder.ldi(REG_SCRATCH, 0)
+        self.builder.ld(reg, REG_SCRATCH, offset=where)
+        return reg
+
+    def release(self, name: str) -> None:
+        """Free the storage of ``name`` after its last use."""
+        kind, where = self.loc.pop(name, (None, None))
+        if kind == "reg":
+            self.reg_owner.pop(where, None)
+            self.free.append(where)
+
+
+def compile_dfg(
+    graph: DataflowGraph,
+    samples: int,
+    memory_map: Optional[MemoryMap] = None,
+    uses_sck_template: Optional[bool] = None,
+) -> Tuple[Program, MemoryMap]:
+    """Compile ``graph`` into a ``samples``-iteration stream program."""
+    if samples < 1:
+        raise CompilationError(f"sample count must be >= 1, got {samples}")
+    graph.validate()
+    memory_map = memory_map or default_memory_map(graph)
+    if uses_sck_template is None:
+        uses_sck_template = any(n.role == "check" for n in graph.nodes)
+    builder = ProgramBuilder(graph.name, uses_sck_template=uses_sck_template)
+    regs = _RegisterFile(builder, memory_map.frame_base)
+
+    # Prologue.
+    builder.ldi(REG_LOOP, 0)
+    builder.ldi(REG_COUNT, samples)
+    builder.ldi(REG_ERROR, 0)
+    builder.label("loop")
+
+    last_use: Dict[str, str] = {}
+    for node in graph.nodes:
+        for arg in node.args:
+            last_use[arg] = node.name
+
+    const_regs: Dict[str, int] = {}
+    for node in graph.nodes:
+        if node.op == "input":
+            reg = regs.allocate(node.name)
+            builder.ld(reg, REG_LOOP, offset=memory_map.stream_for_input(node.name))
+        elif node.op == "const":
+            reg = regs.allocate(node.name)
+            builder.ldi(reg, node.value)
+            const_regs[node.name] = reg
+        elif node.op == "output":
+            source = regs.read(node.args[0])
+            if node.role == "error":
+                builder.or_(REG_ERROR, REG_ERROR, source)
+            else:
+                builder.st(REG_LOOP, source, offset=memory_map.stream_for_output(node.name))
+            if last_use.get(node.args[0]) == node.name:
+                regs.release(node.args[0])
+        else:
+            arg_regs = [regs.read(arg) for arg in node.args]
+            for arg in node.args:
+                if last_use.get(arg) == node.name and graph.node(arg).op != "const":
+                    regs.release(arg)
+            rd = regs.allocate(node.name)
+            emit = {
+                "add": builder.add,
+                "sub": builder.sub,
+                "mul": builder.mul,
+                "div": builder.div,
+                "mod": builder.mod,
+                "or": builder.or_,
+                "cmpne": builder.cmpne,
+            }
+            if node.op == "neg":
+                builder.neg(rd, arg_regs[0])
+            else:
+                emit[node.op](rd, *arg_regs)
+    # Release any constants at loop end (they are re-materialised per
+    # iteration; cheap and keeps the allocator simple).
+    for name in list(regs.loc):
+        regs.release(name)
+
+    # Loop control runs on the address/loop unit (INC), not the
+    # faultable ALU: the fault model targets the data-path functional
+    # units, and a corrupted loop counter would conflate control-flow
+    # failure with data errors in campaigns.
+    builder.inc(REG_LOOP)
+    builder.blt(REG_LOOP, REG_COUNT, "loop")
+
+    # Epilogue: publish the accumulated error flag.
+    builder.ldi(REG_SCRATCH, 0)
+    builder.st(REG_SCRATCH, REG_ERROR, offset=ERROR_FLAG_ADDR)
+    builder.halt()
+    return builder.build(), memory_map

@@ -1,0 +1,129 @@
+"""Instruction set of the monoprocessor VM.
+
+A small load/store register machine: 32 general-purpose registers, a
+flat word-addressed data memory, absolute branches.  The cost tables
+give per-instruction cycles (a simple in-order scalar pipeline) and
+encoded bytes (fixed 4-byte words, like the RISC cores the paper's
+software target resembles); the software estimate of Table 3 derives
+execution time and code size from them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import CompilationError
+
+NUM_REGISTERS = 32
+
+
+class Opcode(str, enum.Enum):
+    """VM opcodes."""
+
+    LDI = "ldi"      # rd <- imm
+    MOV = "mov"      # rd <- ra
+    LD = "ld"        # rd <- mem[ra + offset]
+    ST = "st"        # mem[ra + offset] <- rb
+    ADD = "add"      # rd <- ra + rb   (ALU, faultable)
+    SUB = "sub"      # rd <- ra - rb   (ALU, faultable)
+    NEG = "neg"      # rd <- -ra       (ALU, faultable)
+    MUL = "mul"      # rd <- ra * rb   (multiplier, faultable)
+    DIV = "div"      # rd <- ra / rb   (divider, faultable)
+    MOD = "mod"      # rd <- ra % rb   (divider, faultable)
+    CMPNE = "cmpne"  # rd <- (ra != rb)  (comparator, not faultable)
+    OR = "or"        # rd <- ra | rb     (flag logic, not faultable)
+    AND = "and"      # rd <- ra & rb
+    XOR = "xor"      # rd <- ra ^ rb
+    BEQ = "beq"      # if ra == rb: pc <- label
+    BNE = "bne"      # if ra != rb: pc <- label
+    BLT = "blt"      # if ra < rb: pc <- label
+    JMP = "jmp"      # pc <- label
+    INC = "inc"      # rd <- rd + 1  (address/loop unit, not faultable)
+    HALT = "halt"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Cycles per instruction (scalar in-order core; memory 2 cycles,
+#: multiply 3, divide 12 -- typical embedded-RISC figures).
+CYCLE_COST: Dict[Opcode, int] = {
+    Opcode.LDI: 1,
+    Opcode.MOV: 1,
+    Opcode.LD: 2,
+    Opcode.ST: 2,
+    Opcode.ADD: 1,
+    Opcode.SUB: 1,
+    Opcode.NEG: 1,
+    Opcode.MUL: 3,
+    Opcode.DIV: 12,
+    Opcode.MOD: 12,
+    Opcode.CMPNE: 1,
+    Opcode.OR: 1,
+    Opcode.AND: 1,
+    Opcode.XOR: 1,
+    Opcode.BEQ: 2,
+    Opcode.BNE: 2,
+    Opcode.BLT: 2,
+    Opcode.JMP: 2,
+    Opcode.INC: 1,
+    Opcode.HALT: 1,
+}
+
+#: Encoded size of every instruction (fixed-width ISA).
+INSTRUCTION_BYTES = 4
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    Register fields are small ints; ``imm`` doubles as the memory
+    offset of LD/ST and the target label of branches (resolved to an
+    instruction index by the assembler).
+    """
+
+    opcode: Opcode
+    rd: Optional[int] = None
+    ra: Optional[int] = None
+    rb: Optional[int] = None
+    imm: Optional[int] = None
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        for reg in (self.rd, self.ra, self.rb):
+            if reg is not None and not (0 <= reg < NUM_REGISTERS):
+                raise CompilationError(
+                    f"register r{reg} out of range in {self.opcode}"
+                )
+
+    @property
+    def cycles(self) -> int:
+        return CYCLE_COST[self.opcode]
+
+    def render(self) -> str:
+        parts = [self.opcode.value]
+        if self.rd is not None:
+            parts.append(f"r{self.rd}")
+        if self.ra is not None:
+            parts.append(f"r{self.ra}")
+        if self.rb is not None:
+            parts.append(f"r{self.rb}")
+        if self.label is not None:
+            parts.append(self.label)
+        elif self.imm is not None:
+            parts.append(str(self.imm))
+        return " ".join(parts)
+
+
+#: Opcodes whose results route through the faultable datapath units.
+FAULTABLE_OPCODES = (
+    Opcode.ADD,
+    Opcode.SUB,
+    Opcode.NEG,
+    Opcode.MUL,
+    Opcode.DIV,
+    Opcode.MOD,
+)

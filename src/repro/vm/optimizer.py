@@ -1,0 +1,305 @@
+"""Value-numbering optimiser for VM programs.
+
+Purpose: test the paper's Section 5.1 claim that the redundant checking
+operations introduced by operator overloading are *not* "simplified" by
+the compiler ("Both code size and execution times remain almost
+unmodified").  The default pipeline performs the classical, safe
+optimisations a production compiler applies:
+
+* local common-subexpression elimination (value numbering per basic
+  block);
+* global dead-code elimination (liveness fixpoint across blocks;
+  stores, branches and HALT are roots).
+
+Under these, SCK check instructions survive -- their comparator outputs
+feed the error flag, which is stored (live-out).  The optional
+``algebraic=True`` mode adds identity folding (``(a+b)-a -> b``,
+``x + (-x) -> 0``...), modelling an over-aggressive compiler: it
+nullifies the checks, and the ablation benchmark shows exactly how much
+detection capability that destroys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.vm.isa import Instruction, Opcode
+from repro.vm.program import Program
+
+#: Pure (side-effect-free, register-to-register) opcodes eligible for
+#: value numbering.
+_PURE = {
+    Opcode.LDI,
+    Opcode.MOV,
+    Opcode.ADD,
+    Opcode.SUB,
+    Opcode.NEG,
+    Opcode.MUL,
+    Opcode.DIV,
+    Opcode.MOD,
+    Opcode.CMPNE,
+    Opcode.OR,
+    Opcode.AND,
+    Opcode.XOR,
+}
+
+_COMMUTATIVE = {Opcode.ADD, Opcode.MUL, Opcode.OR, Opcode.AND, Opcode.XOR, Opcode.CMPNE}
+
+
+def _block_boundaries(program: Program) -> List[int]:
+    """Instruction indices starting a basic block."""
+    starts: Set[int] = {0}
+    for index, ins in enumerate(program.instructions):
+        if ins.label is not None:
+            starts.add(program.resolve(ins.label))
+            starts.add(index + 1)
+        if ins.opcode in (Opcode.JMP, Opcode.HALT):
+            starts.add(index + 1)
+    for index in program.labels.values():
+        starts.add(index)
+    return sorted(s for s in starts if s < len(program.instructions))
+
+
+@dataclass
+class _ValueTable:
+    """Value numbering state within one basic block."""
+
+    next_vn: int = 0
+    reg_vn: Dict[int, int] = field(default_factory=dict)
+    expr_vn: Dict[Tuple, int] = field(default_factory=dict)
+    vn_home: Dict[int, int] = field(default_factory=dict)  # vn -> register
+    vn_const: Dict[int, int] = field(default_factory=dict)
+    vn_expr: Dict[int, Tuple] = field(default_factory=dict)
+
+    def fresh(self) -> int:
+        self.next_vn += 1
+        return self.next_vn
+
+    def vn_of(self, reg: int) -> int:
+        if reg not in self.reg_vn:
+            vn = self.fresh()
+            self.reg_vn[reg] = vn
+            self.vn_home.setdefault(vn, reg)
+        return self.reg_vn[reg]
+
+    def define(self, reg: int, vn: int) -> None:
+        # Any vn whose home was this register loses its home.
+        for known, home in list(self.vn_home.items()):
+            if home == reg and known != vn:
+                del self.vn_home[known]
+        self.reg_vn[reg] = vn
+        self.vn_home.setdefault(vn, reg)
+
+
+def _algebraic_fold(table: _ValueTable, ins: Instruction) -> Optional[Tuple]:
+    """Return a replacement ("vn", vn) or ("const", value), or None.
+
+    Implements the identities that would nullify inverse-operation
+    checks: ``(a+b)-a -> b``, ``(a-b)+b -> a``, ``a + (-a) -> 0``,
+    ``neg(neg(a)) -> a``, ``x - x -> 0``, ``cmpne(x, x) -> 0``.
+    """
+    if ins.opcode in (Opcode.SUB, Opcode.CMPNE) and ins.ra is not None:
+        va, vb = table.vn_of(ins.ra), table.vn_of(ins.rb)
+        if va == vb:
+            return ("const", 0)
+    if ins.opcode is Opcode.SUB:
+        va, vb = table.vn_of(ins.ra), table.vn_of(ins.rb)
+        expr = table.vn_expr.get(va)
+        if expr and expr[0] is Opcode.ADD:
+            _, x, y = expr
+            if x == vb:
+                return ("vn", y)
+            if y == vb:
+                return ("vn", x)
+    if ins.opcode is Opcode.ADD:
+        va, vb = table.vn_of(ins.ra), table.vn_of(ins.rb)
+        for first, second in ((va, vb), (vb, va)):
+            expr = table.vn_expr.get(first)
+            if expr and expr[0] is Opcode.SUB and expr[2] == second:
+                return ("vn", expr[1])
+            if expr and expr[0] is Opcode.NEG and expr[1] == second:
+                return ("const", 0)
+    if ins.opcode is Opcode.NEG:
+        va = table.vn_of(ins.ra)
+        expr = table.vn_expr.get(va)
+        if expr and expr[0] is Opcode.NEG:
+            return ("vn", expr[1])
+    return None
+
+
+def _value_number_block(
+    instructions: List[Instruction], algebraic: bool
+) -> List[Instruction]:
+    """CSE (and optional algebraic folding) within one block."""
+    table = _ValueTable()
+    out: List[Instruction] = []
+    for ins in instructions:
+        if ins.opcode not in _PURE:
+            out.append(ins)
+            if ins.opcode is Opcode.LD:
+                table.define(ins.rd, table.fresh())
+            elif ins.opcode is Opcode.INC and ins.rd is not None:
+                table.define(ins.rd, table.fresh())
+            continue
+        if ins.opcode is Opcode.LDI:
+            key = ("const", ins.imm)
+        elif ins.opcode is Opcode.MOV:
+            key = ("vn", table.vn_of(ins.ra))
+        elif ins.opcode is Opcode.NEG:
+            key = (Opcode.NEG, table.vn_of(ins.ra))
+        else:
+            va, vb = table.vn_of(ins.ra), table.vn_of(ins.rb)
+            if ins.opcode in _COMMUTATIVE and vb < va:
+                va, vb = vb, va
+            key = (ins.opcode, va, vb)
+
+        if algebraic:
+            folded = _algebraic_fold(table, ins)
+            if folded is not None:
+                kind, payload = folded
+                if kind == "const":
+                    out.append(Instruction(Opcode.LDI, rd=ins.rd, imm=payload))
+                    vn = table.expr_vn.setdefault(("const", payload), table.fresh())
+                    table.vn_const[vn] = payload
+                    table.define(ins.rd, vn)
+                    continue
+                vn = payload
+                home = table.vn_home.get(vn)
+                if home is not None:
+                    if home != ins.rd:
+                        out.append(Instruction(Opcode.MOV, rd=ins.rd, ra=home))
+                    table.define(ins.rd, vn)
+                    continue
+
+        if key in table.expr_vn:
+            vn = table.expr_vn[key]
+            home = table.vn_home.get(vn)
+            if home is not None:
+                if home != ins.rd:
+                    out.append(Instruction(Opcode.MOV, rd=ins.rd, ra=home))
+                table.define(ins.rd, vn)
+                continue
+        vn = table.expr_vn.setdefault(key, table.fresh())
+        if ins.opcode is Opcode.LDI:
+            table.vn_const[vn] = ins.imm
+        table.vn_expr[vn] = key if key[0] in _PURE or key[0] is Opcode.NEG else None
+        out.append(ins)
+        table.define(ins.rd, vn)
+    return out
+
+
+def _global_dce(program: Program) -> Program:
+    """Remove pure instructions whose destinations are never used."""
+    instructions = program.instructions
+    n = len(instructions)
+    starts = _block_boundaries(program)
+    block_of: Dict[int, int] = {}
+    for b, begin in enumerate(starts):
+        end = starts[b + 1] if b + 1 < len(starts) else n
+        for i in range(begin, end):
+            block_of[i] = b
+
+    def successors(b: int) -> List[int]:
+        begin = starts[b]
+        end = starts[b + 1] if b + 1 < len(starts) else n
+        if end == begin:
+            return []
+        last = instructions[end - 1]
+        succ: List[int] = []
+        if last.opcode is Opcode.HALT:
+            return []
+        if last.opcode is Opcode.JMP:
+            return [block_of[program.resolve(last.label)]]
+        if last.opcode in (Opcode.BEQ, Opcode.BNE, Opcode.BLT):
+            succ.append(block_of[program.resolve(last.label)])
+        if end < n:
+            succ.append(block_of[end])
+        return succ
+
+    # Liveness fixpoint over registers.
+    live_in: List[Set[int]] = [set() for _ in starts]
+    changed = True
+    while changed:
+        changed = False
+        for b in range(len(starts) - 1, -1, -1):
+            begin = starts[b]
+            end = starts[b + 1] if b + 1 < len(starts) else n
+            live: Set[int] = set()
+            for s in successors(b):
+                live |= live_in[s]
+            for i in range(end - 1, begin - 1, -1):
+                ins = instructions[i]
+                if ins.opcode in _PURE or ins.opcode is Opcode.LD:
+                    live.discard(ins.rd)
+                elif ins.opcode is Opcode.INC:
+                    live.add(ins.rd)
+                for reg in (ins.ra, ins.rb):
+                    if reg is not None:
+                        live.add(reg)
+            if live != live_in[b]:
+                live_in[b] = live
+                changed = True
+
+    keep = [True] * n
+    for b in range(len(starts)):
+        begin = starts[b]
+        end = starts[b + 1] if b + 1 < len(starts) else n
+        live: Set[int] = set()
+        for s in successors(b):
+            live |= live_in[s]
+        for i in range(end - 1, begin - 1, -1):
+            ins = instructions[i]
+            if (ins.opcode in _PURE or ins.opcode is Opcode.LD) and ins.rd not in live:
+                keep[i] = False
+                continue
+            if ins.opcode in _PURE or ins.opcode is Opcode.LD:
+                live.discard(ins.rd)
+            elif ins.opcode is Opcode.INC:
+                live.add(ins.rd)
+            for reg in (ins.ra, ins.rb):
+                if reg is not None:
+                    live.add(reg)
+
+    # Rebuild, remapping labels to surviving indices.
+    new_index: Dict[int, int] = {}
+    new_instructions: List[Instruction] = []
+    for i, ins in enumerate(instructions):
+        new_index[i] = len(new_instructions)
+        if keep[i]:
+            new_instructions.append(ins)
+    new_labels = {
+        label: new_index.get(index, len(new_instructions))
+        for label, index in program.labels.items()
+    }
+    return Program(
+        program.name,
+        new_instructions,
+        new_labels,
+        uses_sck_template=program.uses_sck_template,
+    )
+
+
+def optimize(program: Program, algebraic: bool = False) -> Program:
+    """CSE + DCE pipeline; ``algebraic=True`` adds identity folding."""
+    starts = _block_boundaries(program)
+    n = len(program.instructions)
+    new_instructions: List[Instruction] = []
+    index_map: Dict[int, int] = {}
+    for b, begin in enumerate(starts):
+        end = starts[b + 1] if b + 1 < len(starts) else n
+        index_map[begin] = len(new_instructions)
+        new_instructions.extend(
+            _value_number_block(program.instructions[begin:end], algebraic)
+        )
+    index_map[n] = len(new_instructions)
+    new_labels = {
+        label: index_map[index] for label, index in program.labels.items()
+    }
+    rebuilt = Program(
+        program.name,
+        new_instructions,
+        new_labels,
+        uses_sck_template=program.uses_sck_template,
+    )
+    return _global_dce(rebuilt)

@@ -1,0 +1,150 @@
+"""Programs and the assembler-style builder.
+
+A :class:`Program` is a list of instructions plus a label table; the
+:class:`ProgramBuilder` provides one method per opcode, handles label
+back-patching, and computes static code size (the Table 3 "Exe Size"
+model: a fixed runtime image plus 4 bytes per instruction, plus the
+reliability-library overhead when SCK checks are compiled in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import CompilationError
+from repro.vm.isa import INSTRUCTION_BYTES, Instruction, Opcode
+
+#: Bytes of the fixed runtime image (loader, libc-like support) -- the
+#: paper's executables are ~889 KB dominated by exactly this kind of
+#: fixed content; calibrated so the plain FIR lands at its Table 3 size.
+RUNTIME_IMAGE_BYTES = 909_952
+
+#: Extra image bytes pulled in by the SCK class template instantiation
+#: (the paper's "FIR with SCK" binary is 4 KB larger than plain FIR).
+SCK_TEMPLATE_BYTES = 4_096
+
+
+@dataclass
+class Program:
+    """An assembled program."""
+
+    name: str
+    instructions: List[Instruction] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+    uses_sck_template: bool = False
+
+    def resolve(self, label: str) -> int:
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise CompilationError(f"undefined label {label!r}") from None
+
+    @property
+    def code_bytes(self) -> int:
+        return INSTRUCTION_BYTES * len(self.instructions)
+
+    @property
+    def image_bytes(self) -> int:
+        """Total executable size under the Table 3 size model."""
+        extra = SCK_TEMPLATE_BYTES if self.uses_sck_template else 0
+        return RUNTIME_IMAGE_BYTES + extra + self.code_bytes
+
+    def listing(self) -> str:
+        """Human-readable assembly listing."""
+        by_index: Dict[int, List[str]] = {}
+        for label, index in self.labels.items():
+            by_index.setdefault(index, []).append(label)
+        lines = [f"; program {self.name}"]
+        for i, instruction in enumerate(self.instructions):
+            for label in by_index.get(i, []):
+                lines.append(f"{label}:")
+            lines.append(f"    {instruction.render()}")
+        return "\n".join(lines)
+
+
+class ProgramBuilder:
+    """Fluent builder with label management."""
+
+    def __init__(self, name: str, uses_sck_template: bool = False) -> None:
+        self.program = Program(name, uses_sck_template=uses_sck_template)
+
+    # ------------------------------------------------------------------
+    def label(self, name: str) -> "ProgramBuilder":
+        if name in self.program.labels:
+            raise CompilationError(f"duplicate label {name!r}")
+        self.program.labels[name] = len(self.program.instructions)
+        return self
+
+    def emit(self, instruction: Instruction) -> "ProgramBuilder":
+        self.program.instructions.append(instruction)
+        return self
+
+    # One helper per opcode -------------------------------------------
+    def ldi(self, rd: int, imm: int) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.LDI, rd=rd, imm=imm))
+
+    def mov(self, rd: int, ra: int) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.MOV, rd=rd, ra=ra))
+
+    def ld(self, rd: int, ra: int, offset: int = 0) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.LD, rd=rd, ra=ra, imm=offset))
+
+    def st(self, ra: int, rb: int, offset: int = 0) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.ST, ra=ra, rb=rb, imm=offset))
+
+    def add(self, rd: int, ra: int, rb: int) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.ADD, rd=rd, ra=ra, rb=rb))
+
+    def sub(self, rd: int, ra: int, rb: int) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.SUB, rd=rd, ra=ra, rb=rb))
+
+    def neg(self, rd: int, ra: int) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.NEG, rd=rd, ra=ra))
+
+    def mul(self, rd: int, ra: int, rb: int) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.MUL, rd=rd, ra=ra, rb=rb))
+
+    def div(self, rd: int, ra: int, rb: int) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.DIV, rd=rd, ra=ra, rb=rb))
+
+    def mod(self, rd: int, ra: int, rb: int) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.MOD, rd=rd, ra=ra, rb=rb))
+
+    def cmpne(self, rd: int, ra: int, rb: int) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.CMPNE, rd=rd, ra=ra, rb=rb))
+
+    def or_(self, rd: int, ra: int, rb: int) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.OR, rd=rd, ra=ra, rb=rb))
+
+    def and_(self, rd: int, ra: int, rb: int) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.AND, rd=rd, ra=ra, rb=rb))
+
+    def xor(self, rd: int, ra: int, rb: int) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.XOR, rd=rd, ra=ra, rb=rb))
+
+    def beq(self, ra: int, rb: int, label: str) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.BEQ, ra=ra, rb=rb, label=label))
+
+    def bne(self, ra: int, rb: int, label: str) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.BNE, ra=ra, rb=rb, label=label))
+
+    def blt(self, ra: int, rb: int, label: str) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.BLT, ra=ra, rb=rb, label=label))
+
+    def jmp(self, label: str) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.JMP, label=label))
+
+    def inc(self, rd: int) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.INC, rd=rd))
+
+    def halt(self) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.HALT))
+
+    # ------------------------------------------------------------------
+    def build(self) -> Program:
+        """Finalise; verifies that every referenced label exists."""
+        for instruction in self.program.instructions:
+            if instruction.label is not None:
+                self.program.resolve(instruction.label)
+        return self.program

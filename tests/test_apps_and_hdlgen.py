@@ -1,0 +1,166 @@
+"""Tests for repro.apps and repro.hdlgen."""
+
+import pytest
+
+from repro.apps.dct import dct_graph, dct_matrix, dct_reference
+from repro.apps.fir import (
+    FirSpec,
+    fir_graph,
+    fir_reference,
+    fir_sck,
+    make_input_streams,
+)
+from repro.apps.iir import BiquadSpec, biquad_graph, biquad_reference
+from repro.apps.matmul import matmul_graph, matmul_reference
+from repro.codesign.allocation import bind
+from repro.codesign.scheduling import asap_schedule, list_schedule
+from repro.codesign.sck_transform import enrich_with_sck
+from repro.core.context import SCKContext
+from repro.errors import ReproError, SpecificationError
+from repro.hdlgen.datapath import emit_datapath_rtl
+from repro.hdlgen.flow_diagram import emit_flow_ascii, emit_flow_dot
+from repro.hdlgen.sck_class import (
+    emit_sck_class,
+    emit_sck_interface,
+    emit_sck_operator,
+)
+from repro.hdlgen.testarch import emit_test_architecture
+
+
+class TestFirApp:
+    def test_graph_matches_reference(self):
+        spec = FirSpec()
+        graph = fir_graph(spec)
+        samples = [4, -1, 7, 2, -5, 3]
+        streams = make_input_streams(samples, spec)
+        expected = fir_reference(samples, spec)
+        for k in range(len(samples)):
+            inputs = {name: stream[k] for name, stream in streams.items()}
+            assert graph.evaluate(inputs, width=16)["y"] == expected[k]
+
+    def test_sck_implementation_matches(self):
+        spec = FirSpec()
+        samples = [1, 2, 3, -4, 5]
+        with SCKContext(width=16):
+            outputs = fir_sck(samples, spec)
+        assert [o.value for o in outputs] == fir_reference(samples, spec)
+        assert not any(o.error for o in outputs)
+
+    def test_empty_coefficients_rejected(self):
+        with pytest.raises(SpecificationError):
+            FirSpec(coefficients=())
+
+    def test_window_streams(self):
+        streams = make_input_streams([1, 2, 3], FirSpec(coefficients=(1, 1)))
+        assert streams["x0"] == [1, 2, 3]
+        assert streams["x1"] == [0, 1, 2]
+
+
+class TestOtherApps:
+    def test_biquad_graph_matches_reference(self):
+        spec = BiquadSpec()
+        graph = biquad_graph(spec)
+        samples = [10, 20, -5, 7, 0, 3]
+        expected = biquad_reference(samples, spec)
+        x1 = x2 = y1 = y2 = 0
+        for k, x in enumerate(samples):
+            inputs = {"x0": x, "x1": x1, "x2": x2, "yd1": y1, "yd2": y2}
+            y = graph.evaluate(inputs, width=16)["y"]
+            assert y == expected[k]
+            x2, x1 = x1, x
+            y2, y1 = y1, y
+
+    def test_matmul_matches_reference(self):
+        matrix = [[1, 2], [3, -4]]
+        graph = matmul_graph(matrix)
+        vector = [5, -6]
+        outputs = graph.evaluate({"x0": 5, "x1": -6})
+        expected = matmul_reference(matrix, vector)
+        assert [outputs["y0"], outputs["y1"]] == expected
+
+    def test_matmul_validation(self):
+        with pytest.raises(SpecificationError):
+            matmul_graph([[1, 2], [3]])
+
+    def test_dct_matrix_row0_constant(self):
+        matrix = dct_matrix(4)
+        assert len(set(matrix[0])) == 1  # DC row is flat
+
+    def test_dct_graph_matches_reference(self):
+        graph = dct_graph(4)
+        block = [10, 20, 30, 40]
+        outputs = graph.evaluate({f"x{i}": v for i, v in enumerate(block)})
+        expected = dct_reference(block)
+        assert [outputs[f"y{i}"] for i in range(4)] == expected
+
+    def test_apps_survive_sck_enrichment(self):
+        for graph in (biquad_graph(), matmul_graph([[1, 2], [3, 4]]), dct_graph(4)):
+            enriched = enrich_with_sck(graph)
+            enriched.validate()
+            assert any(o.role == "error" for o in enriched.outputs)
+
+
+class TestSckClassEmitter:
+    def test_interface_figure1(self):
+        text = emit_sck_interface(("add",))
+        assert "template <class TYPE>" in text
+        assert "bool E;" in text and "TYPE ID;" in text
+        assert "GetID" in text and "GetError" in text
+        assert "operator+" in text
+        assert "SCK() {}" in text  # empty constructor for synthesis
+
+    def test_operator_figure2(self):
+        text = emit_sck_operator("add", "tech1")
+        assert "ris.ID = op1.ID + op2.ID" in text
+        assert "ris.ID - op1.ID" in text  # hidden inverse
+        assert "err = op1.E || op2.E" in text  # error propagation
+
+    def test_all_registered_techniques_emit(self):
+        for operator in ("add", "sub", "mul"):
+            for technique in ("tech1", "tech2", "both"):
+                assert emit_sck_operator(operator, technique)
+        assert emit_sck_operator("div", "tech1")
+        assert emit_sck_operator("div", "tech2")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ReproError):
+            emit_sck_operator("pow", "tech1")
+        with pytest.raises(ReproError):
+            emit_sck_class(("add",), technique="tech9")
+
+    def test_full_class(self):
+        text = emit_sck_class()
+        assert text.count("template <class TYPE>") == 5  # interface + 4 ops
+
+
+class TestDiagramsAndVhdl:
+    def test_flow_ascii_mentions_stages(self):
+        text = emit_flow_ascii()
+        for keyword in ("SystemC-Plus", "OFFIS", "CoCentric", "g++", "Table 3"):
+            assert keyword in text
+
+    def test_flow_dot_valid_shape(self):
+        text = emit_flow_dot()
+        assert text.startswith("digraph")
+        assert "spec -> synth" in text
+
+    def test_test_architecture_contains_fault_list(self):
+        text = emit_test_architecture(width=2)
+        assert "SA0" in text and "SA1" in text
+        assert text.count("SA0") == 16
+        assert "entity test_architecture" in text
+        assert "cin => '1'" in text  # the g-function carry-in
+
+    def test_datapath_rtl_for_fir(self):
+        graph = enrich_with_sck(fir_graph())
+        schedule = asap_schedule(graph)
+        rtl = emit_datapath_rtl(bind(schedule))
+        assert "error_latch" in rtl
+        assert "case state is" in rtl
+        assert "entity" in rtl
+
+    def test_datapath_rtl_notes_sharing(self):
+        graph = fir_graph()
+        schedule = list_schedule(graph, {"alu": 1, "mult": 1, "io": 1})
+        rtl = emit_datapath_rtl(bind(schedule))
+        assert "shared by" in rtl

@@ -1,0 +1,205 @@
+"""Tests for repro.codesign.dfg and the enrichment passes."""
+
+import pytest
+
+from repro.apps.fir import FirSpec, fir_graph
+from repro.codesign.dfg import DataflowGraph
+from repro.codesign.sck_transform import (
+    balance_accumulation,
+    embed_output_checks,
+    enrich_with_sck,
+)
+from repro.errors import SpecificationError
+
+
+def tiny_graph():
+    g = DataflowGraph("tiny")
+    g.add_input("a")
+    g.add_input("b")
+    g.add_op("s", "add", ("a", "b"))
+    g.add_output("y", "s")
+    return g
+
+
+class TestDfg:
+    def test_construction_and_queries(self):
+        g = tiny_graph()
+        assert len(g) == 4
+        assert [n.name for n in g.inputs] == ["a", "b"]
+        assert [n.name for n in g.outputs] == ["y"]
+        assert g.operation_counts() == {"add": 1}
+        assert g.unit_demand() == {"alu": 1}
+
+    def test_duplicate_name_rejected(self):
+        g = tiny_graph()
+        with pytest.raises(SpecificationError):
+            g.add_input("a")
+
+    def test_unknown_arg_rejected(self):
+        g = tiny_graph()
+        with pytest.raises(SpecificationError):
+            g.add_op("t", "add", ("a", "ghost"))
+
+    def test_arity_checked(self):
+        g = tiny_graph()
+        with pytest.raises(SpecificationError):
+            g.add_op("t", "add", ("a",))
+        with pytest.raises(SpecificationError):
+            g.add_op("t", "neg", ("a", "b"))
+
+    def test_const_needs_value(self):
+        g = DataflowGraph("t")
+        with pytest.raises(SpecificationError):
+            g.add_const("c", None)
+
+    def test_dead_operation_detected(self):
+        g = tiny_graph()
+        g.add_op("dead", "add", ("a", "b"))
+        with pytest.raises(SpecificationError):
+            g.validate()
+
+    def test_no_output_detected(self):
+        g = DataflowGraph("t")
+        g.add_input("a")
+        with pytest.raises(SpecificationError):
+            g.validate()
+
+    def test_evaluate(self):
+        g = tiny_graph()
+        assert g.evaluate({"a": 3, "b": 4}) == {"y": 7}
+
+    def test_evaluate_wraps(self):
+        g = tiny_graph()
+        out = g.evaluate({"a": 100, "b": 100}, width=8)
+        assert out["y"] == -56
+
+    def test_evaluate_c_division(self):
+        g = DataflowGraph("d")
+        g.add_input("a")
+        g.add_const("two", 2)
+        g.add_op("q", "div", ("a", "two"))
+        g.add_output("y", "q")
+        assert g.evaluate({"a": -7})["y"] == -3
+
+    def test_copy_independent(self):
+        g = tiny_graph()
+        h = g.copy("clone")
+        h.add_op("extra", "mul", ("a", "b"))
+        assert "extra" not in g
+
+
+class TestSckEnrichment:
+    def test_fir_enrichment_structure(self):
+        plain = fir_graph()
+        enriched = enrich_with_sck(plain)
+        counts = enriched.operation_counts()
+        plain_counts = plain.operation_counts()
+        # Each of the 4 muls gains a check mul (+add), each of the 3
+        # adds gains a check sub; coefficients' negations fold to consts.
+        assert counts["mul"] == 2 * plain_counts["mul"]
+        assert counts["sub"] == plain_counts["add"]
+        assert counts.get("neg", 0) == 0  # folded: coefficients are consts
+        assert counts["cmpne"] == plain_counts["mul"] + plain_counts["add"]
+        error_outputs = [o for o in enriched.outputs if o.role == "error"]
+        assert len(error_outputs) == 1
+
+    def test_data_outputs_preserved(self):
+        plain = fir_graph()
+        enriched = enrich_with_sck(plain)
+        inputs = {f"x{i}": v for i, v in enumerate([3, -1, 2, 5])}
+        plain_out = plain.evaluate(inputs)
+        enriched_out = enriched.evaluate(inputs)
+        assert enriched_out["y"] == plain_out["y"]
+
+    def test_clean_evaluation_reports_no_error(self):
+        enriched = enrich_with_sck(fir_graph())
+        inputs = {f"x{i}": v for i, v in enumerate([9, 4, -6, 1])}
+        outputs = enriched.evaluate(inputs)
+        error_name = [o.name for o in enriched.outputs if o.role == "error"][0]
+        assert outputs[error_name] == 0
+
+    def test_technique_both_doubles_checks(self):
+        plain = fir_graph()
+        t1 = enrich_with_sck(plain, {"add": "tech1", "mul": "tech1"})
+        both = enrich_with_sck(plain, {"add": "both", "mul": "both"})
+        assert both.operation_counts()["cmpne"] > t1.operation_counts()["cmpne"]
+
+    def test_division_check_materialises_sibling(self):
+        g = DataflowGraph("d")
+        g.add_input("a")
+        g.add_input("b")
+        g.add_op("q", "div", ("a", "b"))
+        g.add_output("y", "q")
+        enriched = enrich_with_sck(g)
+        assert enriched.operation_counts().get("mod", 0) == 1
+        outputs = enriched.evaluate({"a": 17, "b": 5})
+        assert outputs["y"] == 3
+
+
+class TestEmbeddedChecks:
+    def test_embedded_cheaper_than_sck(self):
+        plain = fir_graph()
+        sck = enrich_with_sck(plain)
+        embedded = embed_output_checks(plain)
+        assert len(embedded) < len(sck)
+        assert len(embedded) > len(plain)
+
+    def test_embedded_preserves_data(self):
+        plain = fir_graph()
+        embedded = embed_output_checks(plain)
+        inputs = {f"x{i}": v for i, v in enumerate([7, 0, -3, 2])}
+        assert embedded.evaluate(inputs)["y"] == plain.evaluate(inputs)["y"]
+
+    def test_embedded_clean_error(self):
+        embedded = embed_output_checks(fir_graph())
+        inputs = {f"x{i}": v for i, v in enumerate([1, 2, 3, 4])}
+        error_name = [o.name for o in embedded.outputs if o.role == "error"][0]
+        assert embedded.evaluate(inputs)[error_name] == 0
+
+    def test_embedded_reuses_products(self):
+        plain = fir_graph()
+        embedded = embed_output_checks(plain)
+        assert (
+            embedded.operation_counts()["mul"]
+            == plain.operation_counts()["mul"]
+        )
+
+
+class TestBalanceAccumulation:
+    def test_balances_chain(self):
+        from repro.codesign.scheduling import asap_schedule
+
+        plain = fir_graph(FirSpec(coefficients=(1, 2, 3, 4, 5, 6, 7, 8)))
+        balanced = balance_accumulation(plain)
+        chain_depth = asap_schedule(plain).length
+        tree_depth = asap_schedule(balanced).length
+        assert tree_depth < chain_depth
+
+    def test_preserves_semantics(self):
+        plain = fir_graph()
+        balanced = balance_accumulation(plain)
+        inputs = {f"x{i}": v for i, v in enumerate([5, -2, 9, 3])}
+        assert balanced.evaluate(inputs)["y"] == plain.evaluate(inputs)["y"]
+
+    def test_mixed_signs(self):
+        g = DataflowGraph("m")
+        for name in ("a", "b", "c", "d"):
+            g.add_input(name)
+        g.add_op("s1", "add", ("a", "b"))
+        g.add_op("s2", "sub", ("s1", "c"))
+        g.add_op("s3", "sub", ("s2", "d"))
+        g.add_output("y", "s3")
+        balanced = balance_accumulation(g)
+        inputs = {"a": 10, "b": 4, "c": 3, "d": 1}
+        assert balanced.evaluate(inputs)["y"] == g.evaluate(inputs)["y"] == 10
+
+    def test_shared_intermediate_not_rebalanced(self):
+        g = DataflowGraph("shared")
+        for name in ("a", "b", "c"):
+            g.add_input(name)
+        g.add_op("s1", "add", ("a", "b"))
+        g.add_op("s2", "add", ("s1", "c"))
+        g.add_output("y", "s2")
+        g.add_output("partial", "s1")  # s1 observable -> no rebalance
+        balanced = balance_accumulation(g)
+        assert "s1" in balanced

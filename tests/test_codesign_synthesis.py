@@ -1,0 +1,212 @@
+"""Tests for scheduling, allocation, area, timing, flow, partition."""
+
+import pytest
+
+from repro.apps.fir import fir_graph
+from repro.codesign.allocation import bind
+from repro.codesign.area import AreaModel, estimate_area
+from repro.codesign.dfg import DataflowGraph
+from repro.codesign.flow import MIN_AREA_RESOURCES, ReliableCoDesignFlow
+from repro.codesign.partition import partition
+from repro.codesign.scheduling import (
+    alap_schedule,
+    asap_schedule,
+    list_schedule,
+)
+from repro.codesign.sck_transform import embed_output_checks, enrich_with_sck
+from repro.codesign.timing import estimate_clock
+from repro.errors import SchedulingError, SpecificationError
+
+
+@pytest.fixture(scope="module")
+def fir():
+    return fir_graph()
+
+
+@pytest.fixture(scope="module")
+def fir_sck_graph(fir):
+    return enrich_with_sck(fir)
+
+
+class TestScheduling:
+    def test_asap_respects_dependencies(self, fir):
+        schedule = asap_schedule(fir)
+        schedule.verify()
+        assert schedule.length >= 4  # in + mul + adds + out on the path
+
+    def test_alap_matches_asap_horizon(self, fir):
+        asap = asap_schedule(fir)
+        alap = alap_schedule(fir)
+        assert alap.length <= asap.length
+        alap.verify()
+
+    def test_alap_with_slack(self, fir):
+        relaxed = alap_schedule(fir, deadline=asap_schedule(fir).length + 5)
+        relaxed.verify()
+
+    def test_alap_infeasible_deadline(self, fir):
+        with pytest.raises(SchedulingError):
+            alap_schedule(fir, deadline=1)
+
+    def test_list_schedule_meets_resources(self, fir):
+        schedule = list_schedule(fir, MIN_AREA_RESOURCES)
+        schedule.verify()
+        usage = schedule.unit_usage()
+        for unit, peak in usage.items():
+            assert peak <= MIN_AREA_RESOURCES.get(unit, peak)
+
+    def test_min_area_fir_is_seven_cycles(self, fir):
+        """The paper's plain FIR min-area point: 2 + 7n."""
+        schedule = list_schedule(fir, MIN_AREA_RESOURCES)
+        assert schedule.length == 7
+
+    def test_min_latency_fir_is_five_cycles(self, fir):
+        """The paper's min-latency point: 2 + 5n (balanced tree)."""
+        from repro.codesign.sck_transform import balance_accumulation
+
+        schedule = asap_schedule(balance_accumulation(fir))
+        assert schedule.length == 5
+
+    def test_more_resources_never_slower(self, fir_sck_graph):
+        tight = list_schedule(fir_sck_graph, MIN_AREA_RESOURCES, dedicated_checkers=False)
+        rich = list_schedule(
+            fir_sck_graph,
+            {"alu": 4, "mult": 4, "io": 2, "checker": 4},
+            dedicated_checkers=False,
+        )
+        assert rich.length <= tight.length
+
+    def test_zero_allocation_rejected(self, fir):
+        with pytest.raises(SchedulingError):
+            list_schedule(fir, {"mult": 0})
+
+
+class TestAllocation:
+    def test_binding_is_conflict_free(self, fir_sck_graph):
+        schedule = list_schedule(fir_sck_graph, MIN_AREA_RESOURCES, dedicated_checkers=False)
+        allocation = bind(schedule)
+        busy = {}
+        for binding in allocation.bindings.values():
+            key = (binding.unit_class, binding.instance)
+            for other in busy.get(key, []):
+                assert binding.finish <= other.start or other.finish <= binding.start
+            busy.setdefault(key, []).append(binding)
+
+    def test_min_area_sharing_conflicts_reported(self, fir_sck_graph):
+        schedule = list_schedule(fir_sck_graph, MIN_AREA_RESOURCES, dedicated_checkers=False)
+        allocation = bind(schedule)
+        assert not allocation.fully_separated
+
+    def test_dedicated_checkers_fully_separate(self, fir_sck_graph):
+        schedule = asap_schedule(fir_sck_graph)
+        allocation = bind(schedule)
+        assert allocation.fully_separated
+
+    def test_sharing_degree(self, fir):
+        schedule = list_schedule(fir, MIN_AREA_RESOURCES)
+        degree = bind(schedule).sharing_degree()
+        assert degree[("mult", 0)] == 4  # four products on one multiplier
+
+
+class TestAreaAndTiming:
+    def test_area_breakdown_sums(self, fir):
+        allocation = bind(list_schedule(fir, MIN_AREA_RESOURCES))
+        report = estimate_area(allocation)
+        assert report.total == sum(report.breakdown.values())
+        assert report.breakdown["units"] > 0
+        assert report.breakdown["controller"] > 0
+
+    def test_checked_design_costs_more(self, fir, fir_sck_graph):
+        plain = estimate_area(bind(list_schedule(fir, MIN_AREA_RESOURCES)))
+        checked = estimate_area(
+            bind(list_schedule(fir_sck_graph, MIN_AREA_RESOURCES, dedicated_checkers=False))
+        )
+        assert checked.total > plain.total
+        assert checked.breakdown["error_logic"] > 0
+
+    def test_constant_mult_detection(self, fir):
+        allocation = bind(list_schedule(fir, MIN_AREA_RESOURCES))
+        report = estimate_area(allocation)
+        model = AreaModel()
+        # FIR multiplies by constants only -> cheap KCM, not generic.
+        assert report.breakdown["units"] < (
+            model.generic_mult_slices + model.alu_slices + model.io_slices + 10
+        )
+
+    def test_clock_degrades_with_shared_checks(self, fir, fir_sck_graph):
+        plain = estimate_clock(bind(list_schedule(fir, MIN_AREA_RESOURCES)))
+        checked = estimate_clock(
+            bind(list_schedule(fir_sck_graph, MIN_AREA_RESOURCES, dedicated_checkers=False))
+        )
+        assert checked["frequency_mhz"] < plain["frequency_mhz"]
+
+
+class TestFlow:
+    @pytest.fixture(scope="class")
+    def results(self, fir):
+        return ReliableCoDesignFlow(fir, samples=10_000).run()
+
+    def test_all_variants_present(self, results):
+        assert set(results) == {"plain", "sck", "embedded"}
+
+    def test_latency_formulas(self, results):
+        assert results["plain"].hw_min_area.latency_formula == "2 + 7n"
+        assert results["plain"].hw_min_latency.latency_formula == "2 + 5n"
+        assert results["sck"].hw_min_latency.latency_formula == "2 + 5n"
+        assert results["embedded"].hw_min_latency.latency_formula == "2 + 5n"
+        assert results["sck"].hw_min_area.latency_formula == "2 + 10n"
+
+    def test_area_ordering(self, results):
+        """Paper Table 3: plain < embedded < SCK in both objectives."""
+        for objective in ("hw_min_area", "hw_min_latency"):
+            plain = getattr(results["plain"], objective).slices
+            embedded = getattr(results["embedded"], objective).slices
+            sck = getattr(results["sck"], objective).slices
+            assert plain < embedded < sck
+
+    def test_clock_ordering(self, results):
+        assert (
+            results["sck"].hw_min_area.frequency_mhz
+            < results["plain"].hw_min_area.frequency_mhz
+        )
+        assert (
+            results["embedded"].hw_min_area.frequency_mhz
+            < results["plain"].hw_min_area.frequency_mhz
+        )
+
+    def test_coverage_claims(self, results):
+        assert "none" in results["plain"].hw_min_area.coverage_claim
+        assert "worst-case" in results["sck"].hw_min_area.coverage_claim
+        assert "complete" in results["sck"].hw_min_latency.coverage_claim
+
+    def test_software_ordering(self, results):
+        plain = results["plain"].software
+        sck = results["sck"].software
+        embedded = results["embedded"].software
+        assert plain.seconds < embedded.seconds < sck.seconds
+        assert sck.image_bytes - plain.image_bytes >= 4096
+        assert plain.error_flag == 0 and sck.error_flag == 0
+
+    def test_unknown_variant_rejected(self, fir):
+        flow = ReliableCoDesignFlow(fir)
+        with pytest.raises(SpecificationError):
+            flow.variant_graph("quantum")
+
+
+class TestPartition:
+    def test_no_constraint_prefers_software(self, fir):
+        decision = partition(fir)
+        assert decision.target == "software"
+
+    def test_tight_constraint_forces_hardware(self, fir):
+        decision = partition(fir, sample_rate_hz=5e6)
+        assert decision.target == "hardware"
+
+    def test_loose_constraint_allows_software(self, fir):
+        decision = partition(fir, sample_rate_hz=1e5)
+        assert decision.target == "software"
+        assert "sustains" in decision.reason
+
+    def test_invalid_preference(self, fir):
+        with pytest.raises(SpecificationError):
+            partition(fir, prefer="firmware")

@@ -1,0 +1,190 @@
+"""Tests for repro.core context, techniques, backends, library, overflow."""
+
+import pytest
+
+from repro.core.backends import HardwareBackend, IdealBackend
+from repro.core.context import CheckEvent, SCKContext, current_context
+from repro.core.library import CheckerDescriptor, CheckerLibrary, default_library
+from repro.core.overflow import OVERFLOW_POLICIES, get_policy
+from repro.core.techniques import available_techniques, get_checker
+from repro.core.value import SCK
+from repro.errors import CheckError, ReproError
+
+
+class TestContext:
+    def test_default_ambient_context(self):
+        ctx = current_context()
+        assert ctx.width == 16
+
+    def test_nesting(self):
+        with SCKContext(width=8) as outer:
+            assert current_context() is outer
+            with SCKContext(width=4) as inner:
+                assert current_context() is inner
+            assert current_context() is outer
+
+    def test_out_of_order_exit_rejected(self):
+        a = SCKContext(width=8)
+        b = SCKContext(width=8)
+        a.__enter__()
+        b.__enter__()
+        with pytest.raises(ReproError):
+            a.__exit__(None, None, None)
+        b.__exit__(None, None, None)
+        a.__exit__(None, None, None)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ReproError):
+            SCKContext(backend="quantum")
+
+    def test_width_mismatch_with_instance(self):
+        with pytest.raises(ReproError):
+            SCKContext(width=8, backend=IdealBackend(16))
+
+    def test_technique_override_validated(self):
+        ctx = SCKContext(techniques={"add": "both"})
+        assert ctx.techniques["add"] == "both"
+        with pytest.raises(ReproError):
+            SCKContext(techniques={"xor": "tech1"})
+
+    def test_allocation_validated(self):
+        with pytest.raises(ReproError):
+            SCKContext(check_allocation="sometimes")
+
+    def test_reset_log(self):
+        with SCKContext(width=8) as ctx:
+            SCK(1) + SCK(2)
+            assert ctx.operations == 1
+            ctx.reset_log()
+            assert ctx.operations == 0 and not ctx.log
+
+    def test_describe_mentions_backend(self):
+        assert "ideal" in SCKContext().describe()
+        assert "hardware" in SCKContext(backend="hardware").describe()
+
+    def test_strict_raises_via_record(self):
+        ctx = SCKContext(strict=True)
+        with pytest.raises(CheckError):
+            ctx.record(CheckEvent("add", "tech1", (1, 2), 3, True))
+
+
+class TestTechniques:
+    def test_every_registered_checker_accepts_clean_result(self):
+        ctx = SCKContext(width=16)
+        for operator in ("add", "sub", "mul"):
+            for technique in available_techniques(operator):
+                checker = get_checker(operator, technique)
+                op1, op2 = 13, 5
+                nominal = {
+                    "add": op1 + op2,
+                    "sub": op1 - op2,
+                    "mul": op1 * op2,
+                }[operator]
+                assert checker(ctx, op1, op2, nominal) is False
+
+    def test_div_checkers_clean(self):
+        ctx = SCKContext(width=16)
+        for technique in available_techniques("div"):
+            checker = get_checker("div", technique)
+            assert checker(ctx, -17, 5, -3, -2) is False
+
+    def test_checkers_flag_wrong_results(self):
+        ctx = SCKContext(width=16)
+        assert get_checker("add", "tech1")(ctx, 13, 5, 19) is True
+        assert get_checker("sub", "tech2")(ctx, 13, 5, 9) is True
+        assert get_checker("mul", "both")(ctx, 13, 5, 66) is True
+        assert get_checker("div", "tech1")(ctx, 17, 5, 4, 2) is True
+        assert get_checker("neg", "tech1")(ctx, 5, -4) is True
+
+    def test_div_tech2_rejects_out_of_range_remainder(self):
+        """The precision check: q*b + r == a but r >= b."""
+        ctx = SCKContext(width=16)
+        # 17 = 2*5 + 7 : identity holds, remainder out of range.
+        assert get_checker("div", "tech1")(ctx, 17, 5, 2, 7) is False
+        assert get_checker("div", "tech2")(ctx, 17, 5, 2, 7) is True
+
+    def test_unknown_checker(self):
+        with pytest.raises(ReproError):
+            get_checker("add", "tech9")
+        with pytest.raises(ReproError):
+            available_techniques("pow")
+
+
+class TestBackends:
+    def test_ideal_exact(self):
+        backend = IdealBackend(8)
+        assert backend.add(100, 100) == 200  # unwrapped; SCK layer wraps
+        assert backend.divmod(-7, 2) == (-3, -1)
+        assert backend.is_faulty is False
+
+    def test_hardware_wraps(self):
+        backend = HardwareBackend(8)
+        assert backend.add(100, 100) == -56
+        assert backend.divmod(-7, 2) == (-3, -1)
+        assert backend.neg(-128) == -128
+
+    def test_hardware_width_consistency(self):
+        from repro.arch.alu import FaultableALU
+
+        with pytest.raises(Exception):
+            HardwareBackend(8, alu=FaultableALU(16))
+
+
+class TestCheckerLibrary:
+    def test_default_library_matches_table1(self):
+        library = default_library()
+        assert library.get("add", "tech1").coverage_percent == 97.25
+        assert library.get("div", "tech2").coverage_percent == 97.16
+
+    def test_selection_by_coverage(self):
+        library = default_library()
+        best = library.select("add", min_coverage=99.0)
+        assert best.technique == "both"
+        cheap = library.select("add", min_coverage=97.0)
+        # tech1 and tech2 tie on cost; the higher-coverage one wins.
+        assert cheap.technique == "tech2"
+
+    def test_infeasible_selection_raises(self):
+        library = default_library()
+        with pytest.raises(ReproError):
+            library.select("add", min_coverage=99.99)
+        with pytest.raises(ReproError):
+            library.select("add", min_coverage=99.0, max_extra_operations=1)
+
+    def test_plan(self):
+        plan = default_library().plan(min_coverage=96.0)
+        assert set(plan) == {"add", "sub", "mul", "div"}
+        assert plan["add"] in ("tech1", "tech2", "both")
+
+    def test_custom_registration(self):
+        library = CheckerLibrary()
+        library.register(CheckerDescriptor("add", "custom", 99.9, 3, 3))
+        assert library.select("add", min_coverage=99.5).technique == "custom"
+
+    def test_unknown_lookup(self):
+        with pytest.raises(ReproError):
+            CheckerLibrary().get("add", "tech1")
+
+
+class TestOverflowPolicies:
+    def test_policy_names(self):
+        assert set(OVERFLOW_POLICIES) == {"wrap", "flag", "raise", "saturate"}
+
+    def test_wrap(self):
+        assert get_policy("wrap")(130, 8) == (-126, False)
+
+    def test_flag(self):
+        value, flagged = get_policy("flag")(130, 8)
+        assert value == -126 and flagged
+
+    def test_saturate(self):
+        assert get_policy("saturate")(130, 8) == (127, False)
+        assert get_policy("saturate")(-300, 8) == (-128, False)
+
+    def test_in_range_untouched(self):
+        for name in OVERFLOW_POLICIES:
+            assert get_policy(name)(57, 8) == (57, False)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ReproError):
+            get_policy("hope")

@@ -1,0 +1,205 @@
+"""Tests for repro.core.value: the SCK self-checking type."""
+
+import pytest
+
+from repro.arch.cell import effective_faulty_cells
+from repro.core.backends import HardwareBackend
+from repro.core.context import SCKContext
+from repro.core.value import SCK
+from repro.errors import CheckError, OverflowPolicyError, ReproError, SimulationError
+
+
+@pytest.fixture
+def ctx():
+    with SCKContext(width=16) as context:
+        yield context
+
+
+class TestBasics:
+    def test_construction_and_accessors(self, ctx):
+        v = SCK(42)
+        assert v.value == 42
+        assert v.GetID() == 42
+        assert v.error is False
+        assert v.GetError() is False
+        assert int(v) == 42
+
+    def test_non_integer_rejected(self, ctx):
+        with pytest.raises(ReproError):
+            SCK(1.5)
+        with pytest.raises(ReproError):
+            SCK(True)
+
+    def test_copy_construction_keeps_error(self, ctx):
+        tainted = SCK(5, error=True)
+        copied = SCK(tainted)
+        assert copied.error is True
+        assert copied.value == 5
+
+    def test_repr_marks_error(self, ctx):
+        assert repr(SCK(3)) == "SCK(3)"
+        assert repr(SCK(3, error=True)) == "SCK(3, E)"
+
+    def test_wrap_on_construction(self, ctx):
+        v = SCK(40000)  # > 2**15 - 1 at width 16
+        assert v.value == 40000 - 65536
+
+
+class TestArithmetic:
+    def test_add_sub_mul(self, ctx):
+        a, b = SCK(1200), SCK(-34)
+        assert (a + b).value == 1166
+        assert (a - b).value == 1234
+        assert (a * SCK(3)).value == 3600
+
+    def test_int_coercion_both_sides(self, ctx):
+        a = SCK(10)
+        assert (a + 5).value == 15
+        assert (5 + a).value == 15
+        assert (a - 3).value == 7
+        assert (3 - a).value == -7
+        assert (a * 2).value == 20
+        assert (2 * a).value == 20
+
+    def test_division_c_semantics(self, ctx):
+        assert (SCK(7) / SCK(2)).value == 3
+        assert (SCK(-7) / SCK(2)).value == -3
+        assert (SCK(7) % SCK(-2)).value == 1
+        assert (SCK(-7) % SCK(2)).value == -1
+        assert (SCK(7) // SCK(2)).value == 3
+        assert (100 / SCK(7)).value == 14
+        assert (100 % SCK(7)).value == 2
+
+    def test_division_by_zero(self, ctx):
+        with pytest.raises(SimulationError):
+            SCK(5) / SCK(0)
+        with pytest.raises(SimulationError):
+            SCK(5) % 0
+
+    def test_neg_abs(self, ctx):
+        assert (-SCK(9)).value == -9
+        assert abs(SCK(-9)).value == 9
+        assert (+SCK(4)).value == 4
+
+    def test_unsupported_operand(self, ctx):
+        with pytest.raises(TypeError):
+            SCK(1) + "x"
+
+    def test_comparisons(self, ctx):
+        assert SCK(3) == SCK(3)
+        assert SCK(3) == 3
+        assert SCK(3) != 4
+        assert SCK(2) < SCK(3) <= SCK(3)
+        assert SCK(5) > 4 >= SCK(4)
+
+    def test_bool_and_hash(self, ctx):
+        assert bool(SCK(1)) and not bool(SCK(0))
+        assert hash(SCK(3)) == hash(SCK(3))
+
+
+class TestErrorPropagation:
+    def test_clean_ops_stay_clean(self, ctx):
+        result = (SCK(3) + SCK(4)) * SCK(2) - SCK(1)
+        assert result.error is False
+        assert ctx.errors_detected == 0
+
+    def test_error_bit_propagates(self, ctx):
+        tainted = SCK(5, error=True)
+        clean = SCK(2)
+        assert (tainted + clean).error is True
+        assert (clean * tainted).error is True
+        assert (-tainted).error is True
+        assert (tainted / SCK(2)).error is True
+
+    def test_operation_and_check_counted(self, ctx):
+        SCK(1) + SCK(2)
+        assert ctx.operations == 1
+        assert ctx.checks == 1
+        assert len(ctx.log) == 1
+
+
+class TestFaultyHardware:
+    def _faulty_backend(self, width=8, cell_index=0, position=2):
+        backend = HardwareBackend(width)
+        cell = effective_faulty_cells()[cell_index]
+        backend.alu.inject_fault("adder", cell, position=position)
+        return backend
+
+    def test_same_unit_detection_sets_error(self):
+        backend = self._faulty_backend()
+        with SCKContext(width=8, backend=backend) as ctx:
+            flagged = 0
+            wrong_undetected = 0
+            for a in range(-30, 30, 3):
+                result = SCK(a) + SCK(17)
+                expected = a + 17
+                if result.error:
+                    flagged += 1
+                elif result.value != expected:
+                    wrong_undetected += 1
+            assert flagged > 0
+            # tech1 at width 8 leaves few escapes; certainly not all
+            assert wrong_undetected < flagged
+
+    def test_different_unit_catches_every_observable_error(self):
+        backend = self._faulty_backend()
+        with SCKContext(
+            width=8, backend=backend, check_allocation="different_unit"
+        ) as ctx:
+            for a in range(-40, 40):
+                result = SCK(a) + SCK(17)
+                if result.value != a + 17:
+                    assert result.error, f"escape at a={a}"
+
+    def test_strict_mode_raises(self):
+        backend = self._faulty_backend()
+        with SCKContext(
+            width=8,
+            backend=backend,
+            check_allocation="different_unit",
+            strict=True,
+        ):
+            with pytest.raises(CheckError):
+                for a in range(-40, 40):
+                    SCK(a) + SCK(17)
+
+
+class TestOverflowPolicies:
+    def test_wrap_silent(self):
+        with SCKContext(width=8, overflow="wrap"):
+            v = SCK(100) + SCK(100)
+            assert v.value == 200 - 256
+            assert v.error is False
+
+    def test_flag_sets_error(self):
+        with SCKContext(width=8, overflow="flag"):
+            v = SCK(100) + SCK(100)
+            assert v.error is True
+
+    def test_raise_policy(self):
+        with SCKContext(width=8, overflow="raise"):
+            with pytest.raises(OverflowPolicyError):
+                SCK(100) + SCK(100)
+
+    def test_saturate(self):
+        with SCKContext(width=8, overflow="saturate"):
+            v = SCK(100) + SCK(100)
+            assert v.value == 127
+            assert v.error is False
+
+
+class TestContextMixing:
+    def test_same_width_contexts_interoperate(self):
+        with SCKContext(width=8):
+            a = SCK(3)
+        with SCKContext(width=8):
+            b = SCK(4)
+            assert (a + b).value == 7
+
+    def test_width_mismatch_rejected(self):
+        with SCKContext(width=8):
+            a = SCK(3)
+        with SCKContext(width=16):
+            b = SCK(4)
+            with pytest.raises(ReproError):
+                a + b

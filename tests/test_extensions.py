@@ -1,0 +1,81 @@
+"""Tests for the extension blocks: carry-select adder, bit-flip cells."""
+
+import pytest
+
+from repro.arch.cell import bitflip_cell_library, reference_cell
+from repro.arch.adders import RippleCarryAdderUnit
+from repro.errors import NetlistError
+from repro.gates.builders import carry_select_adder
+from repro.gates.simulate import NetlistSimulator
+
+
+def _assign(width, a, b, cin):
+    values = {f"a{i}": (a >> i) & 1 for i in range(width)}
+    values.update({f"b{i}": (b >> i) & 1 for i in range(width)})
+    values["cin"] = cin
+    values["zero"] = 0
+    values["one"] = 1
+    return values
+
+
+class TestCarrySelectAdder:
+    @pytest.mark.parametrize("width,block", [(2, 1), (3, 2), (4, 2), (5, 3)])
+    def test_exhaustive(self, width, block):
+        nl = carry_select_adder(width, block)
+        sim = NetlistSimulator(nl)
+        mask = (1 << width) - 1
+        for a in range(1 << width):
+            for b in range(1 << width):
+                for cin in (0, 1):
+                    outs = sim.outputs(_assign(width, a, b, cin))
+                    total = 0
+                    for i in range(width):
+                        total |= int(outs[f"s{i}"]) << i
+                    assert total == (a + b + cin) & mask, (a, b, cin)
+                    assert int(outs["cout"]) == ((a + b + cin) >> width) & 1
+
+    def test_validation(self):
+        with pytest.raises(NetlistError):
+            carry_select_adder(0)
+        with pytest.raises(NetlistError):
+            carry_select_adder(4, block=0)
+
+    def test_has_speculative_sections(self):
+        nl = carry_select_adder(4, 2)
+        names = {g.name for g in nl.gates}
+        assert any("c0_fa" in n for n in names)
+        assert any("c1_fa" in n for n in names)
+
+
+class TestBitflipCells:
+    def test_three_variants(self):
+        cells = bitflip_cell_library()
+        assert len(cells) == 3
+        ref = reference_cell()
+        for cell in cells:
+            assert cell.differs_from(ref)
+
+    def test_sum_flip_behaviour(self):
+        flip_s = bitflip_cell_library()[0]
+        ref = reference_cell()
+        for idx in range(8):
+            a, b, c = idx & 1, (idx >> 1) & 1, (idx >> 2) & 1
+            s_ref, c_ref = ref.evaluate(a, b, c)
+            s, co = flip_s.evaluate(a, b, c)
+            assert s == s_ref ^ 1
+            assert co == c_ref
+
+    def test_bitflip_in_adder_always_detected_by_check_on_clean_unit(self):
+        import numpy as np
+
+        cell = bitflip_cell_library()[0]
+        unit = RippleCarryAdderUnit(4, cell, 2)
+        clean = RippleCarryAdderUnit(4)
+        a = np.arange(16, dtype=np.uint64).repeat(16)
+        b = np.tile(np.arange(16, dtype=np.uint64), 16)
+        ris, _ = unit.add(a, b)
+        check, _ = clean.sub(ris, a)
+        wrong = ris != ((a + b) & np.uint64(15))
+        detected = check != b
+        assert wrong.all()  # an unconditional sum flip corrupts everything
+        assert (detected | ~wrong).all()

@@ -1,0 +1,138 @@
+"""Tests for repro.faults: model, universe, injector."""
+
+import pytest
+
+from repro.arch.alu import FaultableALU
+from repro.arch.cell import NUM_FA_FAULTS, effective_faulty_cells, faulty_cell_library
+from repro.errors import CheckError, FaultError
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultDescriptor, intermittent, permanent, transient
+from repro.faults.universe import (
+    adder_fault_cases,
+    divider_fault_cases,
+    multiplier_fault_cases,
+)
+
+
+class TestSchedules:
+    def test_permanent_always_active(self):
+        schedule = permanent()
+        assert all(schedule.active_at(i) for i in range(10))
+
+    def test_transient_window(self):
+        schedule = transient(at=3, duration=2)
+        assert [schedule.active_at(i) for i in range(6)] == [
+            False, False, False, True, True, False,
+        ]
+
+    def test_transient_validation(self):
+        with pytest.raises(FaultError):
+            transient(at=-1)
+        with pytest.raises(FaultError):
+            transient(at=0, duration=0)
+
+    def test_intermittent_deterministic_and_memoised(self):
+        schedule = intermittent(0.5, seed=7)
+        first = [schedule.active_at(i) for i in range(50)]
+        second = [schedule.active_at(i) for i in range(50)]
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_intermittent_probability_bounds(self):
+        with pytest.raises(FaultError):
+            intermittent(1.5)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(FaultError):
+            permanent().active_at(-1)
+
+
+class TestUniverse:
+    def test_adder_case_count(self):
+        assert len(adder_fault_cases(4)) == NUM_FA_FAULTS * 4
+
+    def test_multiplier_case_count(self):
+        assert len(multiplier_fault_cases(4)) == NUM_FA_FAULTS * 6
+
+    def test_divider_case_count(self):
+        assert len(divider_fault_cases(4)) == NUM_FA_FAULTS * 5
+
+    def test_invalid_width(self):
+        with pytest.raises(FaultError):
+            adder_fault_cases(0)
+        with pytest.raises(FaultError):
+            multiplier_fault_cases(1)
+
+
+def simple_workload(alu: FaultableALU):
+    """(a+b)*c with an SCK-style inverse check on the addition."""
+    a, b, c = 37, -12, 3
+    total = alu.add(a, b)
+    product = alu.mul(total, c)
+    check = alu.sub(total, a)
+    error = check != b
+    return (int(product),), bool(error)
+
+
+class TestInjector:
+    def test_golden_run_clean(self):
+        injector = FaultInjector(width=8)
+        outputs, error = injector.golden_run(simple_workload)
+        assert error is False
+        assert outputs == (75,)
+
+    def test_campaign_classifications(self):
+        injector = FaultInjector(width=8)
+        cells = effective_faulty_cells()
+        faults = [
+            FaultDescriptor("adder", cell, position=pos)
+            for cell in cells[:10]
+            for pos in (0, 3)
+        ]
+        result = injector.run(simple_workload, faults)
+        assert result.total == len(faults)
+        counted = sum(
+            result.count(c)
+            for c in ("correct", "detected", "escaped", "false_alarm")
+        )
+        assert counted == result.total
+        assert 0.0 <= result.coverage <= 1.0
+
+    def test_checked_workload_beats_unchecked(self):
+        """The SCK check must strictly reduce escapes vs no check."""
+
+        def unchecked(alu):
+            total = alu.add(37, -12)
+            product = alu.mul(total, 3)
+            return (int(product),), False
+
+        injector = FaultInjector(width=8)
+        faults = [
+            FaultDescriptor("adder", cell, position=pos)
+            for cell in faulty_cell_library()
+            for pos in range(8)
+        ]
+        checked = injector.run(simple_workload, faults)
+        bare = injector.run(unchecked, faults)
+        assert checked.count("escaped") < bare.count("escaped")
+        assert checked.coverage > bare.coverage
+
+    def test_noisy_golden_rejected(self):
+        def broken(alu):
+            return (0,), True
+
+        injector = FaultInjector(width=8)
+        with pytest.raises(CheckError):
+            injector.run(broken, [])
+
+    def test_descriptor_describe(self):
+        cell = effective_faulty_cells()[0]
+        descriptor = FaultDescriptor("multiplier", cell, 2, 1)
+        text = descriptor.describe()
+        assert "multiplier[2,1]" in text
+        assert "permanent" in text
+
+    def test_summary_format(self):
+        injector = FaultInjector(width=8)
+        result = injector.run(simple_workload, [])
+        assert "coverage" in result.summary()

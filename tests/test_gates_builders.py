@@ -1,0 +1,166 @@
+"""Tests for repro.gates.builders: every block must compute correctly."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError
+from repro.gates import builders
+from repro.gates.simulate import NetlistSimulator, simulate
+
+
+def exhaustive_inputs(width):
+    mask = (1 << width) - 1
+    for a in range(1 << width):
+        for b in range(1 << width):
+            yield a, b, mask
+
+
+def assign_operands(width, a, b, cin=None):
+    values = {}
+    for i in range(width):
+        values[f"a{i}"] = (a >> i) & 1
+        values[f"b{i}"] = (b >> i) & 1
+    if cin is not None:
+        values["cin"] = cin
+    return values
+
+
+def read_sum(outs, width, prefix="fa"):
+    total = 0
+    for i in range(width):
+        total |= outs[f"{prefix}{i}_s"] << i
+    return total
+
+
+class TestFullAdders:
+    @pytest.mark.parametrize("builder", [builders.full_adder, builders.full_adder_xor3])
+    def test_truth_table(self, builder):
+        nl = builder()
+        for a, b, c in itertools.product((0, 1), repeat=3):
+            outs = simulate(nl, {"a": a, "b": b, "cin": c})
+            assert outs["s"] == (a + b + c) & 1
+            assert outs["cout"] == (a + b + c) >> 1
+
+    @pytest.mark.parametrize("builder", [builders.full_adder, builders.full_adder_xor3])
+    def test_both_netlists_have_same_behaviour(self, builder):
+        reference = builders.full_adder()
+        table_ref = NetlistSimulator(reference).truth_table()
+        table = NetlistSimulator(builder()).truth_table()
+        assert (table == table_ref).all()
+
+    def test_half_adder(self):
+        nl = builders.half_adder()
+        for a, b in itertools.product((0, 1), repeat=2):
+            outs = simulate(nl, {"a": a, "b": b})
+            assert outs["s"] == a ^ b
+            assert outs["cout"] == a & b
+
+
+class TestRippleCarryAdder:
+    @pytest.mark.parametrize("width", [1, 2, 3, 4])
+    def test_exhaustive(self, width):
+        nl = builders.ripple_carry_adder(width)
+        sim = NetlistSimulator(nl)
+        for a, b, mask in exhaustive_inputs(width):
+            outs = {
+                k: int(v)
+                for k, v in sim.outputs(assign_operands(width, a, b, 0)).items()
+            }
+            assert read_sum(outs, width) == (a + b) & mask
+            assert outs[f"fa{width - 1}_cout"] == ((a + b) >> width) & 1
+
+    def test_carry_in(self):
+        nl = builders.ripple_carry_adder(3)
+        outs = simulate(nl, assign_operands(3, 5, 2, 1))
+        assert read_sum(outs, 3) == (5 + 2 + 1) & 7
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(NetlistError):
+            builders.ripple_carry_adder(0)
+
+
+class TestCarryLookaheadAdder:
+    @pytest.mark.parametrize("width", [1, 2, 3, 4])
+    def test_matches_ripple(self, width):
+        cla = builders.carry_lookahead_adder(width)
+        sim = NetlistSimulator(cla)
+        mask = (1 << width) - 1
+        for a, b, _ in exhaustive_inputs(width):
+            for cin in (0, 1):
+                outs = sim.outputs(assign_operands(width, a, b, cin))
+                total = 0
+                for i in range(width):
+                    total |= int(outs[f"s{i}"]) << i
+                assert total == (a + b + cin) & mask
+                assert int(outs[f"c{width}"]) == ((a + b + cin) >> width) & 1
+
+
+class TestSubtractorAndNegator:
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_subtractor_two_complement(self, width):
+        nl = builders.ripple_borrow_subtractor(width)
+        sim = NetlistSimulator(nl)
+        mask = (1 << width) - 1
+        for a, b, _ in exhaustive_inputs(width):
+            outs = sim.outputs(assign_operands(width, a, b, 1))
+            total = read_sum({k: int(v) for k, v in outs.items()}, width)
+            assert total == (a - b) & mask
+
+    @pytest.mark.parametrize("width", [2, 4])
+    def test_negator(self, width):
+        nl = builders.negator(width)
+        sim = NetlistSimulator(nl)
+        mask = (1 << width) - 1
+        for a in range(1 << width):
+            values = {f"a{i}": (a >> i) & 1 for i in range(width)}
+            values["zero"] = 0
+            values["one"] = 1
+            outs = {k: int(v) for k, v in sim.outputs(values).items()}
+            assert read_sum(outs, width) == (-a) & mask
+
+
+class TestComparator:
+    @pytest.mark.parametrize("width", [1, 3])
+    def test_equality(self, width):
+        nl = builders.equality_comparator(width)
+        sim = NetlistSimulator(nl)
+        for a, b, _ in exhaustive_inputs(width):
+            values = {}
+            for i in range(width):
+                values[f"a{i}"] = (a >> i) & 1
+                values[f"b{i}"] = (b >> i) & 1
+            outs = sim.outputs(values)
+            assert int(outs["eq"]) == int(a == b)
+
+
+class TestArrayMultiplier:
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_exhaustive(self, width):
+        nl = builders.array_multiplier(width)
+        sim = NetlistSimulator(nl)
+        for a in range(1 << width):
+            for b in range(1 << width):
+                values = {}
+                for i in range(width):
+                    values[f"a{i}"] = (a >> i) & 1
+                    values[f"b{i}"] = (b >> i) & 1
+                values["zero"] = 0
+                outs = sim.outputs(values)
+                product = 0
+                for k in range(2 * width):
+                    product |= int(outs[f"p_{k}"]) << k
+                assert product == a * b, f"{a}*{b}"
+
+
+class TestFaultSiteCounts:
+    def test_five_gate_fa_has_32_faults(self):
+        from repro.gates.faults import full_fault_list
+
+        assert len(full_fault_list(builders.full_adder())) == 32
+
+    def test_xor3_fa_has_32_faults(self):
+        from repro.gates.faults import full_fault_list
+
+        assert len(full_fault_list(builders.full_adder_xor3())) == 32

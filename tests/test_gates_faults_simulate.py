@@ -1,0 +1,149 @@
+"""Tests for repro.gates.faults and repro.gates.simulate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultError, SimulationError
+from repro.gates import builders
+from repro.gates.cells import CellType
+from repro.gates.faults import (
+    FaultSite,
+    StuckAtFault,
+    collapse_equivalent,
+    enumerate_fault_sites,
+    full_fault_list,
+)
+from repro.gates.netlist import Netlist
+from repro.gates.simulate import NetlistSimulator, simulate, simulate_vector
+
+
+class TestFaultSites:
+    def test_stem_only_for_single_fanout(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_gate(CellType.NOT, ["a"], "y")
+        nl.mark_output("y")
+        sites = enumerate_fault_sites(nl)
+        assert all(site.is_stem for site in sites)
+        assert len(sites) == 2  # a, y
+
+    def test_branches_for_multi_fanout(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_input("b")
+        nl.add_gate(CellType.AND, ["a", "b"], "x")
+        nl.add_gate(CellType.OR, ["a", "b"], "y")
+        nl.mark_output("x")
+        nl.mark_output("y")
+        sites = enumerate_fault_sites(nl)
+        # a, b: stem + 2 branches each; x, y: stems -> 3+3+1+1
+        assert len(sites) == 8
+        branch_sites = [s for s in sites if not s.is_stem]
+        assert len(branch_sites) == 4
+
+    def test_invalid_stuck_value(self):
+        with pytest.raises(FaultError):
+            StuckAtFault(FaultSite("a"), 2)
+
+    def test_describe(self):
+        fault = StuckAtFault(FaultSite("a", ("g", 1)), 0)
+        assert "SA0" in fault.describe()
+        assert "g.pin1" in fault.describe()
+
+
+class TestFaultySimulation:
+    def test_stem_fault_affects_all_readers(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_input("b")
+        nl.add_gate(CellType.AND, ["a", "b"], "x", name="g_and")
+        nl.add_gate(CellType.OR, ["a", "b"], "y", name="g_or")
+        nl.mark_output("x")
+        nl.mark_output("y")
+        fault = StuckAtFault(FaultSite("a"), 1)
+        outs = simulate(nl, {"a": 0, "b": 0}, fault)
+        assert outs["x"] == 0  # 1 & 0
+        assert outs["y"] == 1  # 1 | 0
+
+    def test_branch_fault_affects_one_reader(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_input("b")
+        nl.add_gate(CellType.AND, ["a", "b"], "x", name="g_and")
+        nl.add_gate(CellType.OR, ["a", "b"], "y", name="g_or")
+        nl.mark_output("x")
+        nl.mark_output("y")
+        fault = StuckAtFault(FaultSite("a", ("g_or", 0)), 1)
+        outs = simulate(nl, {"a": 0, "b": 0}, fault)
+        assert outs["x"] == 0  # unaffected
+        assert outs["y"] == 1  # stuck branch
+
+    def test_output_stem_fault(self):
+        nl = builders.full_adder()
+        fault = StuckAtFault(FaultSite("s"), 1)
+        outs = simulate(nl, {"a": 0, "b": 0, "cin": 0}, fault)
+        assert outs["s"] == 1
+
+    def test_fault_free_matches_reference(self):
+        nl = builders.full_adder_xor3()
+        sim = NetlistSimulator(nl)
+        table = sim.truth_table()
+        for idx in range(8):
+            a, b, c = idx & 1, (idx >> 1) & 1, (idx >> 2) & 1
+            assert table[idx, 0] == (a + b + c) & 1
+            assert table[idx, 1] == (a + b + c) >> 1
+
+
+class TestVectorSimulation:
+    def test_vector_matches_scalar(self):
+        nl = builders.ripple_carry_adder(2)
+        a = np.array([0, 1, 1, 0], dtype=np.uint8)
+        b = np.array([1, 1, 0, 0], dtype=np.uint8)
+        inputs = {
+            "a0": a,
+            "a1": np.zeros(4, dtype=np.uint8),
+            "b0": b,
+            "b1": np.ones(4, dtype=np.uint8),
+            "cin": np.zeros(4, dtype=np.uint8),
+        }
+        outs = simulate_vector(nl, inputs)
+        for k in range(4):
+            scalar = simulate(
+                nl,
+                {name: int(vals[k]) for name, vals in inputs.items()},
+            )
+            for net, values in outs.items():
+                assert int(values[k]) == scalar[net]
+
+    def test_length_mismatch_rejected(self):
+        nl = builders.half_adder()
+        with pytest.raises(SimulationError):
+            simulate_vector(
+                nl,
+                {
+                    "a": np.array([0, 1], dtype=np.uint8),
+                    "b": np.array([0, 1, 1], dtype=np.uint8),
+                },
+            )
+
+    def test_missing_input_rejected(self):
+        nl = builders.half_adder()
+        with pytest.raises(SimulationError):
+            simulate(nl, {"a": 1})
+
+    def test_non_binary_rejected(self):
+        nl = builders.half_adder()
+        with pytest.raises(SimulationError):
+            simulate(nl, {"a": 2, "b": 0})
+
+
+class TestCollapse:
+    def test_collapse_reduces_list(self):
+        nl = builders.full_adder()
+        sim = NetlistSimulator(nl)
+        faults = full_fault_list(nl)
+        behaviors = {f: sim.behavior_signature(f) for f in faults}
+        collapsed = collapse_equivalent(nl, faults, behaviors)
+        assert 0 < len(collapsed) < len(faults)
+        signatures = {behaviors[f] for f in collapsed}
+        assert len(signatures) == len(collapsed)

@@ -1,0 +1,154 @@
+"""Cross-module integration tests: the paper's claims end to end."""
+
+import pytest
+
+from repro.apps.fir import FirSpec, fir_graph, fir_reference, fir_sck, make_input_streams
+from repro.arch.alu import FaultableALU
+from repro.arch.cell import effective_faulty_cells, faulty_cell_library
+from repro.codesign.flow import ReliableCoDesignFlow
+from repro.codesign.sck_transform import enrich_with_sck
+from repro.core.backends import HardwareBackend
+from repro.core.context import SCKContext
+from repro.core.value import SCK
+from repro.coverage.engine import evaluate_adder
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultDescriptor
+from repro.vm.compiler import ERROR_FLAG_ADDR, compile_dfg
+from repro.vm.machine import Machine
+from repro.vm.optimizer import optimize
+
+
+class TestSection21Claims:
+    """Paper Section 2.1: allocation decides the coverage guarantee."""
+
+    def test_different_units_give_complete_coverage(self):
+        """Every observable error is detected when the check runs on a
+        fault-free unit -- for every fault in the universe."""
+        samples = [(3, 9), (-12, 5), (100, -101), (77, 77)]
+        for cell in faulty_cell_library():
+            backend = HardwareBackend(8)
+            backend.alu.inject_fault("adder", cell, position=1)
+            with SCKContext(
+                width=8, backend=backend, check_allocation="different_unit"
+            ):
+                for a, b in samples:
+                    result = SCK(a) + SCK(b)
+                    expected_wrapped = SCK(a + b).value
+                    if result.value != expected_wrapped:
+                        assert result.error
+
+    def test_same_unit_coverage_below_complete_but_high(self):
+        stats = evaluate_adder(2)
+        assert 0.90 < stats["tech1"].coverage < 1.0
+
+
+class TestFirSckEndToEnd:
+    """The methodology applied to the paper's FIR, specification level."""
+
+    def test_fault_free_run_is_clean_and_correct(self):
+        samples = list(range(-8, 8))
+        with SCKContext(width=16, backend="hardware") as ctx:
+            outputs = fir_sck(samples)
+        assert [o.value for o in outputs] == fir_reference(samples)
+        assert not any(o.error for o in outputs)
+
+    def test_faulty_multiplier_flagged(self):
+        samples = list(range(1, 20))
+        detected_any = False
+        for cell in effective_faulty_cells()[:8]:
+            backend = HardwareBackend(16)
+            backend.alu.inject_fault("multiplier", cell, position=2, column=1)
+            with SCKContext(width=16, backend=backend):
+                outputs = fir_sck(samples)
+            golden = fir_reference(samples)
+            for out, expected in zip(outputs, golden):
+                if out.value != expected:
+                    assert out.error, "corrupted FIR output not flagged"
+                if out.error:
+                    detected_any = True
+        assert detected_any
+
+
+class TestHardwareSoftwareConsistency:
+    """The same specification gives identical results in the hardware
+    simulation (SCK over the faultable ALU) and the compiled software
+    (VM over the same ALU), fault by fault."""
+
+    def test_fir_consistent_across_targets(self):
+        samples = [5, -3, 12, 7, -9, 1, 0, 4]
+        spec = FirSpec()
+        graph = fir_graph(spec)
+        program, memory_map = compile_dfg(graph, len(samples))
+        memory = {}
+        for name, stream in make_input_streams(samples, spec).items():
+            base = memory_map.stream_for_input(name)
+            for k, v in enumerate(stream):
+                memory[base + k] = v
+        for cell in effective_faulty_cells()[:6]:
+            # Software target.
+            alu = FaultableALU(16)
+            alu.inject_fault("adder", cell, position=2)
+            sw = Machine(16, alu=alu).run(program, dict(memory))
+            base = memory_map.stream_for_output("y")
+            sw_out = [sw.memory.get(base + k, 0) for k in range(len(samples))]
+            # Specification-level target on an equally-faulty backend.
+            backend = HardwareBackend(16)
+            backend.alu.inject_fault("adder", cell, position=2)
+            with SCKContext(width=16, backend=backend):
+                spec_out = [o.value for o in fir_sck(samples, spec)]
+            assert sw_out == spec_out
+
+
+class TestCampaignOnCompiledSoftware:
+    """Fault campaign over the compiled SCK FIR: the error flag must
+    catch silent corruptions (software implementation of Table 3)."""
+
+    def test_checked_software_detects_errors(self):
+        samples = list(range(1, 25))
+        graph = enrich_with_sck(fir_graph())
+        program, memory_map = compile_dfg(graph, len(samples))
+        program = optimize(program)
+        memory = {}
+        for name, stream in make_input_streams(samples).items():
+            base = memory_map.stream_for_input(name)
+            for k, v in enumerate(stream):
+                memory[base + k] = v
+        base = memory_map.stream_for_output("y")
+        golden = Machine(16).run(program, dict(memory))
+        golden_out = [golden.memory.get(base + k, 0) for k in range(len(samples))]
+
+        escapes = 0
+        detections = 0
+        corruptions = 0
+        for cell in effective_faulty_cells():
+            alu = FaultableALU(16)
+            alu.inject_fault("adder", cell, position=4)
+            run = Machine(16, alu=alu).run(program, dict(memory))
+            out = [run.memory.get(base + k, 0) for k in range(len(samples))]
+            flagged = bool(run.memory.get(ERROR_FLAG_ADDR, 0))
+            if out != golden_out:
+                corruptions += 1
+                if flagged:
+                    detections += 1
+                else:
+                    escapes += 1
+        assert corruptions > 0
+        assert detections > 0
+        # Worst case (same ALU runs the checks): high but possibly
+        # imperfect coverage -- the paper's Table 2 story.
+        assert detections / corruptions > 0.8
+
+
+class TestFlowCoversPaperTable3:
+    def test_flow_summary_shape(self):
+        results = ReliableCoDesignFlow(fir_graph(), samples=5_000).run()
+        plain = results["plain"]
+        sck = results["sck"]
+        embedded = results["embedded"]
+        # Latency: checked variants never beat plain; min-latency ties.
+        assert sck.hw_min_area.cycles_per_sample > plain.hw_min_area.cycles_per_sample
+        assert sck.hw_min_latency.cycles_per_sample == plain.hw_min_latency.cycles_per_sample
+        # Software overhead ordering with SCK < 2.6x (paper: 1.47x).
+        ratio_sck = sck.software.seconds / plain.software.seconds
+        ratio_embedded = embedded.software.seconds / plain.software.seconds
+        assert 1.0 < ratio_embedded < ratio_sck < 2.6
