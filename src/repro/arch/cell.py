@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.errors import FaultError
 from repro.gates.builders import full_adder, full_adder_xor3
+from repro.gates.engine import engine_for
 from repro.gates.faults import FaultSite, StuckAtFault, full_fault_list
 from repro.gates.netlist import Netlist
 from repro.gates.simulate import NetlistSimulator
@@ -90,14 +91,20 @@ class FullAdderCell:
         return self.sum_lut != other.sum_lut or self.carry_lut != other.carry_lut
 
 
-def _lut_from_netlist(netlist: Netlist, fault: StuckAtFault = None) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
-    sim = NetlistSimulator(netlist)
-    table = sim.truth_table(fault)  # shape (8, 2); column order = (s, cout)
-    # Primary inputs are declared a, b, cin -> combo index bit0=a matches
-    # our LUT convention directly.
+def _luts_from_table(netlist: Netlist, table) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Extract the (sum, carry) LUT pair from an exhaustive truth table.
+
+    ``table`` has shape ``(8, n_outputs)`` in ``primary_outputs`` column
+    order; primary inputs are declared a, b, cin, so combo index bit0=a
+    matches our LUT convention directly.
+    """
     s_col = netlist.primary_outputs.index("s")
     c_col = netlist.primary_outputs.index("cout")
     return tuple(int(v) for v in table[:, s_col]), tuple(int(v) for v in table[:, c_col])
+
+
+def _lut_from_netlist(netlist: Netlist, fault: StuckAtFault = None) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    return _luts_from_table(netlist, NetlistSimulator(netlist).truth_table(fault))
 
 
 def reference_cell(netlist_style: str = DEFAULT_CELL_NETLIST) -> FullAdderCell:
@@ -131,9 +138,13 @@ def faulty_cell_library(netlist_style: str = DEFAULT_CELL_NETLIST) -> List[FullA
     if netlist_style not in _library_cache:
         builder = _get_builder(netlist_style)
         netlist = builder()
+        faults = full_fault_list(netlist)
+        # One batched bit-parallel pass produces all 32 faulty truth
+        # tables at once instead of 32 interpreter walks.
+        tables = engine_for(netlist).truth_tables(faults)  # (n_faults, 8, n_outputs)
         cells: List[FullAdderCell] = []
-        for fault in full_fault_list(netlist):
-            s_lut, c_lut = _lut_from_netlist(netlist, fault)
+        for fault, table in zip(faults, tables):
+            s_lut, c_lut = _luts_from_table(netlist, table)
             cells.append(
                 FullAdderCell(s_lut, c_lut, fault=CellFault(netlist_style, fault))
             )

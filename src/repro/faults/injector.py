@@ -13,25 +13,43 @@ classifies each run:
 
 The workload is any callable receiving the (possibly faulty) ALU and
 returning ``(outputs, error_flag)``.
+
+Besides the per-fault ALU campaigns, :func:`run_gate_level_campaign`
+exposes the batched bit-parallel path: the whole stuck-at universe of a
+gate-level netlist is simulated against one shared golden run
+(:mod:`repro.gates.engine`) and folded into the same
+:class:`CampaignResult` vocabulary (``detected`` / ``escaped``), so
+campaign reporting works unchanged at either abstraction level.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Sequence, Tuple
+from typing import Callable, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.arch.alu import FaultableALU
 from repro.errors import CheckError, ReproError
 from repro.faults.model import FaultDescriptor
+from repro.gates.engine import StuckAtCampaignResult, run_stuck_at_campaign
+from repro.gates.faults import StuckAtFault
+from repro.gates.netlist import Netlist
 
 Workload = Callable[[FaultableALU], Tuple[Sequence[int], bool]]
+
+
+#: ALU campaigns classify :class:`FaultDescriptor`\ s; gate-level
+#: campaigns classify raw :class:`StuckAtFault`\ s through the same
+#: result machinery (both expose ``describe()``).
+CampaignFault = Union[FaultDescriptor, StuckAtFault]
 
 
 @dataclass
 class CampaignOutcome:
     """Classification of one fault's run."""
 
-    fault: FaultDescriptor
+    fault: CampaignFault
     classification: str
     outputs: Tuple[int, ...] = ()
 
@@ -68,7 +86,7 @@ class CampaignResult:
         """Faults flagged although the final outputs were correct."""
         return self.count("false_alarm")
 
-    def escaped_faults(self) -> List[FaultDescriptor]:
+    def escaped_faults(self) -> List[CampaignFault]:
         return [o.fault for o in self.outcomes if o.classification == "escaped"]
 
     def summary(self) -> str:
@@ -129,3 +147,40 @@ class FaultInjector:
                 cls = "correct"
             result.outcomes.append(CampaignOutcome(fault, cls, outputs))
         return result
+
+
+def run_gate_level_campaign(
+    netlist: Netlist,
+    vectors: Optional[Mapping[str, Union[int, np.ndarray]]] = None,
+    faults: Optional[Iterable[StuckAtFault]] = None,
+    collapse: bool = True,
+    fault_dropping: bool = True,
+) -> Tuple[CampaignResult, StuckAtCampaignResult]:
+    """Batched stuck-at campaign over a gate-level netlist.
+
+    Unlike :class:`FaultInjector` (one workload run per fault), this
+    simulates the entire stuck-at universe in a single bit-parallel pass
+    against a shared golden run, with structural fault collapsing and
+    fault dropping.  ``vectors`` maps primary inputs to 0/1 arrays; by
+    default the exhaustive vector set is applied.
+
+    A fault whose outputs diverge from the golden run on some vector is
+    ``detected``; one that never diverges is ``escaped`` (at the bare
+    gate level there is no checking operation to flag it).  Returns the
+    classic :class:`CampaignResult` plus the raw
+    :class:`~repro.gates.engine.StuckAtCampaignResult` for callers that
+    need per-fault detecting vectors or the collapsing groups.
+    """
+    raw = run_stuck_at_campaign(
+        netlist,
+        inputs=vectors,
+        faults=faults,
+        collapse=collapse,
+        fault_dropping=fault_dropping,
+    )
+    result = CampaignResult()
+    for fault, hit in zip(raw.faults, raw.detected):
+        result.outcomes.append(
+            CampaignOutcome(fault, "detected" if hit else "escaped")
+        )
+    return result, raw

@@ -2,15 +2,27 @@
 
 This package models combinational circuits at the structural gate level:
 
-* :mod:`repro.gates.netlist` -- nets, gates and the :class:`Netlist` graph;
+* :mod:`repro.gates.netlist` -- nets, gates and the :class:`Netlist` graph
+  (with indexed driver/fanout queries and an iterative topological sort);
 * :mod:`repro.gates.cells` -- the primitive cell library (AND, OR, XOR...);
 * :mod:`repro.gates.builders` -- parameterised generators for the
   arithmetic blocks used throughout the paper (full adder, ripple-carry
   adder, carry-lookahead adder, subtractor, comparator, array multiplier);
 * :mod:`repro.gates.faults` -- the classical single-stuck-at fault
-  universe (stems plus fanout branches), fault collapsing;
-* :mod:`repro.gates.simulate` -- scalar and NumPy-vectorised logic
-  simulation with optional fault injection;
+  universe (stems plus fanout branches), functional and structural fault
+  collapsing;
+* :mod:`repro.gates.compile` -- lowering of a netlist to flat integer-id
+  arrays (:class:`CompiledNetlist`): per-gate opcode/operand arrays,
+  CSR fanout index, cached topological order;
+* :mod:`repro.gates.engine` -- the bit-parallel simulator on top of the
+  compiled form: 64 test vectors per ``uint64`` word, fault-major
+  matrix evaluation, and batched stuck-at campaigns with structural
+  collapsing and fault dropping (:func:`run_stuck_at_campaign`);
+* :mod:`repro.gates.simulate` -- the public simulation surface:
+  :class:`NetlistSimulator` (thin adapter over the compiled engine),
+  cached one-shot :func:`simulate` / :func:`simulate_vector`, and the
+  original interpreter as :class:`ReferenceSimulator` for differential
+  testing;
 * :mod:`repro.gates.emit` -- structural VHDL emission.
 
 The paper's Section 4.1 test environment models the faulty functional unit
@@ -21,8 +33,27 @@ fault list of the standard five-gate full adder built here.
 
 from repro.gates.netlist import Gate, Net, Netlist
 from repro.gates.cells import CELL_LIBRARY, CellType, cell_function
-from repro.gates.faults import FaultSite, StuckAtFault, enumerate_fault_sites, full_fault_list
-from repro.gates.simulate import NetlistSimulator, simulate, simulate_vector
+from repro.gates.compile import CompiledNetlist, compile_netlist
+from repro.gates.engine import (
+    BitParallelEngine,
+    PackedVectors,
+    StuckAtCampaignResult,
+    run_stuck_at_campaign,
+)
+from repro.gates.faults import (
+    FaultSite,
+    StuckAtFault,
+    enumerate_fault_sites,
+    full_fault_list,
+    structural_equivalence_groups,
+)
+from repro.gates.simulate import (
+    NetlistSimulator,
+    ReferenceSimulator,
+    get_simulator,
+    simulate,
+    simulate_vector,
+)
 from repro.gates import builders
 
 __all__ = [
@@ -32,11 +63,20 @@ __all__ = [
     "CELL_LIBRARY",
     "CellType",
     "cell_function",
+    "CompiledNetlist",
+    "compile_netlist",
+    "BitParallelEngine",
+    "PackedVectors",
+    "StuckAtCampaignResult",
+    "run_stuck_at_campaign",
     "FaultSite",
     "StuckAtFault",
     "enumerate_fault_sites",
     "full_fault_list",
+    "structural_equivalence_groups",
     "NetlistSimulator",
+    "ReferenceSimulator",
+    "get_simulator",
     "simulate",
     "simulate_vector",
     "builders",

@@ -1,0 +1,219 @@
+"""Lowering of :class:`~repro.gates.netlist.Netlist` to flat arrays.
+
+The dict-keyed :class:`Netlist` graph is convenient to build and query
+but expensive to walk repeatedly: every simulation resolves net names
+through hash lookups and re-derives structure.  A
+:class:`CompiledNetlist` lowers the graph once into the dense form the
+bit-parallel engine (:mod:`repro.gates.engine`) consumes:
+
+* every net gets a small integer id (primary inputs first, then gate
+  outputs in topological order), so simulation state is one NumPy array
+  indexed by net id instead of a dict;
+* gates are flattened into per-gate opcode / base-op / invert arrays in
+  topological order, with operand net ids packed into a CSR-style
+  ``(operand_offsets, operands)`` pair (gate ``g`` reads
+  ``operands[operand_offsets[g]:operand_offsets[g+1]]``);
+* the fanout relation is the transposed CSR ``(fanout_offsets,
+  fanout_gates, fanout_pins)``: the pins reading net ``n`` are rows
+  ``fanout_offsets[n]:fanout_offsets[n+1]``;
+* the topological order itself is computed once and cached with the
+  compiled object.
+
+Compilation results are memoised per source netlist and invalidated via
+:attr:`Netlist.version`, so hot paths that repeatedly wrap the same
+netlist (``simulate()``, the faulty cell-library builder, fault
+campaigns) pay the lowering cost once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import NetlistError
+from repro.gates.cells import CellType
+from repro.gates.memo import identity_memo, netlist_fingerprint
+from repro.gates.netlist import Gate, Netlist
+
+# Opcode table.  ``base`` selects the word-wide reduction; ``invert``
+# complements the reduced word (NAND/NOR/XNOR/NOT).
+OP_AND = 0
+OP_OR = 1
+OP_XOR = 2
+OP_COPY = 3
+
+_LOWERING: Dict[CellType, Tuple[int, bool]] = {
+    CellType.AND: (OP_AND, False),
+    CellType.NAND: (OP_AND, True),
+    CellType.OR: (OP_OR, False),
+    CellType.NOR: (OP_OR, True),
+    CellType.XOR: (OP_XOR, False),
+    CellType.XNOR: (OP_XOR, True),
+    CellType.BUF: (OP_COPY, False),
+    CellType.NOT: (OP_COPY, True),
+}
+
+
+@dataclass(frozen=True)
+class CompiledNetlist:
+    """Dense, index-based lowering of one :class:`Netlist`.
+
+    All gate-indexed arrays are in topological order; ``gate_names[g]``
+    recovers the source gate instance name of compiled gate ``g``.
+    """
+
+    name: str
+    source: Netlist
+    net_ids: Mapping[str, int]
+    net_names: Tuple[str, ...]
+    input_ids: np.ndarray  # (n_inputs,) int32, order = declared PI order
+    output_ids: np.ndarray  # (n_outputs,) int32, order = declared PO order
+    base_ops: np.ndarray  # (n_gates,) uint8, OP_AND/OP_OR/OP_XOR/OP_COPY
+    inverts: np.ndarray  # (n_gates,) bool
+    operand_offsets: np.ndarray  # (n_gates + 1,) int32, CSR offsets
+    operands: np.ndarray  # flat operand net ids, int32
+    gate_output_ids: np.ndarray  # (n_gates,) int32
+    gate_names: Tuple[str, ...]
+    pin_ids: Mapping[Tuple[str, int], Tuple[int, int]]
+    fanout_offsets: np.ndarray  # (n_nets + 1,) int32
+    fanout_gates: np.ndarray  # compiled gate index per reader pin
+    fanout_pins: np.ndarray  # pin index per reader pin
+
+    @property
+    def n_nets(self) -> int:
+        return len(self.net_names)
+
+    @property
+    def n_gates(self) -> int:
+        return len(self.gate_names)
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.input_ids)
+
+    @property
+    def n_outputs(self) -> int:
+        return len(self.output_ids)
+
+    def net_id(self, net: str) -> int:
+        """Resolve a net name to its compiled id."""
+        try:
+            return self.net_ids[net]
+        except KeyError:
+            raise NetlistError(f"unknown net {net!r} in netlist {self.name!r}") from None
+
+    def pin_id(self, gate_name: str, pin: int) -> Tuple[int, int]:
+        """Resolve (gate instance name, pin index) to (compiled gate, pin)."""
+        try:
+            return self.pin_ids[(gate_name, pin)]
+        except KeyError:
+            raise NetlistError(
+                f"unknown gate pin {gate_name!r}.pin{pin} in netlist {self.name!r}"
+            ) from None
+
+    def fanout_of(self, net: str) -> List[Tuple[int, int]]:
+        """Reader (compiled gate index, pin) pairs of ``net`` via the CSR."""
+        nid = self.net_id(net)
+        lo, hi = int(self.fanout_offsets[nid]), int(self.fanout_offsets[nid + 1])
+        return [
+            (int(self.fanout_gates[k]), int(self.fanout_pins[k])) for k in range(lo, hi)
+        ]
+
+
+def _lower(netlist: Netlist, ordered: List[Gate]) -> CompiledNetlist:
+    net_ids: Dict[str, int] = {}
+    net_names: List[str] = []
+
+    def intern(net: str) -> int:
+        nid = net_ids.get(net)
+        if nid is None:
+            nid = len(net_names)
+            net_ids[net] = nid
+            net_names.append(net)
+        return nid
+
+    input_ids = np.array(
+        [intern(net) for net in netlist.primary_inputs], dtype=np.int32
+    )
+    base_ops = np.empty(len(ordered), dtype=np.uint8)
+    inverts = np.empty(len(ordered), dtype=bool)
+    operand_offsets = np.zeros(len(ordered) + 1, dtype=np.int32)
+    flat_operands: List[int] = []
+    gate_output_ids = np.empty(len(ordered), dtype=np.int32)
+    gate_names: List[str] = []
+    pin_ids: Dict[Tuple[str, int], Tuple[int, int]] = {}
+
+    for g, gate in enumerate(ordered):
+        try:
+            base, invert = _LOWERING[gate.cell_type]
+        except KeyError:
+            raise NetlistError(
+                f"cell type {gate.cell_type!r} has no compiled lowering"
+            ) from None
+        base_ops[g] = base
+        inverts[g] = invert
+        for pin, net in enumerate(gate.inputs):
+            flat_operands.append(intern(net))
+            pin_ids[(gate.name, pin)] = (g, pin)
+        operand_offsets[g + 1] = len(flat_operands)
+        gate_output_ids[g] = intern(gate.output)
+        gate_names.append(gate.name)
+
+    for net in netlist.primary_outputs:
+        intern(net)
+    output_ids = np.array(
+        [net_ids[net] for net in netlist.primary_outputs], dtype=np.int32
+    )
+
+    operands = np.array(flat_operands, dtype=np.int32)
+    n_nets = len(net_names)
+
+    # Transposed CSR: readers of each net, ordered by compiled gate/pin.
+    counts = np.zeros(n_nets + 1, dtype=np.int32)
+    for nid in flat_operands:
+        counts[nid + 1] += 1
+    fanout_offsets = np.cumsum(counts, dtype=np.int32)
+    fanout_gates = np.empty(len(flat_operands), dtype=np.int32)
+    fanout_pins = np.empty(len(flat_operands), dtype=np.int32)
+    cursor = fanout_offsets[:-1].copy()
+    for g in range(len(ordered)):
+        for pin, k in enumerate(range(operand_offsets[g], operand_offsets[g + 1])):
+            nid = flat_operands[k]
+            slot = cursor[nid]
+            fanout_gates[slot] = g
+            fanout_pins[slot] = pin
+            cursor[nid] += 1
+
+    return CompiledNetlist(
+        name=netlist.name,
+        source=netlist,
+        net_ids=net_ids,
+        net_names=tuple(net_names),
+        input_ids=input_ids,
+        output_ids=output_ids,
+        base_ops=base_ops,
+        inverts=inverts,
+        operand_offsets=operand_offsets,
+        operands=operands,
+        gate_output_ids=gate_output_ids,
+        gate_names=tuple(gate_names),
+        pin_ids=pin_ids,
+        fanout_offsets=fanout_offsets,
+        fanout_gates=fanout_gates,
+        fanout_pins=fanout_pins,
+    )
+
+
+@identity_memo(netlist_fingerprint)
+def compile_netlist(netlist: Netlist) -> CompiledNetlist:
+    """Lower ``netlist`` to a :class:`CompiledNetlist`, memoised.
+
+    The cache is keyed on object identity plus :attr:`Netlist.version`,
+    so mutating the netlist (``add_gate``...) transparently recompiles
+    on next use while repeated wrapping of an unchanged netlist is free.
+    The netlist is validated on every cache miss.
+    """
+    netlist.validate()
+    return _lower(netlist, netlist.topological_gates())

@@ -1,0 +1,610 @@
+"""Bit-parallel gate-level simulation and batched fault campaigns.
+
+This is the execution layer on top of :mod:`repro.gates.compile`.  Test
+vectors are packed 64 per ``uint64`` word (vector ``v`` lives in bit
+``v % 64`` of word ``v // 64``), so one word-wide bitwise operation
+evaluates a gate for 64 vectors at once -- the classical bit-parallel
+acceleration that makes exhaustive stuck-at evaluation tractable.
+
+Three levels of service:
+
+* :meth:`BitParallelEngine.run_words` -- fault-free (or single-fault)
+  evaluation of every net over a packed vector set;
+* :meth:`BitParallelEngine.truth_tables` -- faulty truth tables for many
+  faults in one pass (the faulty cell-library builder uses this);
+* :meth:`BitParallelEngine.campaign` /
+  :func:`run_stuck_at_campaign` -- a batched fault campaign: the whole
+  stuck-at universe is simulated as a *fault-major matrix* (``n_nets x
+  n_faults x n_words``) against one shared golden run, with structural
+  fault collapsing (only one representative per equivalence class is
+  simulated) and fault dropping (detected faults leave the matrix
+  between vector chunks).
+
+Fault semantics match the reference interpreter
+(:class:`repro.gates.simulate.ReferenceSimulator`): a *stem* fault
+overrides the net value seen by all readers and by primary outputs; a
+*branch* fault overrides the value seen by one specific gate input pin
+only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.gates.compile import (
+    OP_AND,
+    OP_OR,
+    OP_XOR,
+    CompiledNetlist,
+    compile_netlist,
+)
+from repro.gates.faults import (
+    StuckAtFault,
+    default_equivalence_groups,
+    default_fault_universe,
+    structural_equivalence_groups,
+)
+from repro.gates.memo import identity_memo
+from repro.gates.netlist import Netlist
+
+Value = Union[int, np.ndarray]
+
+LANES = 64
+ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+_SHIFTS = np.arange(LANES, dtype=np.uint64)
+
+#: Exhaustive packing refuses input counts beyond this (2**24 vectors).
+MAX_EXHAUSTIVE_INPUTS = 24
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a 1-d 0/1 array into uint64 words, 64 vectors per word."""
+    bits = np.asarray(bits, dtype=np.uint64)
+    n = bits.shape[0]
+    n_words = (n + LANES - 1) // LANES
+    if n_words * LANES != n:
+        bits = np.concatenate(
+            [bits, np.zeros(n_words * LANES - n, dtype=np.uint64)]
+        )
+    if n_words == 0:
+        return np.zeros(0, dtype=np.uint64)
+    lanes = bits.reshape(n_words, LANES) << _SHIFTS
+    return np.bitwise_or.reduce(lanes, axis=1)
+
+
+def unpack_bits(words: np.ndarray, n_vectors: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`; works on any leading shape."""
+    words = np.asarray(words, dtype=np.uint64)
+    bits = (words[..., :, None] >> _SHIFTS) & np.uint64(1)
+    flat = bits.reshape(*words.shape[:-1], words.shape[-1] * LANES)
+    return flat[..., :n_vectors].astype(np.uint8)
+
+
+@dataclass(frozen=True)
+class PackedVectors:
+    """A packed test-vector set: one word row per primary input.
+
+    ``words[k]`` holds the bit stream of the ``k``-th primary input (in
+    compiled/declared order) across all vectors.
+    """
+
+    words: np.ndarray  # (n_inputs, n_words) uint64
+    n_vectors: int
+
+    @property
+    def n_words(self) -> int:
+        return self.words.shape[1]
+
+    @property
+    def tail_mask(self) -> np.uint64:
+        """Mask of valid bits in the final word."""
+        rem = self.n_vectors % LANES
+        if rem == 0:
+            return ALL_ONES
+        return np.uint64((1 << rem) - 1)
+
+    def word_slice(self, lo: int, hi: int) -> "PackedVectors":
+        """Sub-range of whole words ``[lo, hi)`` as a new packed set."""
+        hi = min(hi, self.n_words)
+        n = min(self.n_vectors - lo * LANES, (hi - lo) * LANES)
+        return PackedVectors(self.words[:, lo:hi], n)
+
+
+def exhaustive_words(n_inputs: int) -> PackedVectors:
+    """All ``2**n_inputs`` combinations, packed, without materialising
+    per-vector uint8 arrays.
+
+    Vector ``v`` assigns bit ``k`` of ``v`` to input ``k`` -- the same
+    convention as ``NetlistSimulator.truth_table``.
+    """
+    if n_inputs > MAX_EXHAUSTIVE_INPUTS:
+        raise SimulationError(
+            f"exhaustive packing of {n_inputs} inputs is too large"
+        )
+    n_vectors = 1 << n_inputs
+    n_words = max(1, n_vectors >> 6)
+    rows = np.empty((n_inputs, n_words), dtype=np.uint64)
+    lane = np.arange(LANES, dtype=np.uint64)
+    for k in range(n_inputs):
+        if k < 6:
+            pattern = np.bitwise_or.reduce(((lane >> np.uint64(k)) & np.uint64(1)) << lane)
+            rows[k] = pattern
+        else:
+            idx = np.arange(n_words, dtype=np.uint64)
+            rows[k] = np.where(
+                (idx >> np.uint64(k - 6)) & np.uint64(1) == 1, ALL_ONES, np.uint64(0)
+            )
+    return PackedVectors(rows, n_vectors)
+
+
+def _stuck_column(values: List[int]) -> np.ndarray:
+    """Per-row stuck constants as an ``(n, 1)`` uint64 column."""
+    col = np.empty((len(values), 1), dtype=np.uint64)
+    for i, v in enumerate(values):
+        col[i, 0] = ALL_ONES if v else 0
+    return col
+
+
+class _OverridePlan:
+    """Pre-resolved stuck-at overrides for one fault-matrix evaluation.
+
+    Row ``r`` of the matrix simulates ``faults[r]``.  Stems are applied
+    to a net's value right after it is produced; branches are applied to
+    the (already copied) pin matrix while evaluating the reading gate.
+    Row indices stay plain lists -- they feed NumPy fancy indexing
+    directly and building ndarray objects per site costs more than it
+    saves at these sizes.
+    """
+
+    def __init__(self, compiled: CompiledNetlist, faults: Sequence[StuckAtFault]) -> None:
+        stem: Dict[int, Tuple[List[int], List[int]]] = {}
+        branch: Dict[int, Dict[int, Tuple[List[int], List[int]]]] = {}
+        for row, fault in enumerate(faults):
+            if fault.site.is_stem:
+                nid = compiled.net_id(fault.site.net)
+                entry = stem.get(nid)
+                if entry is None:
+                    entry = stem[nid] = ([], [])
+                entry[0].append(row)
+                entry[1].append(fault.value)
+            else:
+                gate_name, pin = fault.site.branch
+                gate, pin = compiled.pin_id(gate_name, pin)
+                pins = branch.setdefault(gate, {})
+                entry = pins.get(pin)
+                if entry is None:
+                    entry = pins[pin] = ([], [])
+                entry[0].append(row)
+                entry[1].append(fault.value)
+        # Each site becomes one fancy assignment: rows plus a per-row
+        # constant column (0 or all-ones) broadcast across the words.
+        self.stem = {
+            nid: (rows, _stuck_column(values)) for nid, (rows, values) in stem.items()
+        }
+        self.branch_by_gate = {
+            gate: {
+                pin: (rows, _stuck_column(values))
+                for pin, (rows, values) in pins.items()
+            }
+            for gate, pins in branch.items()
+        }
+
+    @staticmethod
+    def apply(entry: Tuple[List[int], np.ndarray], values: np.ndarray) -> None:
+        rows, consts = entry
+        values[rows] = consts
+
+
+@dataclass
+class StuckAtCampaignResult:
+    """Outcome of a batched stuck-at campaign.
+
+    ``detected[i]`` / ``first_detected[i]`` refer to ``faults[i]``;
+    ``first_detected`` is the 0-based index of the earliest detecting
+    vector, ``-1`` for undetected faults.  ``groups`` are the structural
+    equivalence classes (tuples of fault indices) that were each
+    simulated through a single representative.
+    """
+
+    netlist_name: str
+    faults: Tuple[StuckAtFault, ...]
+    detected: np.ndarray
+    first_detected: np.ndarray
+    n_vectors: int
+    n_simulated_runs: int
+    groups: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def n_faults(self) -> int:
+        return len(self.faults)
+
+    @property
+    def detected_count(self) -> int:
+        return int(np.sum(self.detected))
+
+    @property
+    def coverage(self) -> float:
+        """Detected fraction of the fault universe."""
+        return self.detected_count / self.n_faults if self.n_faults else 1.0
+
+    def classification(self, index: int) -> str:
+        return "detected" if self.detected[index] else "undetected"
+
+    def classifications(self) -> List[str]:
+        return [self.classification(i) for i in range(self.n_faults)]
+
+    def detected_faults(self) -> List[StuckAtFault]:
+        return [f for f, d in zip(self.faults, self.detected) if d]
+
+    def undetected_faults(self) -> List[StuckAtFault]:
+        return [f for f, d in zip(self.faults, self.detected) if not d]
+
+    def summary(self) -> str:
+        return (
+            f"{self.netlist_name}: {self.detected_count}/{self.n_faults} faults "
+            f"detected over {self.n_vectors} vectors "
+            f"({100.0 * self.coverage:.2f}% coverage, "
+            f"{len(self.groups)} equivalence groups, "
+            f"{self.n_simulated_runs} simulated fault runs)"
+        )
+
+
+class BitParallelEngine:
+    """Word-parallel evaluator bound to one :class:`CompiledNetlist`."""
+
+    #: base opcode -> binary ufunc (None = copy/NOT)
+    _UFUNCS = {OP_AND: np.bitwise_and, OP_OR: np.bitwise_or, OP_XOR: np.bitwise_xor}
+
+    def __init__(self, compiled: CompiledNetlist) -> None:
+        self.compiled = compiled
+        offsets = compiled.operand_offsets
+        # Per-gate dispatch tuples, resolved once so the hot loop does no
+        # attribute lookups, slicing arithmetic or opcode branching:
+        # (ufunc-or-None, invert, [operand net ids], output net id).
+        self._program: List[Tuple[Optional[np.ufunc], bool, List[int], int]] = [
+            (
+                self._UFUNCS.get(int(compiled.base_ops[g])),
+                bool(compiled.inverts[g]),
+                [int(i) for i in compiled.operands[offsets[g] : offsets[g + 1]]],
+                int(compiled.gate_output_ids[g]),
+            )
+            for g in range(compiled.n_gates)
+        ]
+        self._input_ids = [int(i) for i in compiled.input_ids]
+        self._output_ids = [int(i) for i in compiled.output_ids]
+        self._exhaustive: Optional[PackedVectors] = None
+        # First-round campaign plan for the default collapsed universe,
+        # rebuilt only when the memoised groups tuple changes identity.
+        self._round_plan: Optional[Tuple[int, _OverridePlan]] = None
+
+    # ------------------------------------------------------------------
+    # Packing
+    # ------------------------------------------------------------------
+    def pack_inputs(self, inputs: Mapping[str, Value]) -> Tuple[PackedVectors, bool]:
+        """Validate, broadcast and pack an input assignment.
+
+        Returns ``(packed, scalar)`` where ``scalar`` is True when every
+        input was 0-d (callers unpack results back to 0-d arrays).
+        """
+        arrays: List[np.ndarray] = []
+        length: Optional[int] = None
+        names = self.compiled.source.primary_inputs
+        for name in names:
+            if name not in inputs:
+                raise SimulationError(f"missing assignment for primary input {name!r}")
+            arr = np.asarray(inputs[name], dtype=np.uint8)
+            if arr.ndim > 1:
+                raise SimulationError(
+                    f"input {name!r} must be scalar or 1-d, got shape {arr.shape}"
+                )
+            if np.any(arr > 1):
+                raise SimulationError(f"input {name!r} contains non-binary values")
+            if arr.ndim == 1:
+                if length is None:
+                    length = arr.shape[0]
+                elif arr.shape[0] != length:
+                    raise SimulationError(
+                        f"input {name!r} length {arr.shape[0]} != {length}"
+                    )
+            arrays.append(arr)
+        scalar = length is None
+        n_vectors = 1 if scalar else length
+        n_words = (n_vectors + LANES - 1) // LANES
+        words = np.empty((len(arrays), n_words), dtype=np.uint64)
+        for k, arr in enumerate(arrays):
+            if arr.ndim == 0:
+                words[k] = ALL_ONES if int(arr) else np.uint64(0)
+            else:
+                words[k] = pack_bits(arr)
+        return PackedVectors(words, n_vectors), scalar
+
+    def exhaustive(self) -> PackedVectors:
+        """Packed exhaustive vector set over the primary inputs (cached)."""
+        if self._exhaustive is None:
+            self._exhaustive = exhaustive_words(self.compiled.n_inputs)
+        return self._exhaustive
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def run_words(
+        self, packed: PackedVectors, fault: Optional[StuckAtFault] = None
+    ) -> np.ndarray:
+        """Evaluate every net; returns a ``(n_nets, n_words)`` matrix."""
+        if fault is not None:
+            return self._run_matrix(packed.words, _OverridePlan(self.compiled, [fault]), 1)[
+                :, 0, :
+            ]
+        c = self.compiled
+        vals = np.empty((c.n_nets, packed.n_words), dtype=np.uint64)
+        for k, nid in enumerate(self._input_ids):
+            vals[nid] = packed.words[k]
+        for ufunc, invert, operand_ids, out_id in self._program:
+            out = vals[out_id]
+            if ufunc is None:  # BUF / NOT
+                if invert:
+                    np.invert(vals[operand_ids[0]], out=out)
+                else:
+                    np.copyto(out, vals[operand_ids[0]])
+            else:
+                ufunc(vals[operand_ids[0]], vals[operand_ids[1]], out=out)
+                for nid in operand_ids[2:]:
+                    ufunc(out, vals[nid], out=out)
+                if invert:
+                    np.invert(out, out=out)
+        return vals
+
+    def _run_matrix(
+        self, words: np.ndarray, plan: _OverridePlan, n_faults: int
+    ) -> np.ndarray:
+        """Fault-major evaluation: ``(n_nets, n_faults, n_words)``.
+
+        Row ``f`` of every net matrix is the behaviour under the
+        ``f``-th fault of the plan; all faults advance through the gate
+        program together, so each gate costs one word-wide NumPy op over
+        the whole fault batch instead of ``n_faults`` interpreter walks.
+        """
+        c = self.compiled
+        n_words = words.shape[1]
+        stems = plan.stem
+        branches = plan.branch_by_gate
+        apply = plan.apply
+        vals = np.empty((c.n_nets, n_faults, n_words), dtype=np.uint64)
+        for k, nid in enumerate(self._input_ids):
+            vals[nid] = words[k]  # broadcast (n_words,) -> (n_faults, n_words)
+            entry = stems.get(nid)
+            if entry is not None:
+                apply(entry, vals[nid])
+        for g, (ufunc, invert, operand_ids, out_id) in enumerate(self._program):
+            gate_branches = branches.get(g)
+            if gate_branches is None:
+                pins = [vals[nid] for nid in operand_ids]
+            else:
+                # Copy only the pins a branch fault actually overrides;
+                # untouched pins stay zero-copy views of their nets.
+                pins = []
+                for pin, nid in enumerate(operand_ids):
+                    entry = gate_branches.get(pin)
+                    if entry is None:
+                        pins.append(vals[nid])
+                    else:
+                        faulted = vals[nid].copy()
+                        apply(entry, faulted)
+                        pins.append(faulted)
+            out = vals[out_id]
+            if ufunc is None:  # BUF / NOT
+                if invert:
+                    np.invert(pins[0], out=out)
+                else:
+                    np.copyto(out, pins[0])
+            else:
+                ufunc(pins[0], pins[1], out=out)
+                for pv in pins[2:]:
+                    ufunc(out, pv, out=out)
+                if invert:
+                    np.invert(out, out=out)
+            entry = stems.get(out_id)
+            if entry is not None:
+                apply(entry, out)
+        return vals
+
+    def output_words(
+        self, packed: PackedVectors, fault: Optional[StuckAtFault] = None
+    ) -> np.ndarray:
+        """Primary-output rows only, ``(n_outputs, n_words)``."""
+        return self.run_words(packed, fault)[self._output_ids]
+
+    def truth_tables(
+        self, faults: Sequence[StuckAtFault], fault_chunk: int = 128
+    ) -> np.ndarray:
+        """Exhaustive faulty truth tables, ``(n_faults, 2**n, n_outputs)``.
+
+        One fault-matrix pass per chunk replaces ``n_faults`` separate
+        interpreter walks; column order matches ``primary_outputs``.
+        """
+        packed = self.exhaustive()
+        out_ids = self._output_ids
+        tables = np.empty(
+            (len(faults), packed.n_vectors, len(out_ids)), dtype=np.uint8
+        )
+        for lo in range(0, len(faults), fault_chunk):
+            batch = faults[lo : lo + fault_chunk]
+            plan = _OverridePlan(self.compiled, batch)
+            vals = self._run_matrix(packed.words, plan, len(batch))
+            out = vals[out_ids]  # (n_out, B, n_words)
+            bits = unpack_bits(out, packed.n_vectors)  # (n_out, B, V)
+            tables[lo : lo + len(batch)] = np.transpose(bits, (1, 2, 0))
+        return tables
+
+    # ------------------------------------------------------------------
+    # Batched fault campaign
+    # ------------------------------------------------------------------
+    def campaign(
+        self,
+        packed: Optional[PackedVectors] = None,
+        faults: Optional[Sequence[StuckAtFault]] = None,
+        collapse: bool = True,
+        fault_dropping: bool = True,
+        word_chunk: int = 512,
+        fault_chunk: int = 64,
+    ) -> StuckAtCampaignResult:
+        """Simulate a stuck-at universe against one shared golden run.
+
+        ``packed`` defaults to the exhaustive vector set; ``faults`` to
+        the full stem+branch universe.  With ``collapse`` (default) only
+        one representative per structural equivalence class is
+        simulated and its verdict is broadcast to the class.  With
+        ``fault_dropping`` (default) faults detected in an earlier
+        vector chunk drop out of later chunks.  Classifications are
+        bit-identical to per-fault reference simulation in all modes.
+        """
+        c = self.compiled
+        netlist = c.source
+        if packed is None:
+            packed = self.exhaustive()
+        # Default universe/groups come back as memoised tuples, zero-copy.
+        if faults is None:
+            fault_seq: Sequence[StuckAtFault] = default_fault_universe(netlist)
+            groups: Sequence[Sequence[int]] = (
+                default_equivalence_groups(netlist)
+                if collapse
+                else tuple((i,) for i in range(len(fault_seq)))
+            )
+        else:
+            fault_seq = tuple(faults)
+            groups = (
+                structural_equivalence_groups(netlist, fault_seq)
+                if collapse
+                else tuple((i,) for i in range(len(fault_seq)))
+            )
+        n_faults = len(fault_seq)
+
+        detected = np.zeros(n_faults, dtype=bool)
+        first_detected = np.full(n_faults, -1, dtype=np.int64)
+        active = list(range(len(groups)))
+        n_runs = 0
+        out_ids = self._output_ids
+
+        n_words = packed.n_words
+        word_chunk = max(1, word_chunk)
+        fault_chunk = max(1, fault_chunk)
+        whole_universe = faults is None and collapse
+        for lo in range(0, max(n_words, 1), word_chunk):
+            if not active:
+                break
+            if lo == 0 and word_chunk >= n_words:
+                chunk = packed
+            else:
+                chunk = packed.word_slice(lo, lo + word_chunk)
+            if chunk.n_words == 0:
+                break
+            mask = chunk.tail_mask
+            base_vector = lo * LANES
+            for blo in range(0, len(active), fault_chunk):
+                batch = active[blo : blo + fault_chunk]
+                n_batch = len(batch)
+                plan: Optional[_OverridePlan] = None
+                if whole_universe and blo == 0 and n_batch == len(groups):
+                    # Round one over the memoised universe: reuse the plan.
+                    if self._round_plan is not None and self._round_plan[0] == id(groups):
+                        plan = self._round_plan[1]
+                    else:
+                        reps = [fault_seq[g[0]] for g in groups]
+                        plan = _OverridePlan(self.compiled, reps)
+                        self._round_plan = (id(groups), plan)
+                if plan is None:
+                    reps = [fault_seq[groups[g][0]] for g in batch]
+                    plan = _OverridePlan(self.compiled, reps)
+                # One extra override-free row rides along as the shared
+                # golden run -- no separate fault-free pass needed.
+                vals = self._run_matrix(chunk.words, plan, n_batch + 1)
+                n_runs += n_batch
+                diff: Optional[np.ndarray] = None
+                for out_id in out_ids:
+                    out = vals[out_id]
+                    delta = out[:-1] ^ out[-1]
+                    diff = delta if diff is None else (diff | delta)
+                if diff is None:  # no primary outputs: nothing observable
+                    continue
+                if mask != ALL_ONES:
+                    diff[:, -1] &= mask
+                nonzero = diff != 0
+                hit_rows = np.nonzero(nonzero.any(axis=1))[0]
+                if hit_rows.size:
+                    word_idx = np.argmax(nonzero[hit_rows], axis=1)
+                    word = diff[hit_rows, word_idx]
+                    # Lowest set bit; exact via float64 log2 of a power of 2.
+                    low = word & (np.uint64(0) - word)
+                    bit = np.log2(low.astype(np.float64)).astype(np.int64)
+                    vectors = base_vector + word_idx * LANES + bit
+                    for row, vector in zip(hit_rows.tolist(), vectors.tolist()):
+                        for fi in groups[batch[row]]:
+                            # Without fault dropping a fault can re-detect
+                            # in later chunks; keep the earliest vector.
+                            if not detected[fi]:
+                                detected[fi] = True
+                                first_detected[fi] = vector
+            if fault_dropping:
+                active = [g for g in active if not detected[groups[g][0]]]
+
+        return StuckAtCampaignResult(
+            netlist_name=netlist.name,
+            faults=tuple(fault_seq),
+            detected=detected,
+            first_detected=first_detected,
+            n_vectors=packed.n_vectors,
+            n_simulated_runs=n_runs,
+            groups=groups
+            if isinstance(groups, tuple)
+            else tuple(tuple(g) for g in groups),
+        )
+
+
+# A CompiledNetlist is immutable, so identity alone keys the engine
+# cache (empty fingerprint); compile_netlist already maps a netlist
+# version to one live compiled object.
+_engine_for_compiled = identity_memo(lambda _compiled: ())(BitParallelEngine)
+
+
+def engine_for(netlist: Netlist) -> BitParallelEngine:
+    """Cached :class:`BitParallelEngine` for ``netlist``.
+
+    Piggybacks on the compiled-netlist cache: one engine per live
+    :class:`CompiledNetlist`, so repeated campaigns share the resolved
+    gate program and the packed exhaustive vector set.
+    """
+    return _engine_for_compiled(compile_netlist(netlist))
+
+
+def run_stuck_at_campaign(
+    netlist: Netlist,
+    inputs: Optional[Mapping[str, Value]] = None,
+    faults: Optional[Iterable[StuckAtFault]] = None,
+    collapse: bool = True,
+    fault_dropping: bool = True,
+    word_chunk: int = 512,
+    fault_chunk: int = 64,
+) -> StuckAtCampaignResult:
+    """One-call batched campaign over ``netlist``'s stuck-at universe.
+
+    ``inputs`` maps primary inputs to 0/1 vectors (all the same length);
+    omitted, the exhaustive vector set is used.  See
+    :meth:`BitParallelEngine.campaign` for the knobs.
+    """
+    engine = engine_for(netlist)
+    packed: Optional[PackedVectors] = None
+    if inputs is not None:
+        packed, _ = engine.pack_inputs(inputs)
+    fault_list = list(faults) if faults is not None else None
+    return engine.campaign(
+        packed,
+        fault_list,
+        collapse=collapse,
+        fault_dropping=fault_dropping,
+        word_chunk=word_chunk,
+        fault_chunk=fault_chunk,
+    )

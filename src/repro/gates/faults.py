@@ -20,10 +20,17 @@ primary outputs add 2 more -- hence 32 single stuck-at faults, exactly the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import FaultError
+from repro.gates.cells import CellType
+from repro.gates.memo import identity_memo, netlist_fingerprint
 from repro.gates.netlist import Netlist
+
+# Fault campaigns re-derive the fault universe and its equivalence
+# classes on every call; both depend only on netlist structure, so they
+# are memoised exactly like the compiled lowering (see repro.gates.memo).
+_netlist_memo = identity_memo(netlist_fingerprint)
 
 
 @dataclass(frozen=True)
@@ -76,13 +83,141 @@ def enumerate_fault_sites(netlist: Netlist) -> List[FaultSite]:
     return sites
 
 
-def full_fault_list(netlist: Netlist) -> List[StuckAtFault]:
-    """The uncollapsed single-stuck-at fault list (two faults per site)."""
+@_netlist_memo
+def _full_fault_tuple(netlist: Netlist) -> Tuple[StuckAtFault, ...]:
     faults: List[StuckAtFault] = []
     for site in enumerate_fault_sites(netlist):
         faults.append(StuckAtFault(site, 0))
         faults.append(StuckAtFault(site, 1))
-    return faults
+    return tuple(faults)
+
+
+def full_fault_list(netlist: Netlist) -> List[StuckAtFault]:
+    """The uncollapsed single-stuck-at fault list (two faults per site).
+
+    The underlying tuple is memoised per netlist version; callers get a
+    fresh list each time.
+    """
+    return list(_full_fault_tuple(netlist))
+
+
+def default_fault_universe(netlist: Netlist) -> Tuple[StuckAtFault, ...]:
+    """The memoised stem+branch universe as an immutable tuple.
+
+    Zero-copy variant of :func:`full_fault_list` for hot campaign paths.
+    """
+    return _full_fault_tuple(netlist)
+
+
+def default_equivalence_groups(netlist: Netlist) -> Tuple[Tuple[int, ...], ...]:
+    """Memoised structural-equivalence partition of the default universe.
+
+    Index groups into :func:`default_fault_universe`, zero-copy.
+    """
+    return _default_equivalence_groups(netlist)
+
+
+# Fault key: (net, branch-or-None, stuck value).  These key the
+# union-find of the structural collapsing below.
+_FaultKey = Tuple[str, Optional[Tuple[str, int]], int]
+
+
+def _fault_key(fault: StuckAtFault) -> _FaultKey:
+    return (fault.site.net, fault.site.branch, fault.value)
+
+
+#: Per cell type: the stuck value on an input pin that forces the output
+#: to a constant, and the resulting stuck value on the output.
+_CONTROLLING: Dict[CellType, Tuple[int, int]] = {
+    CellType.AND: (0, 0),
+    CellType.NAND: (0, 1),
+    CellType.OR: (1, 1),
+    CellType.NOR: (1, 0),
+}
+
+
+@_netlist_memo
+def _default_equivalence_groups(netlist: Netlist) -> Tuple[Tuple[int, ...], ...]:
+    return tuple(
+        tuple(group)
+        for group in _compute_equivalence_groups(netlist, _full_fault_tuple(netlist))
+    )
+
+
+def structural_equivalence_groups(
+    netlist: Netlist, faults: Optional[Sequence[StuckAtFault]] = None
+) -> List[List[int]]:
+    """Partition ``faults`` into classical structural-equivalence classes.
+
+    Applies the textbook gate-level rules: a controlling stuck value on
+    a gate input pin is equivalent to the corresponding stuck value on
+    the gate output (AND: SA0->SA0, NAND: SA0->SA1, OR: SA1->SA1, NOR:
+    SA1->SA0) and buffer/inverter input faults map to output faults
+    (with inversion for NOT).  A pin reads its *branch* site when the
+    net fans out, else the net *stem*; a stem that is also a primary
+    output is never merged (the fault stays directly observable there,
+    unlike the gate-output fault).  Equivalent faults have identical
+    input/output behaviour, so simulating one representative per class
+    is exact.
+
+    Returns index groups into ``faults`` (default: the full stuck-at
+    list), each ordered and led by its earliest member; group order
+    follows first appearance.  The default-universe partition is
+    memoised per netlist version.
+    """
+    if faults is None:
+        return [list(group) for group in _default_equivalence_groups(netlist)]
+    return _compute_equivalence_groups(netlist, faults)
+
+
+def _compute_equivalence_groups(
+    netlist: Netlist, faults: Sequence[StuckAtFault]
+) -> List[List[int]]:
+    parent: Dict[_FaultKey, _FaultKey] = {}
+
+    def find(key: _FaultKey) -> _FaultKey:
+        parent.setdefault(key, key)
+        root = key
+        while parent[root] != root:
+            root = parent[root]
+        while parent[key] != root:
+            parent[key], key = root, parent[key]
+        return root
+
+    def union(a: _FaultKey, b: _FaultKey) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    outputs = set(netlist.primary_outputs)
+    for gate in netlist.gates:
+        out_net = gate.output
+        for pin, net in enumerate(gate.inputs):
+            if netlist.fanout_count(net) >= 2:
+                branch: Optional[Tuple[str, int]] = (gate.name, pin)
+            elif net in outputs:
+                continue  # stem observable at a PO: not equivalent
+            else:
+                branch = None
+            if gate.cell_type in _CONTROLLING:
+                pin_value, out_value = _CONTROLLING[gate.cell_type]
+                union((net, branch, pin_value), (out_net, None, out_value))
+            elif gate.cell_type is CellType.BUF:
+                union((net, branch, 0), (out_net, None, 0))
+                union((net, branch, 1), (out_net, None, 1))
+            elif gate.cell_type is CellType.NOT:
+                union((net, branch, 0), (out_net, None, 1))
+                union((net, branch, 1), (out_net, None, 0))
+
+    groups: Dict[_FaultKey, List[int]] = {}
+    order: List[_FaultKey] = []
+    for index, fault in enumerate(faults):
+        root = find(_fault_key(fault))
+        if root not in groups:
+            groups[root] = []
+            order.append(root)
+        groups[root].append(index)
+    return [groups[root] for root in order]
 
 
 def collapse_equivalent(

@@ -10,10 +10,20 @@ pins): every pin has a stable index, which the fault machinery uses to
 distinguish a stuck-at on a fanout branch (one pin) from a stuck-at on a
 stem (the net itself).  This distinction is what yields the classical
 32-fault universe of the five-gate full adder quoted by the paper.
+
+Structural queries (:meth:`Netlist.driver_of`, :meth:`Netlist.fanout`,
+:meth:`Netlist.topological_gates`) are backed by lazily-built indices
+that are invalidated whenever the netlist grows, so fault-universe
+enumeration and compilation stay linear in netlist size instead of
+quadratic.  :attr:`Netlist.version` exposes a monotonically increasing
+mutation counter that downstream caches (the compiled-netlist cache in
+:mod:`repro.gates.compile`, the simulator cache in
+:mod:`repro.gates.simulate`) key on.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -60,6 +70,20 @@ class Netlist:
     primary_outputs: List[str] = field(default_factory=list)
     gates: List[Gate] = field(default_factory=list)
     _drivers: Dict[str, str] = field(default_factory=dict, repr=False)
+    _version: int = field(default=0, repr=False, compare=False)
+    _index_state: Optional[Tuple[int, int]] = field(
+        default=None, repr=False, compare=False
+    )
+    _driver_index: Dict[str, Gate] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _fanout_index: Dict[str, List[Tuple[Gate, int]]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _topo_state: Optional[Tuple[int, int]] = field(
+        default=None, repr=False, compare=False
+    )
+    _topo_cache: List[Gate] = field(default_factory=list, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -72,6 +96,7 @@ class Netlist:
             raise NetlistError(f"duplicate primary input {name!r}")
         self.primary_inputs.append(name)
         self._drivers[name] = "<input>"
+        self._version += 1
         return name
 
     def add_gate(
@@ -90,6 +115,7 @@ class Netlist:
         gate = Gate(gate_name, cell_type, tuple(inputs), output)
         self.gates.append(gate)
         self._drivers[output] = gate_name
+        self._version += 1
         return gate
 
     def mark_output(self, name: str) -> str:
@@ -97,7 +123,21 @@ class Netlist:
         if name in self.primary_outputs:
             raise NetlistError(f"duplicate primary output {name!r}")
         self.primary_outputs.append(name)
+        self._version += 1
         return name
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter, bumped on every structural change.
+
+        Downstream caches key on ``(version, len(gates))`` so that both
+        builder-API mutations and direct ``gates.append`` manipulation
+        (used by a few structural tests) invalidate stale state.
+        """
+        return self._version
+
+    def _cache_key(self) -> Tuple[int, int]:
+        return (self._version, len(self.gates))
 
     # ------------------------------------------------------------------
     # Queries
@@ -112,25 +152,39 @@ class Netlist:
                 seen.setdefault(net, None)
         return list(seen)
 
-    def driver_of(self, net: str) -> Optional[Gate]:
-        """Return the gate driving ``net``, or None for primary inputs."""
+    def _ensure_indices(self) -> None:
+        """(Re)build the driver/fanout indices if the netlist changed."""
+        key = self._cache_key()
+        if self._index_state == key:
+            return
+        drivers: Dict[str, Gate] = {}
+        fanouts: Dict[str, List[Tuple[Gate, int]]] = {}
         for gate in self.gates:
-            if gate.output == net:
-                return gate
-        return None
+            drivers[gate.output] = gate
+            for pin, source in enumerate(gate.inputs):
+                fanouts.setdefault(source, []).append((gate, pin))
+        self._driver_index = drivers
+        self._fanout_index = fanouts
+        self._index_state = key
+
+    def driver_of(self, net: str) -> Optional[Gate]:
+        """Return the gate driving ``net``, or None for primary inputs.
+
+        O(1) after a one-time index build; the index is invalidated by
+        :meth:`add_gate` (and any other structural mutation).
+        """
+        self._ensure_indices()
+        return self._driver_index.get(net)
 
     def fanout(self, net: str) -> List[Tuple[Gate, int]]:
         """Return (gate, pin_index) pairs reading ``net``."""
-        readers: List[Tuple[Gate, int]] = []
-        for gate in self.gates:
-            for pin, source in enumerate(gate.inputs):
-                if source == net:
-                    readers.append((gate, pin))
-        return readers
+        self._ensure_indices()
+        return list(self._fanout_index.get(net, ()))
 
     def fanout_count(self, net: str) -> int:
         """Number of gate input pins reading ``net`` (PO counts as 0)."""
-        return sum(1 for gate in self.gates for source in gate.inputs if source == net)
+        self._ensure_indices()
+        return len(self._fanout_index.get(net, ()))
 
     # ------------------------------------------------------------------
     # Validation / ordering
@@ -152,30 +206,56 @@ class Netlist:
     def topological_gates(self) -> List[Gate]:
         """Return gates sorted so every gate follows its input drivers.
 
-        Raises :class:`NetlistError` if the netlist has a combinational
-        cycle.
+        Uses an iterative Kahn's algorithm, so netlists of arbitrary
+        logic depth (e.g. long ripple chains) cannot hit Python's
+        recursion limit.  The order is deterministic: among ready gates,
+        declaration order wins.  The result is cached until the netlist
+        changes.  Raises :class:`NetlistError` if the netlist has a
+        combinational cycle.
         """
-        producer: Dict[str, Gate] = {g.output: g for g in self.gates}
-        order: List[Gate] = []
-        state: Dict[str, int] = {}  # 0 unvisited, 1 visiting, 2 done
+        key = self._cache_key()
+        if self._topo_state == key:
+            return list(self._topo_cache)
 
-        def visit(gate: Gate) -> None:
-            mark = state.get(gate.name, 0)
-            if mark == 2:
-                return
-            if mark == 1:
-                raise NetlistError(f"combinational cycle through gate {gate.name!r}")
-            state[gate.name] = 1
+        gates = self.gates
+        n = len(gates)
+        producer_index: Dict[str, int] = {g.output: i for i, g in enumerate(gates)}
+        indegree = [0] * n
+        consumers: List[List[int]] = [[] for _ in range(n)]
+        for i, gate in enumerate(gates):
             for net in gate.inputs:
-                upstream = producer.get(net)
-                if upstream is not None:
-                    visit(upstream)
-            state[gate.name] = 2
-            order.append(gate)
+                j = producer_index.get(net)
+                if j is not None:
+                    indegree[i] += 1
+                    consumers[j].append(i)
 
-        for gate in self.gates:
-            visit(gate)
-        return order
+        ready = deque(i for i in range(n) if indegree[i] == 0)
+        order: List[Gate] = []
+        while ready:
+            i = ready.popleft()
+            order.append(gates[i])
+            for c in consumers[i]:
+                indegree[c] -= 1
+                if indegree[c] == 0:
+                    ready.append(c)
+        if len(order) != n:
+            # Walk backwards through unprocessed predecessors until one
+            # repeats: that gate is genuinely on a cycle (an unprocessed
+            # gate may merely sit downstream of one).
+            remaining = {i for i in range(n) if indegree[i] > 0}
+            i = next(iter(remaining))
+            seen = set()
+            while i not in seen:
+                seen.add(i)
+                i = next(
+                    j
+                    for net in gates[i].inputs
+                    if (j := producer_index.get(net)) in remaining
+                )
+            raise NetlistError(f"combinational cycle through gate {gates[i].name!r}")
+        self._topo_cache = order
+        self._topo_state = key
+        return list(order)
 
     def stats(self) -> Dict[str, int]:
         """Simple size statistics (gate count per type, net count)."""

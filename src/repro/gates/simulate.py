@@ -11,9 +11,19 @@ fault overrides the net value seen by *all* readers (and by primary
 outputs); a branch fault overrides the value seen by one specific gate
 input pin only.
 
-:class:`NetlistSimulator` caches the topological gate order so repeated
-simulations of the same netlist (the common case in fault campaigns) do
-not re-sort.
+:class:`NetlistSimulator` is a thin adapter over the compiled
+bit-parallel engine: the netlist is lowered once
+(:mod:`repro.gates.compile`), vectors are packed 64 per ``uint64`` word
+and evaluated word-wide (:mod:`repro.gates.engine`), and results are
+unpacked back to the historical uint8 dict interface.  The original
+dict-keyed interpreter survives as :class:`ReferenceSimulator`; it is
+the differential-testing oracle for the engine and the baseline of
+``benchmarks/bench_engine.py``.
+
+One-shot :func:`simulate` / :func:`simulate_vector` calls reuse a cached
+:class:`NetlistSimulator` per netlist (invalidated via
+:attr:`~repro.gates.netlist.Netlist.version`), so repeated one-shot
+calls no longer re-validate and re-sort the netlist every time.
 """
 
 from __future__ import annotations
@@ -24,7 +34,10 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.gates.cells import cell_function
+from repro.gates.compile import compile_netlist
+from repro.gates.engine import BitParallelEngine, engine_for, unpack_bits
 from repro.gates.faults import StuckAtFault
+from repro.gates.memo import identity_memo, netlist_fingerprint
 from repro.gates.netlist import Gate, Netlist
 
 Value = Union[int, np.ndarray]
@@ -41,7 +54,89 @@ def _as_bit_array(name: str, value: Value) -> np.ndarray:
 
 
 class NetlistSimulator:
-    """Reusable simulator bound to one netlist."""
+    """Reusable simulator bound to one netlist (compiled, bit-parallel)."""
+
+    def __init__(self, netlist: Netlist) -> None:
+        netlist.validate()
+        self.netlist = netlist
+        self._compiled = compile_netlist(netlist)
+        self._engine = engine_for(netlist)
+
+    @property
+    def engine(self) -> BitParallelEngine:
+        """The underlying bit-parallel engine (for batched campaigns)."""
+        return self._engine
+
+    # ------------------------------------------------------------------
+    def _unpack(
+        self, words: np.ndarray, n_vectors: int, scalar: bool
+    ) -> np.ndarray:
+        bits = unpack_bits(words, n_vectors)
+        return bits.reshape(()) if scalar else bits
+
+    def run(
+        self,
+        inputs: Mapping[str, Value],
+        fault: Optional[StuckAtFault] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Simulate and return the value of every net.
+
+        ``inputs`` maps each primary input name to 0/1 (scalar) or a 1-d
+        array of 0/1 values; all arrays must share one length.  Scalar
+        inputs yield 0-d arrays, matching the historical interface.
+        """
+        packed, scalar = self._engine.pack_inputs(inputs)
+        words = self._engine.run_words(packed, fault)
+        return {
+            net: self._unpack(words[nid], packed.n_vectors, scalar)
+            for net, nid in self._compiled.net_ids.items()
+        }
+
+    def outputs(
+        self,
+        inputs: Mapping[str, Value],
+        fault: Optional[StuckAtFault] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Simulate and return only the primary output values."""
+        packed, scalar = self._engine.pack_inputs(inputs)
+        words = self._engine.run_words(packed, fault)
+        return {
+            net: self._unpack(
+                words[self._compiled.net_id(net)], packed.n_vectors, scalar
+            )
+            for net in self.netlist.primary_outputs
+        }
+
+    # ------------------------------------------------------------------
+    def truth_table(self, fault: Optional[StuckAtFault] = None) -> np.ndarray:
+        """Exhaustive truth table of the primary outputs.
+
+        Returns an array of shape ``(2**n_inputs, n_outputs)`` where input
+        combination ``i`` assigns bit ``k`` of ``i`` to the ``k``-th
+        primary input (input order as declared).
+        """
+        n = len(self.netlist.primary_inputs)
+        if n > 20:
+            raise SimulationError(f"truth table of {n} inputs is too large")
+        packed = self._engine.exhaustive()
+        words = self._engine.run_words(packed, fault)
+        out_ids = [self._compiled.net_id(net) for net in self.netlist.primary_outputs]
+        bits = unpack_bits(words[out_ids], packed.n_vectors)  # (n_out, V)
+        return bits.T.astype(np.uint8)
+
+    def behavior_signature(self, fault: Optional[StuckAtFault] = None) -> bytes:
+        """Opaque signature of the (possibly faulty) exhaustive behaviour."""
+        return self.truth_table(fault).tobytes()
+
+
+class ReferenceSimulator:
+    """The original dict-keyed interpreter, kept as a semantic oracle.
+
+    Same interface and fault semantics as :class:`NetlistSimulator`, but
+    every call re-walks the gate list net-name by net-name.  Slow by
+    design -- equivalence property tests and the engine benchmark use it
+    as the trusted baseline.
+    """
 
     def __init__(self, netlist: Netlist) -> None:
         netlist.validate()
@@ -54,11 +149,7 @@ class NetlistSimulator:
         inputs: Mapping[str, Value],
         fault: Optional[StuckAtFault] = None,
     ) -> Dict[str, np.ndarray]:
-        """Simulate and return the value of every net.
-
-        ``inputs`` maps each primary input name to 0/1 (scalar) or a 1-d
-        array of 0/1 values; all arrays must share one length.
-        """
+        """Simulate and return the value of every net."""
         values: Dict[str, np.ndarray] = {}
         length: Optional[int] = None
         for name in self.netlist.primary_inputs:
@@ -115,12 +206,7 @@ class NetlistSimulator:
 
     # ------------------------------------------------------------------
     def truth_table(self, fault: Optional[StuckAtFault] = None) -> np.ndarray:
-        """Exhaustive truth table of the primary outputs.
-
-        Returns an array of shape ``(2**n_inputs, n_outputs)`` where input
-        combination ``i`` assigns bit ``k`` of ``i`` to the ``k``-th
-        primary input (input order as declared).
-        """
+        """Exhaustive truth table of the primary outputs."""
         n = len(self.netlist.primary_inputs)
         if n > 20:
             raise SimulationError(f"truth table of {n} inputs is too large")
@@ -139,13 +225,27 @@ class NetlistSimulator:
         return self.truth_table(fault).tobytes()
 
 
+# ----------------------------------------------------------------------
+# One-shot helpers with a per-netlist simulator cache
+# ----------------------------------------------------------------------
+@identity_memo(netlist_fingerprint)
+def get_simulator(netlist: Netlist) -> NetlistSimulator:
+    """Cached :class:`NetlistSimulator` for ``netlist``.
+
+    Keyed on object identity and :attr:`Netlist.version`, so one-shot
+    :func:`simulate` calls stop re-validating and re-sorting the same
+    netlist while structural mutations still force a rebuild.
+    """
+    return NetlistSimulator(netlist)
+
+
 def simulate(
     netlist: Netlist,
     inputs: Mapping[str, int],
     fault: Optional[StuckAtFault] = None,
 ) -> Dict[str, int]:
     """One-shot scalar simulation; returns primary output values as ints."""
-    sim = NetlistSimulator(netlist)
+    sim = get_simulator(netlist)
     outs = sim.outputs(inputs, fault)
     return {net: int(np.asarray(value).reshape(()).item()) for net, value in outs.items()}
 
@@ -156,4 +256,4 @@ def simulate_vector(
     fault: Optional[StuckAtFault] = None,
 ) -> Dict[str, np.ndarray]:
     """One-shot vectorised simulation of many assignments."""
-    return NetlistSimulator(netlist).outputs(inputs, fault)
+    return get_simulator(netlist).outputs(inputs, fault)
