@@ -124,6 +124,17 @@ def _get_builder(netlist_style: str):
         ) from None
 
 
+def cell_netlist(netlist_style: str = DEFAULT_CELL_NETLIST) -> Netlist:
+    """A fresh copy of the gate-level full-adder cell netlist.
+
+    The same netlist whose faulty truth tables define the LUT library;
+    the gate-level test architectures (:mod:`repro.arch.testbench`)
+    instantiate it structurally so cell-level faults can be translated
+    onto chain positions.
+    """
+    return _get_builder(netlist_style)()
+
+
 _library_cache: Dict[str, List[FullAdderCell]] = {}
 
 
@@ -161,6 +172,55 @@ def effective_faulty_cells(netlist_style: str = DEFAULT_CELL_NETLIST) -> List[Fu
     """The subset of faulty variants that differ from the fault-free cell."""
     ref = reference_cell(netlist_style)
     return [cell for cell in faulty_cell_library(netlist_style) if cell.differs_from(ref)]
+
+
+@dataclass(frozen=True)
+class CollapsedCellGroup:
+    """A functional equivalence class of the faulty-cell library.
+
+    ``representative`` is the first library member with this (sum, carry)
+    LUT pair, ``multiplicity`` the class size, and ``is_reference`` marks
+    classes whose behaviour coincides with the fault-free cell (their
+    chains compute exact results, so every situation is trivially
+    covered).  Because two cells with identical LUTs drive the unit
+    identically on every operand, simulating one representative and
+    weighting its verdicts by ``multiplicity`` is exact -- not an
+    approximation -- while the situation accounting still spans the full
+    32-fault universe the paper counts.
+    """
+
+    representative: FullAdderCell
+    multiplicity: int
+    is_reference: bool
+
+
+def collapsed_cell_library(
+    netlist_style: str = DEFAULT_CELL_NETLIST,
+) -> List[CollapsedCellGroup]:
+    """Functionally collapsed faulty-cell library for ``netlist_style``.
+
+    Groups the 32 faulty variants by identical (sum, carry) LUT pairs, in
+    first-appearance order.  The batched Table 2 evaluators simulate one
+    representative per group and broadcast the exact per-situation counts
+    to the whole class.
+    """
+    ref = reference_cell(netlist_style)
+    groups: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], List[FullAdderCell]] = {}
+    order: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = []
+    for cell in faulty_cell_library(netlist_style):
+        key = (cell.sum_lut, cell.carry_lut)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(cell)
+    return [
+        CollapsedCellGroup(
+            representative=groups[key][0],
+            multiplicity=len(groups[key]),
+            is_reference=not groups[key][0].differs_from(ref),
+        )
+        for key in order
+    ]
 
 
 def bitflip_cell_library(netlist_style: str = DEFAULT_CELL_NETLIST) -> List[FullAdderCell]:

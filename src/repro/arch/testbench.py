@@ -1,0 +1,289 @@
+"""Gate-level replicas of the paper's Table 2 test architecture.
+
+The functional-level Table 2 evaluators model a faulty full-adder cell
+as a truth-table (LUT) spliced into one position of an arithmetic unit,
+and run the nominal operation *and* its checking operations through that
+same faulty unit.  This module lowers the whole experiment to a single
+flat gate-level netlist so the batched bit-parallel engine
+(:mod:`repro.gates.engine`) can evaluate every fault case over
+word-packed exhaustive operand sweeps:
+
+* the unit's cell chain is instantiated once per operation it performs
+  (the nominal computation plus each on-unit checking operation) --
+  combinational *replicas* of the same sequentially-reused hardware;
+* the checking comparisons (fault-free in the paper's model) are built
+  from XOR/OR reduction gates next to the chains;
+* a cell-level stuck-at fault at chain position ``p`` translates to a
+  *fault group*: the corresponding stuck-at site in every replica's
+  position-``p`` cell instance, all injected in one engine matrix row
+  (:meth:`repro.gates.engine.BitParallelEngine.run_fault_groups`).
+
+Because the LUT library is itself derived by exhaustively simulating the
+same cell netlist under the same stuck-at universe, the flat gate-level
+sweep is bit-identical to the functional LUT evaluation -- the property
+the parity tests in ``tests/test_table2_exact.py`` pin down.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.arch.cell import DEFAULT_CELL_NETLIST, cell_netlist
+from repro.errors import SimulationError
+from repro.gates.builders import instantiate_cell
+from repro.gates.cells import CellType
+from repro.gates.engine import ALL_ONES, LANES, exhaustive_word_range
+from repro.gates.faults import FaultSite, StuckAtFault
+from repro.gates.netlist import Netlist
+
+#: Operators whose test architecture is a (chain of) full-adder cells
+#: reused for every on-unit operation: Table 2's overloaded ``+`` and
+#: the overloaded ``-`` that shares the same adder core.
+CHAIN_OPERATORS = ("add", "sub")
+
+
+def _translate_cell_fault(
+    cell: Netlist, tag: str, bindings: Mapping[str, str], fault: StuckAtFault
+) -> List[StuckAtFault]:
+    """Map a fault on the stand-alone cell onto instance ``tag``.
+
+    Internal/output nets carry the instance prefix, so stems and
+    branches translate one-to-one.  A *stem* on a cell primary input has
+    no private flat net (the bound net is shared with other instances);
+    it becomes the set of branch faults on every pin of this instance
+    that reads the input -- electrically identical within the cell.
+    """
+    site = fault.site
+    if site.net in cell.primary_inputs:
+        bound = bindings[site.net]
+        if site.is_stem:
+            return [
+                StuckAtFault(
+                    FaultSite(bound, (f"{tag}_{gate.name}", pin)), fault.value
+                )
+                for gate, pin in cell.fanout(site.net)
+            ]
+        gate_name, pin = site.branch
+        return [StuckAtFault(FaultSite(bound, (f"{tag}_{gate_name}", pin)), fault.value)]
+    flat_net = f"{tag}_{site.net}"
+    if site.is_stem:
+        return [StuckAtFault(FaultSite(flat_net), fault.value)]
+    gate_name, pin = site.branch
+    return [StuckAtFault(FaultSite(flat_net, (f"{tag}_{gate_name}", pin)), fault.value)]
+
+
+class Table2Architecture:
+    """One operator's Table 2 experiment as a flat gate-level netlist.
+
+    Attributes:
+        operator: ``"add"`` or ``"sub"``.
+        width: operand width in bits.
+        cell_style: full-adder cell netlist style (see
+            :mod:`repro.arch.cell`).
+        netlist: the flat combinational netlist.  Primary inputs are
+            ``a0..a{n-1}``, ``b0..b{n-1}`` plus the constants ``zero``
+            and ``one``; primary outputs are the nominal result bits
+            followed by one detection flag per technique.
+        chains: per-replica instance tags, ``chains[c][p]`` naming the
+            position-``p`` cell of the ``c``-th copy of the faulty unit.
+    """
+
+    def __init__(
+        self,
+        operator: str,
+        width: int,
+        cell_style: str = DEFAULT_CELL_NETLIST,
+    ) -> None:
+        if operator not in CHAIN_OPERATORS:
+            raise SimulationError(
+                f"no gate-level Table 2 architecture for operator {operator!r}; "
+                f"choose from {CHAIN_OPERATORS}"
+            )
+        if width < 1:
+            raise SimulationError(f"width must be >= 1, got {width}")
+        self.operator = operator
+        self.width = width
+        self.cell_style = cell_style
+        self.cell = cell_netlist(cell_style)
+        self.chains: List[List[str]] = []
+        self._bindings: Dict[str, Dict[str, str]] = {}
+        self.netlist = self._build()
+        self.netlist.validate()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _chain(
+        self, nl: Netlist, name: str, a_nets: List[str], b_nets: List[str], cin: str
+    ) -> List[str]:
+        """One replica of the cell chain; returns its sum nets."""
+        tags: List[str] = []
+        sums: List[str] = []
+        carry = cin
+        for i in range(self.width):
+            tag = f"{name}_p{i}"
+            bindings = {"a": a_nets[i], "b": b_nets[i], "cin": carry}
+            netmap = instantiate_cell(nl, self.cell, tag, bindings)
+            self._bindings[tag] = bindings
+            sums.append(netmap["s"])
+            carry = netmap["cout"]
+            tags.append(tag)
+        self.chains.append(tags)
+        return sums
+
+    def _invert(self, nl: Netlist, nets: List[str], prefix: str) -> List[str]:
+        """Fault-free one's-complement (the paper's ``g``-function routing)."""
+        out = []
+        for i, net in enumerate(nets):
+            inv = f"{prefix}{i}"
+            nl.add_gate(CellType.NOT, [net], inv, name=f"inv_{inv}")
+            out.append(inv)
+        return out
+
+    def _mismatch(
+        self, nl: Netlist, name: str, got: List[str], want: List[str]
+    ) -> str:
+        """Fault-free comparator: 1 when any bit of ``got`` != ``want``."""
+        bits = []
+        for i, (g, w) in enumerate(zip(got, want)):
+            net = f"{name}_x{i}"
+            nl.add_gate(CellType.XOR, [g, w], net, name=f"cmp_{net}")
+            bits.append(net)
+        return self._any(nl, name, bits)
+
+    def _any(self, nl: Netlist, name: str, bits: List[str]) -> str:
+        if len(bits) == 1:
+            nl.add_gate(CellType.BUF, bits, name, name=f"buf_{name}")
+        else:
+            nl.add_gate(CellType.OR, bits, name, name=f"or_{name}")
+        return name
+
+    def _build(self) -> Netlist:
+        n = self.width
+        nl = Netlist(f"table2_{self.operator}_{self.cell_style}_{n}")
+        a = [nl.add_input(f"a{i}") for i in range(n)]
+        b = [nl.add_input(f"b{i}") for i in range(n)]
+        zero = nl.add_input("zero")
+        one = nl.add_input("one")
+        if self.operator == "add":
+            # Nominal ris = a + b through the (possibly faulty) unit.
+            ris = self._chain(nl, "u0", a, b, zero)
+            # Tech 1: op2' = ris - a on the same unit, compare against b.
+            na = self._invert(nl, a, "na")
+            q1 = self._chain(nl, "u1", ris, na, one)
+            neq1 = self._mismatch(nl, "neq1", q1, b)
+            # Tech 2: op1' = ris - b on the same unit, compare against a.
+            nb = self._invert(nl, b, "nb")
+            q2 = self._chain(nl, "u2", ris, nb, one)
+            neq2 = self._mismatch(nl, "neq2", q2, a)
+        else:  # sub
+            # Nominal ris = a - b (ones'-complement b, carry-in 1).
+            nb = self._invert(nl, b, "nb")
+            ris = self._chain(nl, "u0", a, nb, one)
+            # Tech 1: op1' = ris + op2 on the same unit, compare against a.
+            q1 = self._chain(nl, "u1", ris, b, zero)
+            neq1 = self._mismatch(nl, "neq1", q1, a)
+            # Tech 2: ris' = op2 - op1 on the same unit; the fault-free
+            # final summation ris + ris' must be all-zero (mod 2**n).
+            na = self._invert(nl, a, "na")
+            ris2 = self._chain(nl, "u2", b, na, one)
+            ref = cell_netlist(self.cell_style)
+            carry = zero
+            sums = []
+            for i in range(n):
+                netmap = instantiate_cell(
+                    nl, ref, f"fsum_p{i}", {"a": ris[i], "b": ris2[i], "cin": carry}
+                )
+                sums.append(netmap["s"])
+                carry = netmap["cout"]
+            neq2 = self._any(nl, "nz", sums)
+        for net in ris:
+            nl.mark_output(net)
+        nl.mark_output(neq1)
+        nl.mark_output(neq2)
+        return nl
+
+    # ------------------------------------------------------------------
+    # Interfaces for the batched sweep
+    # ------------------------------------------------------------------
+    @property
+    def n_vectors(self) -> int:
+        """Size of the exhaustive operand space, ``2**(2*width)``."""
+        return 1 << (2 * self.width)
+
+    @property
+    def n_words(self) -> int:
+        """Packed words spanning the exhaustive sweep."""
+        return max(1, self.n_vectors >> 6)
+
+    @property
+    def tail_mask(self) -> np.uint64:
+        """Valid-lane mask of the final word (sub-word sweeps only)."""
+        if self.n_vectors >= LANES:
+            return ALL_ONES
+        return np.uint64((1 << self.n_vectors) - 1)
+
+    @property
+    def result_rows(self) -> range:
+        """Output-row indices of the nominal result bits."""
+        return range(self.width)
+
+    @property
+    def detect_rows(self) -> Dict[str, int]:
+        """Output-row index of each technique's detection flag."""
+        return {"tech1": self.width, "tech2": self.width + 1}
+
+    def input_rows(self, word_lo: int, word_hi: int) -> np.ndarray:
+        """Packed input words ``[word_lo, word_hi)`` of the operand sweep.
+
+        Vector ``v`` drives ``a = v mod 2**width`` and
+        ``b = v >> width`` -- the same enumeration the functional
+        evaluators use -- with the ``zero``/``one`` constant rows
+        appended in primary-input order.
+        """
+        span = word_hi - word_lo
+        rows = np.empty((2 * self.width + 2, span), dtype=np.uint64)
+        rows[: 2 * self.width] = exhaustive_word_range(
+            2 * self.width, word_lo, word_hi
+        )
+        rows[2 * self.width] = 0
+        rows[2 * self.width + 1] = ALL_ONES
+        return rows
+
+    def fault_group(
+        self, cell_fault: StuckAtFault, position: int
+    ) -> Tuple[StuckAtFault, ...]:
+        """Flat fault group for one Table 2 case.
+
+        The cell-level ``cell_fault`` at chain ``position`` is replicated
+        into every copy of the faulty unit (the nominal chain and each
+        on-unit checking chain), matching the paper's model where the
+        same broken hardware executes all three operations.
+        """
+        if not (0 <= position < self.width):
+            raise SimulationError(
+                f"position {position} outside [0, {self.width})"
+            )
+        flat: List[StuckAtFault] = []
+        for tags in self.chains:
+            tag = tags[position]
+            flat.extend(
+                _translate_cell_fault(self.cell, tag, self._bindings[tag], cell_fault)
+            )
+        return tuple(flat)
+
+
+@functools.lru_cache(maxsize=None)
+def table2_architecture(
+    operator: str, width: int, cell_style: str = DEFAULT_CELL_NETLIST
+) -> Table2Architecture:
+    """Cached :class:`Table2Architecture` for ``(operator, width, style)``.
+
+    The cache keeps the compiled-netlist/engine caches hot across
+    repeated evaluations (and across shard workers forked from a warm
+    parent).
+    """
+    return Table2Architecture(operator, width, cell_style)

@@ -8,9 +8,12 @@ worst-case fault coverage when the checking operation is executed on the
   formulas;
 * :mod:`repro.coverage.techniques` -- the checking techniques of Table 1
   expressed at the hardware level;
-* :mod:`repro.coverage.engine` -- exhaustive / Monte-Carlo evaluation;
+* :mod:`repro.coverage.engine` -- exact (gate-sweep / transfer-matrix /
+  functional) and Monte-Carlo evaluation, with process sharding;
+* :mod:`repro.coverage.transfer` -- the carry-state transfer-matrix DP
+  behind the exact wide-width (n = 8, 16) Table 2 rows;
 * :mod:`repro.coverage.report` -- renderers regenerating Tables 1 and 2
-  and the in-text 2-bit analysis.
+  and the in-text 2-bit analysis, with per-cell provenance.
 """
 
 from repro.coverage.situations import (
@@ -21,8 +24,10 @@ from repro.coverage.situations import (
 from repro.coverage.techniques import TECHNIQUES, CheckTechnique, techniques_for
 from repro.coverage.engine import (
     CoverageStats,
+    GateLevelCoverage,
     evaluate_adder,
     evaluate_divider,
+    evaluate_gate_level,
     evaluate_multiplier,
     evaluate_operator,
     evaluate_subtractor,
@@ -37,11 +42,13 @@ __all__ = [
     "CheckTechnique",
     "techniques_for",
     "CoverageStats",
+    "GateLevelCoverage",
     "evaluate_operator",
     "evaluate_adder",
     "evaluate_subtractor",
     "evaluate_multiplier",
     "evaluate_divider",
+    "evaluate_gate_level",
     "render_table1",
     "render_table2",
     "render_two_bit_analysis",

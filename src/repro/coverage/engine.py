@@ -1,4 +1,4 @@
-"""Exhaustive / Monte-Carlo worst-case fault-coverage evaluation.
+"""Exact / Monte-Carlo worst-case fault-coverage evaluation (Table 2).
 
 For every (faulty cell behaviour, cell location) case of a unit, the
 engine computes the nominal operation and its checking operation(s) on
@@ -12,10 +12,45 @@ situation:
   the early-detection property the paper highlights for the 2-bit adder
   (352/384/428 of 1024 situations).
 
-Widths whose full operand space fits under ``exhaustive_limit`` are
-enumerated exactly (Table 2's n = 1..4); larger widths are sampled with
-a seeded generator (n = 8, 16), mirroring the paper's own deviation from
-its exhaustive formula at those widths.
+Evaluation methods
+------------------
+
+Each evaluator picks (or is told) one of four methods, recorded in
+:attr:`CoverageStats.method` so reports can state exactly how every
+Table 2 cell was computed:
+
+``"gate"`` (provenance ``gate-sweep``)
+    The tentpole batched path for the chain operators (``add``/``sub``):
+    the whole test architecture -- nominal unit, on-unit checking
+    replicas and fault-free comparators -- is lowered once through
+    :class:`~repro.gates.compile.CompiledNetlist` and every collapsed
+    fault case is simulated as a multi-site fault group by the
+    bit-parallel engine over word-packed exhaustive operand sweeps,
+    streamed in vector chunks (:mod:`repro.arch.testbench`).  Exact, and
+    the default whenever the operand space fits ``exhaustive_limit``.
+
+``"transfer"``
+    The carry-state transfer-matrix dynamic program
+    (:mod:`repro.coverage.transfer`): exact situation counts for any
+    width in microseconds, which is how n = 16 (a ``2**32``-pair operand
+    space no sweep can touch) is evaluated *exactly* instead of sampled.
+    Default for wide chain operators.
+
+``"functional"``
+    The seed LUT-splicing evaluators -- one vectorised NumPy pass per
+    fault case over explicit operand arrays.  Exact when the space fits
+    ``exhaustive_limit``; kept as the differential-testing reference and
+    as the only evaluator for the multiplier / divider arrays.
+
+``"sampled"``
+    The legacy seeded Monte-Carlo estimate.  Wide widths only sample
+    when explicitly requested via ``samples=`` (cross-checking the exact
+    paths) or when no exact method exists (wide ``mul``/``div``).
+
+Fault-case sharding: every exact method computes exact integer counts
+per fault case, so campaigns shard across a ``ProcessPoolExecutor``
+(``workers=``, auto-selected by universe size) with bit-identical
+results for any worker count -- see :mod:`repro.faults.sharding`.
 
 :func:`evaluate_gate_level` complements the functional-level evaluators
 with a structural one: the raw stuck-at detectability of a gate-level
@@ -26,34 +61,59 @@ netlist under a vector set, computed by the batched bit-parallel engine
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.arch.adders import RippleCarryAdderUnit
 from repro.arch.bitops import mask_of
-from repro.arch.cell import DEFAULT_CELL_NETLIST
+from repro.arch.cell import DEFAULT_CELL_NETLIST, collapsed_cell_library
 from repro.arch.divider import RestoringDividerUnit
 from repro.arch.multiplier import ArrayMultiplierUnit
+from repro.arch.testbench import CHAIN_OPERATORS, table2_architecture
 from repro.coverage import situations as situation_counts
+from repro.coverage.transfer import case_flag_counts
 from repro.errors import SimulationError
+from repro.faults.sharding import resolve_workers, run_sharded, shard_bounds
 from repro.faults.universe import (
     adder_fault_cases,
     divider_fault_cases,
     multiplier_fault_cases,
 )
-from repro.gates.engine import StuckAtCampaignResult, run_stuck_at_campaign
+from repro.gates.engine import (
+    ALL_ONES,
+    StuckAtCampaignResult,
+    engine_for,
+    popcount_words,
+)
 from repro.gates.netlist import Netlist
 
 #: Widths up to this operand-space size are enumerated exhaustively.
 DEFAULT_EXHAUSTIVE_LIMIT = 1 << 20
+#: Sample count used when the sampled estimator runs without an explicit
+#: ``samples=`` (wide multiplier/divider cases, which have no exact path).
 DEFAULT_SAMPLES = 4096
 DEFAULT_SEED = 20050307  # DATE'05 conference date
+
+#: Streaming chunk sizes of the gate-level sweep: vectors move through
+#: the fault matrix ``GATE_WORD_CHUNK`` words (x64 vectors) at a time,
+#: fault groups ``GATE_FAULT_CHUNK`` rows at a time.
+GATE_WORD_CHUNK = 256
+GATE_FAULT_CHUNK = 64
+
+#: Recognised ``method=`` values of the Table 2 evaluators.
+EVALUATION_METHODS = ("auto", "gate", "transfer", "functional", "sampled")
 
 
 @dataclass
 class CoverageStats:
-    """Aggregated coverage statistics for one (operator, technique, width)."""
+    """Aggregated coverage statistics for one (operator, technique, width).
+
+    ``exhaustive`` states whether the full operand space was enumerated;
+    ``method`` names the evaluation path that produced the numbers (see
+    the module docstring), so every reported cell carries its
+    provenance.
+    """
 
     operator: str
     technique: str
@@ -65,6 +125,7 @@ class CoverageStats:
     per_case_min: float
     per_case_max: float
     exhaustive: bool
+    method: str = "functional"
 
     @property
     def coverage(self) -> float:
@@ -75,10 +136,19 @@ class CoverageStats:
     def coverage_percent(self) -> float:
         return 100.0 * self.coverage
 
-    def describe(self) -> str:
+    @property
+    def provenance(self) -> str:
+        """Human-readable evaluation mode, e.g. ``exhaustive/gate-sweep``."""
         mode = "exhaustive" if self.exhaustive else "sampled"
+        detail = "gate-sweep" if self.method == "gate" else self.method
+        if detail == mode:
+            return mode
+        return f"{mode}/{detail}"
+
+    def describe(self) -> str:
         return (
-            f"{self.operator}/{self.technique} n={self.width} ({mode}): "
+            f"{self.operator}/{self.technique} n={self.width} "
+            f"({self.provenance}): "
             f"{self.coverage_percent:.2f}% of {self.situations} situations, "
             f"{self.observable_errors} observable errors, "
             f"{self.detected_while_correct} detected-while-correct"
@@ -86,7 +156,13 @@ class CoverageStats:
 
 
 class _Accumulator:
-    """Per-technique running tallies across fault cases."""
+    """Per-technique running tallies across fault cases.
+
+    All tallies are integers; the two entry points -- boolean vectors
+    (:meth:`update`) and pre-reduced counts (:meth:`update_counts`) --
+    produce identical state, which is what makes the functional, gate
+    and transfer evaluators bit-identical and the sharded merges exact.
+    """
 
     def __init__(self, names: Iterable[str]) -> None:
         self.names = tuple(names)
@@ -98,20 +174,39 @@ class _Accumulator:
         self.case_max = {name: 0.0 for name in self.names}
 
     def update(self, correct: np.ndarray, detections: Dict[str, np.ndarray]) -> None:
-        count = correct.size
-        self.situations += count
-        self.observable += int(np.sum(~correct))
+        """Fold in one fault case given per-situation boolean vectors."""
+        per_name = {}
         for name in self.names:
             det = detections[name]
-            covered = correct | det
-            n_cov = int(np.sum(covered))
-            self.covered[name] += n_cov
-            self.detected_correct[name] += int(np.sum(correct & det))
-            frac = n_cov / count
+            per_name[name] = (
+                int(np.sum(correct | det)),
+                int(np.sum(correct & det)),
+            )
+        self.update_counts(correct.size, int(np.sum(correct)), per_name)
+
+    def update_counts(
+        self,
+        count: int,
+        n_correct: int,
+        per_name: Mapping[str, Tuple[int, int]],
+        repeat: int = 1,
+    ) -> None:
+        """Fold in one fault case given exact (covered, detected-correct)
+        counts per technique; ``repeat`` broadcasts a collapsed case's
+        verdict to its whole equivalence class."""
+        self.situations += count * repeat
+        self.observable += (count - n_correct) * repeat
+        for name in self.names:
+            covered, det_correct = per_name[name]
+            self.covered[name] += covered * repeat
+            self.detected_correct[name] += det_correct * repeat
+            frac = covered / count
             self.case_min[name] = min(self.case_min[name], frac)
             self.case_max[name] = max(self.case_max[name], frac)
 
-    def stats(self, operator: str, width: int, exhaustive: bool) -> Dict[str, CoverageStats]:
+    def stats(
+        self, operator: str, width: int, exhaustive: bool, method: str
+    ) -> Dict[str, CoverageStats]:
         return {
             name: CoverageStats(
                 operator=operator,
@@ -124,6 +219,7 @@ class _Accumulator:
                 per_case_min=self.case_min[name],
                 per_case_max=self.case_max[name],
                 exhaustive=exhaustive,
+                method=method,
             )
             for name in self.names
         }
@@ -132,14 +228,15 @@ class _Accumulator:
 def _operand_pairs(
     width: int,
     exhaustive_limit: int,
-    samples: int,
+    samples: Optional[int],
     seed: int,
     exclude_zero_divisor: bool = False,
+    force_sampled: bool = False,
 ) -> Tuple[np.ndarray, np.ndarray, bool]:
-    """Operand vectors: exhaustive when affordable, else sampled."""
+    """Operand vectors: exhaustive when affordable, else seeded samples."""
     space = 1 << (2 * width)
     mask = mask_of(width)
-    if space <= exhaustive_limit:
+    if space <= exhaustive_limit and not force_sampled:
         combos = np.arange(space, dtype=np.uint64)
         a = combos & np.uint64(mask)
         b = (combos >> np.uint64(width)) & np.uint64(mask)
@@ -148,34 +245,28 @@ def _operand_pairs(
             keep = b != 0
             a, b = a[keep], b[keep]
     else:
+        n_samples = samples if samples is not None else DEFAULT_SAMPLES
         rng = np.random.default_rng(seed)
-        a = rng.integers(0, mask + 1, size=samples, dtype=np.uint64)
+        a = rng.integers(0, mask + 1, size=n_samples, dtype=np.uint64)
         low = 1 if exclude_zero_divisor else 0
-        b = rng.integers(low, mask + 1, size=samples, dtype=np.uint64)
+        b = rng.integers(low, mask + 1, size=n_samples, dtype=np.uint64)
         exhaustive = False
     return a, b, exhaustive
 
 
 # ----------------------------------------------------------------------
-# Per-operator evaluators
+# Functional (LUT-splicing) per-operator kernels
 # ----------------------------------------------------------------------
-def evaluate_adder(
-    width: int,
-    cell_netlist: str = DEFAULT_CELL_NETLIST,
-    exhaustive_limit: int = DEFAULT_EXHAUSTIVE_LIMIT,
-    samples: int = DEFAULT_SAMPLES,
-    seed: int = DEFAULT_SEED,
-) -> Dict[str, CoverageStats]:
-    """Worst-case coverage of the overloaded ``+`` (Table 2).
+_CaseStream = Iterator[Tuple[np.ndarray, Dict[str, np.ndarray]]]
 
-    The nominal ``ris = op1 + op2`` and both checking subtractions run
-    through the same faulty adder chain.
-    """
-    a, b, exhaustive = _operand_pairs(width, exhaustive_limit, samples, seed)
+
+def _adder_cases(
+    width: int, cell_netlist: str, a: np.ndarray, b: np.ndarray,
+    case_lo: int, case_hi: int,
+) -> _CaseStream:
     mask = np.uint64(mask_of(width))
     golden = (a + b) & mask
-    acc = _Accumulator(("tech1", "tech2", "both"))
-    for case in adder_fault_cases(width, cell_netlist):
+    for case in adder_fault_cases(width, cell_netlist)[case_lo:case_hi]:
         unit = RippleCarryAdderUnit(width, case.cell, case.position)
         ris, _ = unit.add(a, b)
         correct = ris == golden
@@ -183,29 +274,16 @@ def evaluate_adder(
         check2, _ = unit.sub(ris, b)  # op1' = ris - op2
         det1 = check1 != b
         det2 = check2 != a
-        acc.update(correct, {"tech1": det1, "tech2": det2, "both": det1 | det2})
-    return acc.stats("add", width, exhaustive)
+        yield correct, {"tech1": det1, "tech2": det2, "both": det1 | det2}
 
 
-def evaluate_subtractor(
-    width: int,
-    cell_netlist: str = DEFAULT_CELL_NETLIST,
-    exhaustive_limit: int = DEFAULT_EXHAUSTIVE_LIMIT,
-    samples: int = DEFAULT_SAMPLES,
-    seed: int = DEFAULT_SEED,
-) -> Dict[str, CoverageStats]:
-    """Worst-case coverage of the overloaded ``-``.
-
-    ``ris = op1 - op2`` through the faulty chain; Tech 1 re-adds
-    (``op1' = ris + op2``), Tech 2 computes the reversed difference
-    (``ris' = op2 - op1``) on the same unit and tests ``ris + ris' == 0``
-    (final summation fault-free, as it maps onto the comparator).
-    """
-    a, b, exhaustive = _operand_pairs(width, exhaustive_limit, samples, seed)
+def _subtractor_cases(
+    width: int, cell_netlist: str, a: np.ndarray, b: np.ndarray,
+    case_lo: int, case_hi: int,
+) -> _CaseStream:
     mask = np.uint64(mask_of(width))
     golden = (a - b) & mask
-    acc = _Accumulator(("tech1", "tech2", "both"))
-    for case in adder_fault_cases(width, cell_netlist):
+    for case in adder_fault_cases(width, cell_netlist)[case_lo:case_hi]:
         unit = RippleCarryAdderUnit(width, case.cell, case.position)
         ris, _ = unit.sub(a, b)
         correct = ris == golden
@@ -213,32 +291,18 @@ def evaluate_subtractor(
         det1 = check1 != a
         ris2, _ = unit.sub(b, a)  # ris' = op2 - op1 (same unit)
         det2 = ((ris + ris2) & mask) != 0
-        acc.update(correct, {"tech1": det1, "tech2": det2, "both": det1 | det2})
-    return acc.stats("sub", width, exhaustive)
+        yield correct, {"tech1": det1, "tech2": det2, "both": det1 | det2}
 
 
-def evaluate_multiplier(
-    width: int,
-    cell_netlist: str = DEFAULT_CELL_NETLIST,
-    exhaustive_limit: int = DEFAULT_EXHAUSTIVE_LIMIT,
-    samples: int = DEFAULT_SAMPLES,
-    seed: int = DEFAULT_SEED,
-) -> Dict[str, CoverageStats]:
-    """Worst-case coverage of the overloaded ``*``.
-
-    Fixed-width products: the identity ``op1*op2 + (-op1)*op2 == 0``
-    holds modulo ``2**width``, so the checking product runs through the
-    same faulty array and the final summation/comparison is fault-free.
-    """
-    if width < 2:
-        raise SimulationError("multiplier coverage needs width >= 2")
-    a, b, exhaustive = _operand_pairs(width, exhaustive_limit, samples, seed)
+def _multiplier_cases(
+    width: int, cell_netlist: str, a: np.ndarray, b: np.ndarray,
+    case_lo: int, case_hi: int,
+) -> _CaseStream:
     mask = np.uint64(mask_of(width))
     golden = (a * b) & mask
     neg_a = (np.uint64(0) - a) & mask
     neg_b = (np.uint64(0) - b) & mask
-    acc = _Accumulator(("tech1", "tech2", "both"))
-    for case in multiplier_fault_cases(width, cell_netlist):
+    for case in multiplier_fault_cases(width, cell_netlist)[case_lo:case_hi]:
         unit = ArrayMultiplierUnit(width, case.cell, case.row, case.column)
         ris = unit.mul(a, b)
         correct = ris == golden
@@ -246,16 +310,393 @@ def evaluate_multiplier(
         ris2 = unit.mul(a, neg_b)  # op1 * (-op2), same unit
         det1 = ((ris + ris1) & mask) != 0
         det2 = ((ris + ris2) & mask) != 0
-        acc.update(correct, {"tech1": det1, "tech2": det2, "both": det1 | det2})
-    return acc.stats("mul", width, exhaustive)
+        yield correct, {"tech1": det1, "tech2": det2, "both": det1 | det2}
+
+
+def _divider_cases(
+    width: int, cell_netlist: str, a: np.ndarray, b: np.ndarray,
+    case_lo: int, case_hi: int,
+) -> _CaseStream:
+    mask = np.uint64(mask_of(width))
+    golden_q = a // b
+    golden_r = a % b
+    for case in divider_fault_cases(width, cell_netlist)[case_lo:case_hi]:
+        unit = RestoringDividerUnit(width, case.cell, case.position)
+        q, r = unit.divmod(a, b)
+        correct = (q == golden_q) & (r == golden_r)
+        det1 = ((q * b + r) & mask) != a
+        det2 = det1 | (r >= b)
+        yield correct, {"tech1": det1, "tech2": det2}
+
+
+@dataclass(frozen=True)
+class _OperatorSpec:
+    names: Tuple[str, ...]
+    kernel: Callable[..., _CaseStream]
+    case_list: Callable[[int, str], list]
+    exclude_zero_divisor: bool = False
+
+
+_SPECS: Dict[str, _OperatorSpec] = {
+    "add": _OperatorSpec(("tech1", "tech2", "both"), _adder_cases, adder_fault_cases),
+    "sub": _OperatorSpec(("tech1", "tech2", "both"), _subtractor_cases, adder_fault_cases),
+    "mul": _OperatorSpec(("tech1", "tech2", "both"), _multiplier_cases, multiplier_fault_cases),
+    "div": _OperatorSpec(
+        ("tech1", "tech2"), _divider_cases, divider_fault_cases, exclude_zero_divisor=True
+    ),
+}
+
+#: Per-case exact counts, picklable for shard merges:
+#: (multiplicity, situation count, correct count, {technique: (covered,
+#: detected-while-correct)}).
+_CaseCounts = Tuple[int, int, int, Dict[str, Tuple[int, int]]]
+
+
+def _functional_case_counts(
+    operator: str,
+    width: int,
+    cell_netlist: str,
+    exhaustive_limit: int,
+    samples: Optional[int],
+    seed: int,
+    force_sampled: bool,
+    case_lo: int,
+    case_hi: int,
+) -> Tuple[bool, List[_CaseCounts]]:
+    """Shard worker: functional counts for fault cases [case_lo, case_hi)."""
+    spec = _SPECS[operator]
+    a, b, exhaustive = _operand_pairs(
+        width, exhaustive_limit, samples, seed, spec.exclude_zero_divisor, force_sampled
+    )
+    out: List[_CaseCounts] = []
+    for correct, dets in spec.kernel(width, cell_netlist, a, b, case_lo, case_hi):
+        per = {
+            name: (
+                int(np.sum(correct | dets[name])),
+                int(np.sum(correct & dets[name])),
+            )
+            for name in spec.names
+        }
+        out.append((1, correct.size, int(np.sum(correct)), per))
+    return exhaustive, out
+
+
+def _run_functional(
+    operator: str,
+    width: int,
+    cell_netlist: str,
+    exhaustive_limit: int,
+    samples: Optional[int],
+    seed: int,
+    workers: Optional[int],
+    force_sampled: bool,
+) -> Dict[str, CoverageStats]:
+    spec = _SPECS[operator]
+    n_cases = len(spec.case_list(width, cell_netlist))
+    space = 1 << (2 * width)
+    per_case = (
+        space
+        if space <= exhaustive_limit and not force_sampled
+        else (samples if samples is not None else DEFAULT_SAMPLES)
+    )
+    n_workers = resolve_workers(workers, n_cases, cost=n_cases * per_case)
+    shards = run_sharded(
+        _functional_case_counts,
+        [
+            (operator, width, cell_netlist, exhaustive_limit, samples, seed,
+             force_sampled, lo, hi)
+            for lo, hi in shard_bounds(n_cases, n_workers)
+        ],
+    )
+    acc = _Accumulator(spec.names)
+    exhaustive = shards[0][0]
+    for _, chunk in shards:
+        for repeat, count, n_correct, per in chunk:
+            acc.update_counts(count, n_correct, per, repeat=repeat)
+    method = "functional" if exhaustive else "sampled"
+    return acc.stats(operator, width, exhaustive, method)
+
+
+# ----------------------------------------------------------------------
+# Batched gate-level sweep (chain operators)
+# ----------------------------------------------------------------------
+def _gate_case_counts(
+    operator: str,
+    width: int,
+    cell_netlist: str,
+    word_chunk: int,
+    fault_chunk: int,
+    case_lo: int,
+    case_hi: int,
+) -> List[_CaseCounts]:
+    """Shard worker: exact sweep counts for collapsed cases [case_lo, case_hi).
+
+    Rebuilds the (cached) test architecture and compiled engine locally,
+    then streams the word-packed exhaustive operand sweep through the
+    fault-group matrix chunk by chunk, reducing packed classification
+    masks to counts via popcount -- vectors are never unpacked.
+    """
+    arch = table2_architecture(operator, width, cell_netlist)
+    engine = engine_for(arch.netlist)
+    names = ("tech1", "tech2", "both")
+    rep_cases = [
+        (group, position)
+        for group in collapsed_cell_library(cell_netlist)
+        for position in range(width)
+    ][case_lo:case_hi]
+    space = arch.n_vectors
+    results: List[Optional[_CaseCounts]] = [None] * len(rep_cases)
+    sim_indices: List[int] = []
+    fault_groups = []
+    for k, (group, position) in enumerate(rep_cases):
+        if group.is_reference:
+            # LUT identical to the fault-free cell: every situation is
+            # correct and no check fires.  No simulation needed.
+            per = {name: (space, 0) for name in names}
+            results[k] = (group.multiplicity, space, space, per)
+        else:
+            sim_indices.append(k)
+            fault_groups.append(
+                arch.fault_group(group.representative.fault.fault, position)
+            )
+    # corr, cov/dc per technique (tech1, tech2, both) -> 7 tallies.
+    tallies = np.zeros((len(sim_indices), 7), dtype=np.int64)
+    word_chunk = max(1, word_chunk)
+    fault_chunk = max(1, fault_chunk)
+    tail = arch.tail_mask
+    for word_lo in range(0, arch.n_words, word_chunk):
+        word_hi = min(word_lo + word_chunk, arch.n_words)
+        rows = arch.input_rows(word_lo, word_hi)
+        mask_tail = word_hi == arch.n_words and tail != ALL_ONES
+        for lo in range(0, len(fault_groups), fault_chunk):
+            hi = min(lo + fault_chunk, len(fault_groups))
+            out = engine.run_fault_groups(rows, fault_groups[lo:hi])
+            ris = out[: width, :-1, :]
+            golden = out[: width, -1:, :]
+            correct = ~np.bitwise_or.reduce(ris ^ golden, axis=0)
+            det1 = out[arch.detect_rows["tech1"], :-1, :]
+            det2 = out[arch.detect_rows["tech2"], :-1, :]
+            if mask_tail:
+                det1 = det1.copy()
+                det2 = det2.copy()
+                for arr in (correct, det1, det2):
+                    arr[..., -1] &= tail
+            both = det1 | det2
+            block = tallies[lo:hi]
+            block[:, 0] += popcount_words(correct)
+            block[:, 1] += popcount_words(correct | det1)
+            block[:, 2] += popcount_words(correct & det1)
+            block[:, 3] += popcount_words(correct | det2)
+            block[:, 4] += popcount_words(correct & det2)
+            block[:, 5] += popcount_words(correct | both)
+            block[:, 6] += popcount_words(correct & both)
+    for row, k in enumerate(sim_indices):
+        group, _ = rep_cases[k]
+        corr, cov1, dc1, cov2, dc2, covb, dcb = (int(v) for v in tallies[row])
+        results[k] = (
+            group.multiplicity,
+            space,
+            corr,
+            {"tech1": (cov1, dc1), "tech2": (cov2, dc2), "both": (covb, dcb)},
+        )
+    return [r for r in results if r is not None]
+
+
+def _run_gate(
+    operator: str,
+    width: int,
+    cell_netlist: str,
+    workers: Optional[int],
+    word_chunk: int,
+    fault_chunk: int,
+) -> Dict[str, CoverageStats]:
+    if operator not in CHAIN_OPERATORS:
+        raise SimulationError(
+            f"the gate-level sweep covers {CHAIN_OPERATORS}, not {operator!r}"
+        )
+    n_cases = len(collapsed_cell_library(cell_netlist)) * width
+    space = 1 << (2 * width)
+    n_workers = resolve_workers(workers, n_cases, cost=n_cases * space)
+    shards = run_sharded(
+        _gate_case_counts,
+        [
+            (operator, width, cell_netlist, word_chunk, fault_chunk, lo, hi)
+            for lo, hi in shard_bounds(n_cases, n_workers)
+        ],
+    )
+    acc = _Accumulator(_SPECS[operator].names)
+    for chunk in shards:
+        for repeat, count, n_correct, per in chunk:
+            acc.update_counts(count, n_correct, per, repeat=repeat)
+    return acc.stats(operator, width, True, "gate")
+
+
+# ----------------------------------------------------------------------
+# Transfer-matrix exact wide widths (chain operators)
+# ----------------------------------------------------------------------
+def _run_transfer(
+    operator: str, width: int, cell_netlist: str
+) -> Dict[str, CoverageStats]:
+    if operator not in CHAIN_OPERATORS:
+        raise SimulationError(
+            f"transfer evaluation covers {CHAIN_OPERATORS}, not {operator!r}"
+        )
+    acc = _Accumulator(_SPECS[operator].names)
+    space = 1 << (2 * width)
+    for group in collapsed_cell_library(cell_netlist):
+        cell = group.representative
+        for position in range(width):
+            flags = case_flag_counts(
+                operator, width, position, cell.sum_lut, cell.carry_lut
+            )
+            # flags index: correct | d1 << 1 | d2 << 2.
+            n_correct = int(flags[1::2].sum())
+            per = {
+                "tech1": (space - int(flags[0] + flags[4]), int(flags[3] + flags[7])),
+                "tech2": (space - int(flags[0] + flags[2]), int(flags[5] + flags[7])),
+                "both": (space - int(flags[0]), int(flags[3] + flags[5] + flags[7])),
+            }
+            acc.update_counts(space, n_correct, per, repeat=group.multiplicity)
+    return acc.stats(operator, width, True, "transfer")
+
+
+# ----------------------------------------------------------------------
+# Method resolution and the public evaluators
+# ----------------------------------------------------------------------
+def _evaluate(
+    operator: str,
+    width: int,
+    cell_netlist: str,
+    exhaustive_limit: int,
+    samples: Optional[int],
+    seed: int,
+    method: str,
+    workers: Optional[int],
+    word_chunk: int,
+    fault_chunk: int,
+) -> Dict[str, CoverageStats]:
+    if method not in EVALUATION_METHODS:
+        raise SimulationError(
+            f"unknown method {method!r}; choose from {EVALUATION_METHODS}"
+        )
+    space = 1 << (2 * width)
+    if method == "auto":
+        if space <= exhaustive_limit:
+            method = "gate" if operator in CHAIN_OPERATORS else "functional"
+        elif operator in CHAIN_OPERATORS and samples is None:
+            method = "transfer"
+        else:
+            method = "sampled"
+    if method == "gate":
+        return _run_gate(operator, width, cell_netlist, workers, word_chunk, fault_chunk)
+    if method == "transfer":
+        return _run_transfer(operator, width, cell_netlist)
+    return _run_functional(
+        operator,
+        width,
+        cell_netlist,
+        exhaustive_limit,
+        samples,
+        seed,
+        workers,
+        force_sampled=method == "sampled",
+    )
+
+
+def evaluate_adder(
+    width: int,
+    cell_netlist: str = DEFAULT_CELL_NETLIST,
+    exhaustive_limit: int = DEFAULT_EXHAUSTIVE_LIMIT,
+    samples: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
+    method: str = "auto",
+    workers: Optional[int] = None,
+    word_chunk: int = GATE_WORD_CHUNK,
+    fault_chunk: int = GATE_FAULT_CHUNK,
+) -> Dict[str, CoverageStats]:
+    """Worst-case coverage of the overloaded ``+`` (Table 2).
+
+    The nominal ``ris = op1 + op2`` and both checking subtractions run
+    through the same faulty adder chain; every 32-fault x ``width``-
+    position case is classified over the operand space.  By default the
+    evaluation is *exact at every width*: the batched gate-level sweep
+    when ``4**width`` fits ``exhaustive_limit``, the transfer-matrix DP
+    beyond (n = 8 and 16 included).  Sampling only happens on explicit
+    ``samples=`` opt-in.  ``workers`` shards fault cases across
+    processes (auto by universe size) with bit-identical results.
+    Returns one :class:`CoverageStats` per technique
+    (``tech1``/``tech2``/``both``).
+    """
+    return _evaluate(
+        "add", width, cell_netlist, exhaustive_limit, samples, seed,
+        method, workers, word_chunk, fault_chunk,
+    )
+
+
+def evaluate_subtractor(
+    width: int,
+    cell_netlist: str = DEFAULT_CELL_NETLIST,
+    exhaustive_limit: int = DEFAULT_EXHAUSTIVE_LIMIT,
+    samples: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
+    method: str = "auto",
+    workers: Optional[int] = None,
+    word_chunk: int = GATE_WORD_CHUNK,
+    fault_chunk: int = GATE_FAULT_CHUNK,
+) -> Dict[str, CoverageStats]:
+    """Worst-case coverage of the overloaded ``-``.
+
+    ``ris = op1 - op2`` through the faulty chain; Tech 1 re-adds
+    (``op1' = ris + op2``), Tech 2 computes the reversed difference
+    (``ris' = op2 - op1``) on the same unit and tests ``ris + ris' == 0``
+    (final summation fault-free, as it maps onto the comparator).
+    Method selection, sharding and return type as for
+    :func:`evaluate_adder`.
+    """
+    return _evaluate(
+        "sub", width, cell_netlist, exhaustive_limit, samples, seed,
+        method, workers, word_chunk, fault_chunk,
+    )
+
+
+def evaluate_multiplier(
+    width: int,
+    cell_netlist: str = DEFAULT_CELL_NETLIST,
+    exhaustive_limit: int = DEFAULT_EXHAUSTIVE_LIMIT,
+    samples: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
+    method: str = "auto",
+    workers: Optional[int] = None,
+    word_chunk: int = GATE_WORD_CHUNK,
+    fault_chunk: int = GATE_FAULT_CHUNK,
+) -> Dict[str, CoverageStats]:
+    """Worst-case coverage of the overloaded ``*``.
+
+    Fixed-width products: the identity ``op1*op2 + (-op1)*op2 == 0``
+    holds modulo ``2**width``, so the checking product runs through the
+    same faulty array and the final summation/comparison is fault-free.
+    The 2-D array has no chain decomposition, so wide widths fall back
+    to the seeded sampled estimate (``method`` records which); the
+    functional path shards across processes like the others.
+    """
+    if width < 2:
+        raise SimulationError("multiplier coverage needs width >= 2")
+    return _evaluate(
+        "mul", width, cell_netlist, exhaustive_limit, samples, seed,
+        method, workers, word_chunk, fault_chunk,
+    )
 
 
 def evaluate_divider(
     width: int,
     cell_netlist: str = DEFAULT_CELL_NETLIST,
     exhaustive_limit: int = DEFAULT_EXHAUSTIVE_LIMIT,
-    samples: int = DEFAULT_SAMPLES,
+    samples: Optional[int] = None,
     seed: int = DEFAULT_SEED,
+    method: str = "auto",
+    workers: Optional[int] = None,
+    word_chunk: int = GATE_WORD_CHUNK,
+    fault_chunk: int = GATE_FAULT_CHUNK,
 ) -> Dict[str, CoverageStats]:
     """Worst-case coverage of the overloaded ``/``.
 
@@ -264,22 +705,13 @@ def evaluate_divider(
     multiply/add (different unit classes).  Tech 2 additionally enforces
     the remainder range ``rem < op2`` -- the paper's "precision of the
     inverse operation" concern; see :mod:`repro.coverage.techniques`.
+    Zero divisors are excluded from the operand space.  Like the
+    multiplier, wide widths use the sampled estimate.
     """
-    a, b, exhaustive = _operand_pairs(
-        width, exhaustive_limit, samples, seed, exclude_zero_divisor=True
+    return _evaluate(
+        "div", width, cell_netlist, exhaustive_limit, samples, seed,
+        method, workers, word_chunk, fault_chunk,
     )
-    mask = np.uint64(mask_of(width))
-    golden_q = a // b
-    golden_r = a % b
-    acc = _Accumulator(("tech1", "tech2"))
-    for case in divider_fault_cases(width, cell_netlist):
-        unit = RestoringDividerUnit(width, case.cell, case.position)
-        q, r = unit.divmod(a, b)
-        correct = (q == golden_q) & (r == golden_r)
-        det1 = ((q * b + r) & mask) != a
-        det2 = det1 | (r >= b)
-        acc.update(correct, {"tech1": det1, "tech2": det2})
-    return acc.stats("div", width, exhaustive)
 
 
 @dataclass
@@ -321,20 +753,26 @@ def evaluate_gate_level(
     vectors: Optional[Mapping[str, Union[int, np.ndarray]]] = None,
     collapse: bool = True,
     fault_dropping: bool = True,
+    workers: Optional[int] = None,
 ) -> Tuple[GateLevelCoverage, StuckAtCampaignResult]:
     """Batched stuck-at coverage of a gate-level netlist.
 
     The entire stem+branch fault universe is simulated in one
     bit-parallel pass against a shared golden run; by default the
     vector set is exhaustive over the primary inputs (the paper's
-    full-adder universe is 32 faults against 8 vectors).  Returns the
-    aggregate stats plus the raw campaign result.
+    full-adder universe is 32 faults against 8 vectors).  ``workers``
+    shards the fault list across processes (auto by universe size),
+    bit-identically.  Returns the aggregate stats plus the raw campaign
+    result.
     """
-    raw = run_stuck_at_campaign(
+    from repro.faults.injector import run_sharded_stuck_at_campaign
+
+    raw = run_sharded_stuck_at_campaign(
         netlist,
-        inputs=vectors,
+        vectors=vectors,
         collapse=collapse,
         fault_dropping=fault_dropping,
+        workers=workers,
     )
     stats = GateLevelCoverage(
         netlist=netlist.name,
@@ -361,10 +799,16 @@ def evaluate_operator(
     width: int,
     cell_netlist: str = DEFAULT_CELL_NETLIST,
     exhaustive_limit: int = DEFAULT_EXHAUSTIVE_LIMIT,
-    samples: int = DEFAULT_SAMPLES,
+    samples: Optional[int] = None,
     seed: int = DEFAULT_SEED,
+    method: str = "auto",
+    workers: Optional[int] = None,
 ) -> Dict[str, CoverageStats]:
-    """Dispatch to the per-operator evaluator by name."""
+    """Dispatch to the per-operator evaluator by name.
+
+    Accepts the same method/sharding knobs as the individual evaluators
+    and returns their per-technique :class:`CoverageStats` dict.
+    """
     try:
         evaluator = _EVALUATORS[operator]
     except KeyError:
@@ -377,6 +821,8 @@ def evaluate_operator(
         exhaustive_limit=exhaustive_limit,
         samples=samples,
         seed=seed,
+        method=method,
+        workers=workers,
     )
 
 

@@ -1,9 +1,14 @@
 """Renderers regenerating the paper's Tables 1 and 2.
 
+Every rendered cell carries its provenance (``exhaustive/gate-sweep``,
+``exhaustive/transfer``, ``sampled``...) so the output states exactly
+how it was computed -- by default Table 2 is exact at *every* width,
+including n = 8 and n = 16 where the paper itself sampled.
+
 Run as a module for a command-line report::
 
     python -m repro.coverage.report table1 --width 8
-    python -m repro.coverage.report table2 --widths 1 2 3 4
+    python -m repro.coverage.report table2 --widths 1 2 3 4 8 16
     python -m repro.coverage.report twobit
 """
 
@@ -14,7 +19,6 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.coverage.engine import (
     CoverageStats,
-    DEFAULT_SAMPLES,
     evaluate_adder,
     evaluate_operator,
     theoretical_situations,
@@ -36,6 +40,9 @@ PAPER_TABLE1 = {
     key: technique.paper_coverage for key, technique in TECHNIQUES.items()
 }
 
+#: Full Table 2 width axis; all exact by default since PR 2.
+TABLE2_WIDTHS = (1, 2, 3, 4, 8, 16)
+
 
 def _format_row(cells: Sequence[str], widths: Sequence[int]) -> str:
     return "  ".join(str(cell).ljust(w) for cell, w in zip(cells, widths))
@@ -44,20 +51,22 @@ def _format_row(cells: Sequence[str], widths: Sequence[int]) -> str:
 def render_table1(
     width: int = 8,
     operators: Iterable[str] = ("add", "sub", "mul", "div"),
-    samples: int = DEFAULT_SAMPLES,
+    samples: Optional[int] = None,
     results: Optional[Dict[str, Dict[str, CoverageStats]]] = None,
 ) -> str:
     """Regenerate Table 1: per-operator technique coverage.
 
     ``results`` may be supplied (e.g. by a benchmark) to skip
-    recomputation.
+    recomputation; ``samples`` forces the legacy Monte-Carlo estimate
+    for cross-checks (by default every operator that has an exact
+    evaluator at ``width`` uses it).
     """
     operators = list(operators)
     if results is None:
         results = {
             op: evaluate_operator(op, width, samples=samples) for op in operators
         }
-    col_widths = (8, 8, 12, 12, 10)
+    col_widths = (8, 8, 12, 12, 22)
     lines = [
         f"Table 1 -- overloading techniques and fault coverage (width={width})",
         _format_row(("operator", "tech", "measured %", "paper %", "mode"), col_widths),
@@ -66,10 +75,15 @@ def render_table1(
         for name, stats in results[op].items():
             paper = PAPER_TABLE1.get((op, name))
             paper_text = f"{paper:.2f}" if paper is not None else "-"
-            mode = "exhaustive" if stats.exhaustive else "sampled"
             lines.append(
                 _format_row(
-                    (op, name, f"{stats.coverage_percent:.2f}", paper_text, mode),
+                    (
+                        op,
+                        name,
+                        f"{stats.coverage_percent:.2f}",
+                        paper_text,
+                        stats.provenance,
+                    ),
                     col_widths,
                 )
             )
@@ -77,23 +91,37 @@ def render_table1(
 
 
 def render_table2(
-    widths: Iterable[int] = (1, 2, 3, 4),
-    samples: int = DEFAULT_SAMPLES,
+    widths: Iterable[int] = TABLE2_WIDTHS,
+    samples: Optional[int] = None,
     cell_netlist: str = "xor3_majority",
     results: Optional[Dict[int, Dict[str, CoverageStats]]] = None,
 ) -> str:
-    """Regenerate Table 2: adder coverage vs operand width."""
+    """Regenerate Table 2: adder coverage vs operand width.
+
+    Each row ends with the provenance of its numbers; with the default
+    ``samples=None`` every width is exact (gate-level sweep for small
+    operand spaces, transfer-matrix DP beyond), going one better than
+    the paper's own sampled n = 8/16 rows.
+    """
     widths = list(widths)
     if results is None:
         results = {
             n: evaluate_adder(n, cell_netlist=cell_netlist, samples=samples)
             for n in widths
         }
-    col_widths = (6, 14, 10, 10, 10, 26)
+    col_widths = (6, 14, 10, 10, 10, 20, 22)
     lines = [
         f"Table 2 -- operator + coverage vs width (cell netlist: {cell_netlist})",
         _format_row(
-            ("bits", "situations", "Tech1 %", "Tech2 %", "Both %", "paper (T1/T2/Both)"),
+            (
+                "bits",
+                "situations",
+                "Tech1 %",
+                "Tech2 %",
+                "Both %",
+                "paper (T1/T2/Both)",
+                "mode",
+            ),
             col_widths,
         ),
     ]
@@ -103,7 +131,6 @@ def render_table2(
         situations = (
             theoretical_situations("add", n) if t1.exhaustive else t1.situations
         )
-        suffix = "" if t1.exhaustive else " (sampled)"
         paper = PAPER_TABLE2.get(n)
         paper_text = (
             f"{paper[0]:.2f}/{paper[1]:.2f}/{paper[2]:.2f}" if paper else "-"
@@ -112,11 +139,12 @@ def render_table2(
             _format_row(
                 (
                     n,
-                    f"{situations}{suffix}",
+                    situations,
                     f"{t1.coverage_percent:.2f}",
                     f"{t2.coverage_percent:.2f}",
                     f"{both.coverage_percent:.2f}",
                     paper_text,
+                    t1.provenance,
                 ),
                 col_widths,
             )
@@ -154,8 +182,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description="Coverage table reports")
     parser.add_argument("table", choices=("table1", "table2", "twobit"))
     parser.add_argument("--width", type=int, default=8)
-    parser.add_argument("--widths", type=int, nargs="+", default=[1, 2, 3, 4])
-    parser.add_argument("--samples", type=int, default=DEFAULT_SAMPLES)
+    parser.add_argument("--widths", type=int, nargs="+", default=list(TABLE2_WIDTHS))
+    parser.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        help="force the legacy seeded Monte-Carlo estimate at wide widths "
+        "(default: exact evaluation everywhere an exact method exists)",
+    )
     parser.add_argument("--netlist", default="xor3_majority")
     args = parser.parse_args(argv)
     if args.table == "table1":

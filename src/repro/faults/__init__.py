@@ -9,8 +9,12 @@ Permanent, transient and intermittent faults are all covered.
   schedules (permanent / transient / intermittent);
 * :mod:`repro.faults.universe` -- the canonical 32-fault full-adder
   universe and enumeration of (fault, location) cases per unit type;
-* :mod:`repro.faults.injector` -- campaign orchestration over a
-  :class:`~repro.arch.alu.FaultableALU`.
+* :mod:`repro.faults.injector` -- campaign orchestration: per-fault ALU
+  workloads (:class:`FaultInjector`) and the batched gate-level
+  campaigns (:func:`run_gate_level_campaign`,
+  :func:`run_sharded_stuck_at_campaign`);
+* :mod:`repro.faults.sharding` -- process-pool sharding policy shared
+  by campaigns and the coverage evaluators (bit-identical merges).
 """
 
 from repro.faults.model import (
@@ -28,7 +32,12 @@ from repro.faults.universe import (
     divider_fault_cases,
     multiplier_fault_cases,
 )
-from repro.faults.injector import CampaignResult, FaultInjector
+from repro.faults.injector import (
+    CampaignResult,
+    FaultInjector,
+    run_gate_level_campaign,
+    run_sharded_stuck_at_campaign,
+)
 
 __all__ = [
     "ActivationSchedule",
@@ -44,4 +53,6 @@ __all__ = [
     "divider_fault_cases",
     "FaultInjector",
     "CampaignResult",
+    "run_gate_level_campaign",
+    "run_sharded_stuck_at_campaign",
 ]

@@ -19,7 +19,10 @@ exposes the batched bit-parallel path: the whole stuck-at universe of a
 gate-level netlist is simulated against one shared golden run
 (:mod:`repro.gates.engine`) and folded into the same
 :class:`CampaignResult` vocabulary (``detected`` / ``escaped``), so
-campaign reporting works unchanged at either abstraction level.
+campaign reporting works unchanged at either abstraction level.  Large
+universes shard across worker processes
+(:func:`run_sharded_stuck_at_campaign`; ``workers=`` everywhere) with
+bit-identical per-fault verdicts for any worker count.
 """
 
 from __future__ import annotations
@@ -32,8 +35,9 @@ import numpy as np
 from repro.arch.alu import FaultableALU
 from repro.errors import CheckError, ReproError
 from repro.faults.model import FaultDescriptor
+from repro.faults.sharding import resolve_workers, run_sharded, shard_bounds
 from repro.gates.engine import StuckAtCampaignResult, run_stuck_at_campaign
-from repro.gates.faults import StuckAtFault
+from repro.gates.faults import StuckAtFault, default_fault_universe
 from repro.gates.netlist import Netlist
 
 Workload = Callable[[FaultableALU], Tuple[Sequence[int], bool]]
@@ -149,20 +153,107 @@ class FaultInjector:
         return result
 
 
+def _campaign_shard(
+    netlist: Netlist,
+    vectors: Optional[Mapping[str, Union[int, np.ndarray]]],
+    faults: List[StuckAtFault],
+    collapse: bool,
+    fault_dropping: bool,
+) -> StuckAtCampaignResult:
+    """Shard worker: the batched campaign over one fault-list slice."""
+    return run_stuck_at_campaign(
+        netlist,
+        inputs=vectors,
+        faults=faults,
+        collapse=collapse,
+        fault_dropping=fault_dropping,
+    )
+
+
+def run_sharded_stuck_at_campaign(
+    netlist: Netlist,
+    vectors: Optional[Mapping[str, Union[int, np.ndarray]]] = None,
+    faults: Optional[Iterable[StuckAtFault]] = None,
+    collapse: bool = True,
+    fault_dropping: bool = True,
+    workers: Optional[int] = None,
+) -> StuckAtCampaignResult:
+    """:func:`~repro.gates.engine.run_stuck_at_campaign` with fault sharding.
+
+    The fault list (default: the full stem+branch universe) is split
+    into contiguous shards, each simulated by a worker process with its
+    own collapsing/dropping, and the per-fault verdicts are merged back
+    in order.  Detection is exact per fault, so the merged ``detected``
+    and ``first_detected`` arrays are bit-identical for any worker
+    count; ``n_simulated_runs``/``groups`` reflect the per-shard
+    collapsing actually performed.  ``workers=None`` auto-selects by
+    universe size (faults x vectors) and machine parallelism.
+    """
+    fault_seq: Tuple[StuckAtFault, ...] = (
+        tuple(faults) if faults is not None else default_fault_universe(netlist)
+    )
+    if vectors is None:
+        n_vectors = 1 << min(len(netlist.primary_inputs), 63)
+    else:
+        lengths = [
+            np.asarray(v).shape[0]
+            for v in vectors.values()
+            if np.asarray(v).ndim == 1
+        ]
+        n_vectors = lengths[0] if lengths else 1
+    n_workers = resolve_workers(
+        workers, len(fault_seq), cost=len(fault_seq) * n_vectors
+    )
+    if n_workers <= 1:
+        # Pass None through untouched (keeps the memoised default-universe
+        # fast path); otherwise use the materialised tuple -- the original
+        # ``faults`` may be a one-shot iterator already consumed above.
+        return run_stuck_at_campaign(
+            netlist,
+            inputs=vectors,
+            faults=fault_seq if faults is not None else None,
+            collapse=collapse,
+            fault_dropping=fault_dropping,
+        )
+    bounds = shard_bounds(len(fault_seq), n_workers)
+    parts = run_sharded(
+        _campaign_shard,
+        [
+            (netlist, vectors, list(fault_seq[lo:hi]), collapse, fault_dropping)
+            for lo, hi in bounds
+        ],
+    )
+    groups: List[Tuple[int, ...]] = []
+    for part, (lo, _) in zip(parts, bounds):
+        groups.extend(tuple(i + lo for i in g) for g in part.groups)
+    return StuckAtCampaignResult(
+        netlist_name=netlist.name,
+        faults=fault_seq,
+        detected=np.concatenate([p.detected for p in parts]),
+        first_detected=np.concatenate([p.first_detected for p in parts]),
+        n_vectors=parts[0].n_vectors,
+        n_simulated_runs=sum(p.n_simulated_runs for p in parts),
+        groups=tuple(groups),
+    )
+
+
 def run_gate_level_campaign(
     netlist: Netlist,
     vectors: Optional[Mapping[str, Union[int, np.ndarray]]] = None,
     faults: Optional[Iterable[StuckAtFault]] = None,
     collapse: bool = True,
     fault_dropping: bool = True,
+    workers: Optional[int] = None,
 ) -> Tuple[CampaignResult, StuckAtCampaignResult]:
     """Batched stuck-at campaign over a gate-level netlist.
 
     Unlike :class:`FaultInjector` (one workload run per fault), this
     simulates the entire stuck-at universe in a single bit-parallel pass
     against a shared golden run, with structural fault collapsing and
-    fault dropping.  ``vectors`` maps primary inputs to 0/1 arrays; by
-    default the exhaustive vector set is applied.
+    fault dropping.  ``vectors`` maps primary inputs to 0/1 arrays (all
+    the same length); by default the exhaustive vector set is applied.
+    ``workers`` shards the fault list across processes (``None``
+    auto-selects by universe size) with bit-identical classifications.
 
     A fault whose outputs diverge from the golden run on some vector is
     ``detected``; one that never diverges is ``escaped`` (at the bare
@@ -171,12 +262,13 @@ def run_gate_level_campaign(
     :class:`~repro.gates.engine.StuckAtCampaignResult` for callers that
     need per-fault detecting vectors or the collapsing groups.
     """
-    raw = run_stuck_at_campaign(
+    raw = run_sharded_stuck_at_campaign(
         netlist,
-        inputs=vectors,
+        vectors=vectors,
         faults=faults,
         collapse=collapse,
         fault_dropping=fault_dropping,
+        workers=workers,
     )
     result = CampaignResult()
     for fault, hit in zip(raw.faults, raw.detected):

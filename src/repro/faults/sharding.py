@@ -1,0 +1,89 @@
+"""Process-pool sharding for fault campaigns.
+
+Fault cases are embarrassingly parallel: each one is classified against
+the same golden behaviour, so a campaign can be split into contiguous
+fault-list shards, evaluated in worker processes, and merged back in
+shard order.  Because every shard computes exact integer counts (or
+exact per-fault verdicts) and the merge is order-preserving, results are
+bit-identical for any worker count -- the invariance property
+``tests/test_table2_exact.py`` asserts.
+
+Workers are plain module-level functions taking picklable arguments
+(operator names, widths, index ranges) and rebuilding netlists and
+engines locally; on fork-based platforms they inherit the parent's warm
+caches for free.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+#: Below this much total work (items x per-item cost) the pool overhead
+#: outweighs any parallel gain and auto-selection stays single-process.
+DEFAULT_SHARD_THRESHOLD = 1 << 24
+
+#: Upper bound on auto-selected workers; explicit ``workers=`` may exceed it.
+MAX_AUTO_WORKERS = 8
+
+
+def resolve_workers(
+    workers: Optional[int],
+    n_items: int,
+    cost: Optional[int] = None,
+    threshold: int = DEFAULT_SHARD_THRESHOLD,
+) -> int:
+    """Decide the process count for a campaign.
+
+    ``workers=None`` selects automatically: multiple processes only when
+    the machine has spare cores and the estimated ``cost`` (e.g.
+    ``n_faults * n_vectors``) crosses ``threshold``.  An explicit
+    ``workers`` value is honoured as given (floored at 1), which is what
+    the shard-invariance tests use to force a pool on any machine.
+    """
+    if workers is not None:
+        return max(1, int(workers))
+    cpus = os.cpu_count() or 1
+    if cpus <= 1 or n_items < 2:
+        return 1
+    if cost is not None and cost < threshold:
+        return 1
+    return min(cpus, MAX_AUTO_WORKERS, n_items)
+
+
+def shard_bounds(n_items: int, n_shards: int) -> List[Tuple[int, int]]:
+    """Contiguous, balanced ``[lo, hi)`` ranges covering ``n_items``.
+
+    Shard sizes differ by at most one; empty shards are dropped, so the
+    concatenation of shard results always reproduces the unsharded
+    order exactly.
+    """
+    n_shards = max(1, min(n_shards, n_items)) if n_items else 1
+    base, extra = divmod(n_items, n_shards)
+    bounds: List[Tuple[int, int]] = []
+    lo = 0
+    for shard in range(n_shards):
+        hi = lo + base + (1 if shard < extra else 0)
+        if hi > lo:
+            bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def run_sharded(
+    worker: Callable[..., Any], arg_tuples: Sequence[Tuple[Any, ...]]
+) -> List[Any]:
+    """Run ``worker(*args)`` for each tuple, in order, across processes.
+
+    One process per argument tuple (callers size the tuples via
+    :func:`shard_bounds`); results are returned in submission order so
+    merges are deterministic.  A single tuple short-circuits to an
+    in-process call -- no pool, no pickling.
+    """
+    if len(arg_tuples) <= 1:
+        return [worker(*args) for args in arg_tuples]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=len(arg_tuples)) as pool:
+        futures = [pool.submit(worker, *args) for args in arg_tuples]
+        return [f.result() for f in futures]

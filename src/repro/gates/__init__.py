@@ -16,8 +16,11 @@ This package models combinational circuits at the structural gate level:
   CSR fanout index, cached topological order;
 * :mod:`repro.gates.engine` -- the bit-parallel simulator on top of the
   compiled form: 64 test vectors per ``uint64`` word, fault-major
-  matrix evaluation, and batched stuck-at campaigns with structural
-  collapsing and fault dropping (:func:`run_stuck_at_campaign`);
+  matrix evaluation (single faults or multi-site fault groups), batched
+  stuck-at campaigns with structural collapsing and fault dropping
+  (:func:`run_stuck_at_campaign`), and the streaming helpers
+  (:func:`engine.exhaustive_word_range`, :func:`engine.popcount_words`)
+  that let exhaustive sweeps run in O(chunk) memory;
 * :mod:`repro.gates.simulate` -- the public simulation surface:
   :class:`NetlistSimulator` (thin adapter over the compiled engine),
   cached one-shot :func:`simulate` / :func:`simulate_vector`, and the
@@ -38,6 +41,9 @@ from repro.gates.engine import (
     BitParallelEngine,
     PackedVectors,
     StuckAtCampaignResult,
+    engine_for,
+    exhaustive_word_range,
+    popcount_words,
     run_stuck_at_campaign,
 )
 from repro.gates.faults import (
@@ -68,6 +74,9 @@ __all__ = [
     "BitParallelEngine",
     "PackedVectors",
     "StuckAtCampaignResult",
+    "engine_for",
+    "exhaustive_word_range",
+    "popcount_words",
     "run_stuck_at_campaign",
     "FaultSite",
     "StuckAtFault",

@@ -10,11 +10,43 @@ the faulty functional unit is one full adder in the chain.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 from repro.errors import NetlistError
 from repro.gates.cells import CellType
 from repro.gates.netlist import Netlist
+
+
+def instantiate_cell(
+    nl: Netlist, cell: Netlist, tag: str, bindings: Mapping[str, str]
+) -> Dict[str, str]:
+    """Instantiate the small netlist ``cell`` inside ``nl`` under ``tag``.
+
+    ``bindings`` maps every primary input of ``cell`` to an existing net
+    of ``nl``; internal and output nets become ``{tag}_{net}`` and gates
+    ``{tag}_{gate}``, with input pin order preserved.  Because pin order
+    and gate identity survive flattening, a stuck-at fault expressed on
+    the cell netlist can be translated onto the instance (see
+    :mod:`repro.arch.testbench`) and behaves exactly as it does in the
+    stand-alone cell.  Returns the full cell-net -> flat-net map.
+    """
+    netmap: Dict[str, str] = {}
+    for name in cell.primary_inputs:
+        if name not in bindings:
+            raise NetlistError(
+                f"cell {cell.name!r} input {name!r} is unbound in instance {tag!r}"
+            )
+        netmap[name] = bindings[name]
+    for gate in cell.topological_gates():
+        flat_out = f"{tag}_{gate.output}"
+        netmap[gate.output] = flat_out
+        nl.add_gate(
+            gate.cell_type,
+            [netmap[n] for n in gate.inputs],
+            flat_out,
+            name=f"{tag}_{gate.name}",
+        )
+    return netmap
 
 
 def half_adder(name: str = "ha") -> Netlist:

@@ -18,7 +18,17 @@ Three levels of service:
   n_faults x n_words``) against one shared golden run, with structural
   fault collapsing (only one representative per equivalence class is
   simulated) and fault dropping (detected faults leave the matrix
-  between vector chunks).
+  between vector chunks);
+* :meth:`BitParallelEngine.run_fault_groups` -- the same fault-major
+  matrix for *multi-site fault groups* (several stuck-ats injected
+  together per row), which is how the Table 2 coverage sweep replicates
+  one cell-level fault into the nominal and checking copies of a
+  functional unit (:mod:`repro.arch.testbench`).
+
+Streaming wide sweeps: :func:`exhaustive_word_range` materialises any
+word slice of an arbitrarily wide exhaustive vector set, and
+:func:`popcount_words` reduces packed classification masks to exact
+vector counts, so coverage campaigns run in O(chunk) memory.
 
 Fault semantics match the reference interpreter
 (:class:`repro.gates.simulate.ReferenceSimulator`): a *stem* fault
@@ -127,18 +137,63 @@ def exhaustive_words(n_inputs: int) -> PackedVectors:
         )
     n_vectors = 1 << n_inputs
     n_words = max(1, n_vectors >> 6)
+    return PackedVectors(exhaustive_word_range(n_inputs, 0, n_words), n_vectors)
+
+
+def exhaustive_word_range(n_inputs: int, word_lo: int, word_hi: int) -> np.ndarray:
+    """Words ``[word_lo, word_hi)`` of the exhaustive sweep, one row per input.
+
+    The full exhaustive set over ``n_inputs`` primary inputs spans
+    ``max(1, 2**(n_inputs - 6))`` uint64 words; this produces any
+    contiguous slice of it without materialising the rest, which is what
+    lets wide sweeps (e.g. the 2**32-vector n = 16 operand space) stream
+    through a fixed-size working set.  Bit conventions match
+    :func:`exhaustive_words`: vector ``v`` assigns bit ``k`` of ``v`` to
+    input ``k``; when ``n_inputs < 6`` the lanes beyond ``2**n_inputs``
+    are phantom vectors the caller must mask off (see
+    :attr:`PackedVectors.tail_mask`).
+    """
+    total_words = max(1, (1 << n_inputs) >> 6) if n_inputs < 63 else 1 << (n_inputs - 6)
+    if not (0 <= word_lo <= word_hi <= total_words):
+        raise SimulationError(
+            f"word range [{word_lo}, {word_hi}) outside the "
+            f"{total_words}-word exhaustive sweep of {n_inputs} inputs"
+        )
+    n_words = word_hi - word_lo
     rows = np.empty((n_inputs, n_words), dtype=np.uint64)
     lane = np.arange(LANES, dtype=np.uint64)
+    idx = np.arange(word_lo, word_hi, dtype=np.uint64)
     for k in range(n_inputs):
         if k < 6:
-            pattern = np.bitwise_or.reduce(((lane >> np.uint64(k)) & np.uint64(1)) << lane)
+            pattern = np.bitwise_or.reduce(
+                ((lane >> np.uint64(k)) & np.uint64(1)) << lane
+            )
             rows[k] = pattern
         else:
-            idx = np.arange(n_words, dtype=np.uint64)
             rows[k] = np.where(
                 (idx >> np.uint64(k - 6)) & np.uint64(1) == 1, ALL_ONES, np.uint64(0)
             )
-    return PackedVectors(rows, n_vectors)
+    return rows
+
+
+# 8-bit popcount lookup, the fallback when NumPy lacks ``bitwise_count``
+# (added in NumPy 2.0).
+_POP8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+
+def popcount_words(words: np.ndarray) -> np.ndarray:
+    """Total set bits along the last axis of a uint64 word array.
+
+    One packed word row (64 vectors per word) reduces to an exact vector
+    count, which is how the batched coverage sweeps turn per-vector
+    classification masks into situation tallies without ever unpacking.
+    Returns int64 counts with the last axis summed away.
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
+    as_bytes = np.ascontiguousarray(words).view(np.uint8)
+    return _POP8[as_bytes].sum(axis=-1, dtype=np.int64)
 
 
 def _stuck_column(values: List[int]) -> np.ndarray:
@@ -149,37 +204,35 @@ def _stuck_column(values: List[int]) -> np.ndarray:
     return col
 
 
+#: One matrix row simulates either a single fault or a *group* of faults
+#: applied together (e.g. the same cell-level fault replicated into the
+#: nominal and checking copies of a functional unit).
+FaultGroup = Union[StuckAtFault, Sequence[StuckAtFault]]
+
+
 class _OverridePlan:
     """Pre-resolved stuck-at overrides for one fault-matrix evaluation.
 
-    Row ``r`` of the matrix simulates ``faults[r]``.  Stems are applied
-    to a net's value right after it is produced; branches are applied to
-    the (already copied) pin matrix while evaluating the reading gate.
-    Row indices stay plain lists -- they feed NumPy fancy indexing
-    directly and building ndarray objects per site costs more than it
-    saves at these sizes.
+    Row ``r`` of the matrix simulates ``faults[r]`` -- a single
+    :class:`StuckAtFault` or a sequence applied simultaneously (a
+    multi-site fault group).  Stems are applied to a net's value right
+    after it is produced; branches are applied to the (already copied)
+    pin matrix while evaluating the reading gate.  Row indices stay
+    plain lists -- they feed NumPy fancy indexing directly and building
+    ndarray objects per site costs more than it saves at these sizes.
     """
 
-    def __init__(self, compiled: CompiledNetlist, faults: Sequence[StuckAtFault]) -> None:
+    def __init__(self, compiled: CompiledNetlist, faults: Sequence[FaultGroup]) -> None:
         stem: Dict[int, Tuple[List[int], List[int]]] = {}
         branch: Dict[int, Dict[int, Tuple[List[int], List[int]]]] = {}
-        for row, fault in enumerate(faults):
-            if fault.site.is_stem:
-                nid = compiled.net_id(fault.site.net)
-                entry = stem.get(nid)
-                if entry is None:
-                    entry = stem[nid] = ([], [])
-                entry[0].append(row)
-                entry[1].append(fault.value)
-            else:
-                gate_name, pin = fault.site.branch
-                gate, pin = compiled.pin_id(gate_name, pin)
-                pins = branch.setdefault(gate, {})
-                entry = pins.get(pin)
-                if entry is None:
-                    entry = pins[pin] = ([], [])
-                entry[0].append(row)
-                entry[1].append(fault.value)
+        for row, entry_faults in enumerate(faults):
+            group = (
+                (entry_faults,)
+                if isinstance(entry_faults, StuckAtFault)
+                else tuple(entry_faults)
+            )
+            for fault in group:
+                self._add(compiled, stem, branch, row, fault)
         # Each site becomes one fancy assignment: rows plus a per-row
         # constant column (0 or all-ones) broadcast across the words.
         self.stem = {
@@ -192,6 +245,31 @@ class _OverridePlan:
             }
             for gate, pins in branch.items()
         }
+
+    @staticmethod
+    def _add(
+        compiled: CompiledNetlist,
+        stem: Dict[int, Tuple[List[int], List[int]]],
+        branch: Dict[int, Dict[int, Tuple[List[int], List[int]]]],
+        row: int,
+        fault: StuckAtFault,
+    ) -> None:
+        if fault.site.is_stem:
+            nid = compiled.net_id(fault.site.net)
+            entry = stem.get(nid)
+            if entry is None:
+                entry = stem[nid] = ([], [])
+            entry[0].append(row)
+            entry[1].append(fault.value)
+        else:
+            gate_name, pin = fault.site.branch
+            gate, pin = compiled.pin_id(gate_name, pin)
+            pins = branch.setdefault(gate, {})
+            entry = pins.get(pin)
+            if entry is None:
+                entry = pins[pin] = ([], [])
+            entry[0].append(row)
+            entry[1].append(fault.value)
 
     @staticmethod
     def apply(entry: Tuple[List[int], np.ndarray], values: np.ndarray) -> None:
@@ -439,6 +517,31 @@ class BitParallelEngine:
             bits = unpack_bits(out, packed.n_vectors)  # (n_out, B, V)
             tables[lo : lo + len(batch)] = np.transpose(bits, (1, 2, 0))
         return tables
+
+    def run_fault_groups(
+        self, words: np.ndarray, groups: Sequence[FaultGroup]
+    ) -> np.ndarray:
+        """Primary outputs for a batch of multi-site fault groups.
+
+        ``words`` is a packed input matrix ``(n_inputs, n_words)`` (64
+        vectors per uint64 word, rows in compiled input order -- see
+        :func:`exhaustive_word_range`).  Each entry of ``groups`` is one
+        :class:`StuckAtFault` or a sequence of faults injected together,
+        e.g. the same cell-level fault replicated into every copy of a
+        functional unit in a test architecture.  Returns a
+        ``(n_outputs, len(groups) + 1, n_words)`` matrix whose last row
+        is the shared fault-free (golden) run; all groups advance through
+        the gate program together, one word-wide NumPy op per gate.
+        """
+        words = np.asarray(words, dtype=np.uint64)
+        if words.ndim != 2 or words.shape[0] != self.compiled.n_inputs:
+            raise SimulationError(
+                f"expected ({self.compiled.n_inputs}, n_words) input words, "
+                f"got shape {words.shape}"
+            )
+        plan = _OverridePlan(self.compiled, groups)
+        vals = self._run_matrix(words, plan, len(groups) + 1)
+        return vals[self._output_ids]
 
     # ------------------------------------------------------------------
     # Batched fault campaign

@@ -84,7 +84,7 @@ class TestRenderersWithCustomData:
 
         stats = {5: evaluate_adder(5, exhaustive_limit=16, samples=64)}
         text = coverage_report.render_table2(widths=(5,), results=stats)
-        assert "(sampled)" in text
+        assert "sampled" in text  # provenance column states the mode
 
     def test_table1_unpublished_cell(self):
         from repro.coverage.engine import evaluate_adder

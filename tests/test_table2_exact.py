@@ -1,0 +1,182 @@
+"""Exactness, parity and shard-invariance of the batched Table 2 paths.
+
+Three independent evaluators exist for the chain operators: the seed
+functional LUT-splicing loop, the batched gate-level sweep (multi-site
+fault groups over word-packed exhaustive vectors) and the carry-state
+transfer matrix.  They model the same experiment, so their integer
+situation counts must agree bit-for-bit -- these tests pin that, plus
+the explicit-opt-in semantics of sampling and the bit-identical merges
+of process-sharded campaigns.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.cell import collapsed_cell_library, faulty_cell_library
+from repro.arch.testbench import table2_architecture
+from repro.coverage.engine import (
+    evaluate_adder,
+    evaluate_multiplier,
+    evaluate_operator,
+    evaluate_subtractor,
+    theoretical_situations,
+)
+from repro.errors import SimulationError
+from repro.faults.injector import run_sharded_stuck_at_campaign
+from repro.faults.sharding import shard_bounds
+from repro.gates import builders
+
+
+def _key(stats):
+    return {
+        name: (
+            s.situations,
+            s.covered,
+            s.observable_errors,
+            s.detected_while_correct,
+            s.per_case_min,
+            s.per_case_max,
+        )
+        for name, s in stats.items()
+    }
+
+
+class TestMethodParity:
+    @pytest.mark.parametrize("evaluate", [evaluate_adder, evaluate_subtractor])
+    @pytest.mark.parametrize("width", [1, 2, 3])
+    def test_three_methods_bit_identical(self, evaluate, width):
+        """gate == functional == transfer, integer for integer."""
+        gate = evaluate(width, method="gate")
+        functional = evaluate(width, method="functional")
+        transfer = evaluate(width, method="transfer")
+        assert _key(gate) == _key(functional) == _key(transfer)
+
+    def test_gate_matches_transfer_at_n8(self):
+        """The full 16.7M-situation n = 8 universe, two exact engines."""
+        assert _key(evaluate_adder(8, method="gate")) == _key(
+            evaluate_adder(8, method="transfer")
+        )
+
+    def test_two_xor_cell_style_parity(self):
+        """The alternative five-gate cell collapses/translates correctly too."""
+        gate = evaluate_adder(2, cell_netlist="two_xor", method="gate")
+        functional = evaluate_adder(2, cell_netlist="two_xor", method="functional")
+        assert _key(gate) == _key(functional)
+
+
+class TestMethodResolution:
+    def test_default_n8_is_exhaustive_gate_sweep(self):
+        stats = evaluate_adder(8)
+        assert stats["tech1"].method == "gate"
+        assert stats["tech1"].exhaustive
+        assert stats["tech1"].situations == theoretical_situations("add", 8)
+
+    def test_default_wide_width_is_exact_transfer(self):
+        stats = evaluate_adder(16)
+        assert stats["tech1"].method == "transfer"
+        assert stats["tech1"].exhaustive
+        assert stats["tech1"].situations == 32 * 16 * (1 << 32)
+
+    def test_sampling_requires_explicit_opt_in(self):
+        sampled = evaluate_adder(16, samples=512)
+        assert not sampled["tech1"].exhaustive
+        assert sampled["tech1"].method == "sampled"
+        assert sampled["tech1"].situations == 32 * 16 * 512
+
+    def test_forced_sampled_method(self):
+        stats = evaluate_adder(3, samples=128, method="sampled")
+        assert not stats["tech1"].exhaustive
+        assert stats["tech1"].situations == 32 * 3 * 128
+
+    def test_gate_method_rejects_array_operators(self):
+        with pytest.raises(SimulationError):
+            evaluate_multiplier(3, method="gate")
+        with pytest.raises(SimulationError):
+            evaluate_operator("div", 2, method="transfer")
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SimulationError):
+            evaluate_adder(2, method="warp")
+
+
+class TestExactVsSampled:
+    def test_exact_dominates_seeded_estimate_at_n8(self):
+        """With the default seed the exact coverage bounds the estimate
+        from above for every technique, and the two agree closely."""
+        exact = evaluate_adder(8)
+        sampled = evaluate_adder(8, samples=4096, method="sampled")
+        for technique in ("tech1", "tech2", "both"):
+            assert exact[technique].coverage >= sampled[technique].coverage
+            assert (
+                abs(
+                    exact[technique].coverage_percent
+                    - sampled[technique].coverage_percent
+                )
+                < 0.5
+            )
+
+
+class TestShardInvariance:
+    def test_gate_sweep_workers_bit_identical(self):
+        """Acceptance: 1 vs 4 workers give bit-identical Table 2 cells."""
+        assert _key(evaluate_adder(4, workers=1)) == _key(
+            evaluate_adder(4, workers=4)
+        )
+
+    def test_functional_workers_bit_identical(self):
+        assert _key(evaluate_multiplier(3, workers=1)) == _key(
+            evaluate_multiplier(3, workers=3)
+        )
+
+    def test_campaign_workers_bit_identical(self):
+        netlist = builders.ripple_carry_adder(4)
+        solo = run_sharded_stuck_at_campaign(netlist, workers=1)
+        sharded = run_sharded_stuck_at_campaign(netlist, workers=3)
+        assert solo.faults == sharded.faults
+        assert (solo.detected == sharded.detected).all()
+        assert (solo.first_detected == sharded.first_detected).all()
+
+    def test_shard_bounds_partition(self):
+        for n, k in ((10, 3), (7, 7), (5, 8), (0, 4), (1, 1)):
+            bounds = shard_bounds(n, k)
+            covered = [i for lo, hi in bounds for i in range(lo, hi)]
+            assert covered == list(range(n))
+
+
+class TestCollapsingAndTranslation:
+    def test_collapsed_library_spans_full_universe(self):
+        groups = collapsed_cell_library()
+        assert sum(g.multiplicity for g in groups) == 32
+        assert len(groups) < 32  # collapsing actually helps
+
+    def test_fault_groups_replicate_across_chains(self):
+        arch = table2_architecture("add", 3)
+        cell = faulty_cell_library()[0]
+        group = arch.fault_group(cell.fault.fault, 1)
+        # One translated site set per replica of the faulty unit.
+        assert len(group) % len(arch.chains) == 0
+        nets = set(arch.netlist.nets)
+        for fault in group:
+            assert fault.site.net in nets
+
+    def test_fault_group_position_validated(self):
+        arch = table2_architecture("add", 2)
+        cell = faulty_cell_library()[0]
+        with pytest.raises(SimulationError):
+            arch.fault_group(cell.fault.fault, 2)
+
+
+class TestGoldenRow:
+    def test_golden_row_matches_reference_sum(self):
+        """The sweep's shared golden row really is the fault-free unit."""
+        arch = table2_architecture("add", 3)
+        from repro.gates.engine import engine_for, unpack_bits
+
+        engine = engine_for(arch.netlist)
+        rows = arch.input_rows(0, arch.n_words)
+        out = engine.run_fault_groups(rows, [])
+        bits = unpack_bits(out[: 3, 0, :], arch.n_vectors)
+        ris = sum(bits[i].astype(np.uint64) << np.uint64(i) for i in range(3))
+        v = np.arange(arch.n_vectors, dtype=np.uint64)
+        a, b = v & np.uint64(7), (v >> np.uint64(3)) & np.uint64(7)
+        assert (ris == ((a + b) & np.uint64(7))).all()
