@@ -32,8 +32,13 @@ import time
 
 import pytest
 
-from repro.coverage.engine import evaluate_adder, theoretical_situations
-from repro.coverage.report import PAPER_TABLE2, render_table2
+from repro.coverage.engine import (
+    evaluate_adder,
+    evaluate_divider,
+    evaluate_multiplier,
+    theoretical_situations,
+)
+from repro.coverage.report import PAPER_TABLE2, render_table1, render_table2
 
 ALL_WIDTHS = (1, 2, 3, 4, 8, 16)
 
@@ -43,6 +48,10 @@ EXACT_BUDGET = float(os.environ.get("BENCH_TABLE2_BUDGET", "5.0"))
 #: Speedup floor of the batched gate sweep over the functional per-case
 #: loop at n = 8 (locally ~25x; relaxed on shared runners).
 SPEEDUP_FLOOR = float(os.environ.get("BENCH_TABLE2_SPEEDUP", "5.0"))
+#: Wall-clock budget for the exact n = 8 multiplier *and* divider
+#: sweeps together (locally ~2 s: the mul architecture carries three
+#: 28-cell array replicas, the divider eight unrolled 9-cell chains).
+MULDIV_BUDGET = float(os.environ.get("BENCH_TABLE2_MULDIV_BUDGET", "15.0"))
 
 
 def _stats_key(stats):
@@ -163,3 +172,79 @@ def test_table2_within_band_of_paper(results):
 
 def test_table2_large_width_high_coverage(results):
     assert results[16]["both"].coverage_percent > 98.5
+
+
+# ----------------------------------------------------------------------
+# Multiplier / divider exactness gates (PR 3): the n = 8 array rows are
+# computed by the batched gate-level sweep, never sampled.
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def muldiv_results():
+    timings = {}
+    out = {}
+    for op, evaluate in (("mul", evaluate_multiplier), ("div", evaluate_divider)):
+        start = time.perf_counter()
+        out[op] = evaluate(8)
+        timings[op] = time.perf_counter() - start
+    out["timings"] = timings
+    return out
+
+
+def test_muldiv_n8_exact_gate_under_budget(muldiv_results):
+    """Acceptance: wide mul/div rows are exact gate sweeps, in budget."""
+    timings = muldiv_results["timings"]
+    for op in ("mul", "div"):
+        for s in muldiv_results[op].values():
+            assert s.method == "gate", (op, s.technique)
+            assert s.exhaustive, (op, s.technique)
+        assert muldiv_results[op]["tech1"].situations == theoretical_situations(op, 8)
+    print()
+    print(
+        f"n=8 exact mul sweep {timings['mul'] * 1e3:9.1f}ms "
+        f"({muldiv_results['mul']['tech1'].situations} situations)"
+    )
+    print(
+        f"n=8 exact div sweep {timings['div'] * 1e3:9.1f}ms "
+        f"({muldiv_results['div']['tech1'].situations} situations, "
+        f"zero divisors masked)"
+    )
+    total = timings["mul"] + timings["div"]
+    assert total < MULDIV_BUDGET, f"mul+div n=8 sweeps took {total:.2f}s"
+
+
+def test_muldiv_n8_shard_invariance(muldiv_results):
+    sharded_mul = evaluate_multiplier(8, workers=2)
+    sharded_div = evaluate_divider(8, workers=2)
+    assert _stats_key(sharded_mul) == _stats_key(muldiv_results["mul"])
+    assert _stats_key(sharded_div) == _stats_key(muldiv_results["div"])
+
+
+def test_muldiv_gate_matches_functional_at_n6(once):
+    """Exactness cross-check at a width the functional loop still
+    affords: the two independent evaluators agree integer for integer
+    (n = 8 parity for add/sub is covered above; mul/div n = 8
+    functional passes take minutes, so the bench pins n = 6)."""
+
+    def compare():
+        for evaluate in (evaluate_multiplier, evaluate_divider):
+            gate = evaluate(6, method="gate")
+            functional = evaluate(6, method="functional")
+            assert _stats_key(gate) == _stats_key(functional)
+        return True
+
+    assert once(compare)
+
+
+def test_table1_width8_fully_exact(muldiv_results, once):
+    """The default Table 1 at n = 8 carries gate-sweep provenance for
+    every operator -- no sampled cells anywhere."""
+    results = {
+        "add": evaluate_adder(8),
+        "mul": muldiv_results["mul"],
+        "div": muldiv_results["div"],
+    }
+    table = once(render_table1, width=8, operators=tuple(results), results=results)
+    print()
+    print(table)
+    assert "sampled" not in table
+    assert table.count("exhaustive/gate-sweep") >= 8

@@ -1,0 +1,17 @@
+template <class TYPE>
+class SCK
+{
+  private:
+    TYPE ID;    // internal data
+    bool E;     // error bit
+
+  public:
+    SCK() {}                       // empty constructor (synthesis)
+    SCK(TYPE v) : ID(v), E(false) {}
+
+    TYPE GetID() const   { return ID; }
+    bool GetError() const { return E; }
+
+    SCK<TYPE> &operator=(const SCK<TYPE> &src);
+    SCK<TYPE> operator+(const SCK<TYPE> &op2) const;
+};

@@ -1,0 +1,12 @@
+template <class TYPE>
+SCK<TYPE> SCK<TYPE>::operator+(const SCK<TYPE> &op2) const
+{
+    const SCK<TYPE> &op1 = *this;
+    SCK<TYPE> ris;
+    bool err = op1.E || op2.E;        // error propagation
+    ris.ID = op1.ID + op2.ID;  // nominal operation
+    TYPE chk = ris.ID - op1.ID;   // hidden inverse operation
+    err = err || (chk != op2.ID);
+    ris.E = err;
+    return ris;
+}

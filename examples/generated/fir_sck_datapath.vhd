@@ -1,0 +1,115 @@
+-- Self-checking datapath for fir_sck
+-- schedule: 6 control steps; binding:
+--   alu[0] shared by 3 ops (a1, a2, a3): input muxes inferred
+--   checker[0] shared by 5 ops (a1_chk_t1, a2_chk_t1, a3_chk_t1, p0_chk_t1m, p0_chk_t1s): input muxes inferred
+--   checker[1] shared by 2 ops (p1_chk_t1m, p1_chk_t1s): input muxes inferred
+--   checker[2] shared by 2 ops (p2_chk_t1m, p2_chk_t1s): input muxes inferred
+--   checker[3] shared by 2 ops (p3_chk_t1m, p3_chk_t1s): input muxes inferred
+--   io[0] shared by 2 ops (x0, y): input muxes inferred
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity fir_sck_dp is
+  port (
+    clk, rst : in std_logic;
+    x0_in : in signed(15 downto 0); x1_in : in signed(15 downto 0); x2_in : in signed(15 downto 0); x3_in : in signed(15 downto 0);
+    y_out : out signed(15 downto 0);
+    error_flag : out std_logic
+  );
+end entity fir_sck_dp;
+
+architecture rtl of fir_sck_dp is
+  signal state : integer range 0 to 6;
+  signal x0 : signed(15 downto 0);
+  signal x1 : signed(15 downto 0);
+  signal x2 : signed(15 downto 0);
+  signal x3 : signed(15 downto 0);
+  signal p0 : signed(15 downto 0);
+  signal p1 : signed(15 downto 0);
+  signal p2 : signed(15 downto 0);
+  signal p3 : signed(15 downto 0);
+  signal a1 : signed(15 downto 0);
+  signal a2 : signed(15 downto 0);
+  signal a3 : signed(15 downto 0);
+  signal p0_chk_t1m : signed(15 downto 0);
+  signal p0_chk_t1s : signed(15 downto 0);
+  signal p0_cmp_t1 : std_logic;
+  signal p1_chk_t1m : signed(15 downto 0);
+  signal p1_chk_t1s : signed(15 downto 0);
+  signal p1_cmp_t1 : std_logic;
+  signal p2_chk_t1m : signed(15 downto 0);
+  signal p2_chk_t1s : signed(15 downto 0);
+  signal p2_cmp_t1 : std_logic;
+  signal p3_chk_t1m : signed(15 downto 0);
+  signal p3_chk_t1s : signed(15 downto 0);
+  signal p3_cmp_t1 : std_logic;
+  signal a1_chk_t1 : signed(15 downto 0);
+  signal a1_cmp_t1 : std_logic;
+  signal a2_chk_t1 : signed(15 downto 0);
+  signal a2_cmp_t1 : std_logic;
+  signal a3_chk_t1 : signed(15 downto 0);
+  signal a3_cmp_t1 : std_logic;
+  signal sck_or0_0 : std_logic;
+  signal sck_or0_1 : std_logic;
+  signal sck_or0_2 : std_logic;
+  signal sck_or1_0 : std_logic;
+  signal sck_or1_1 : std_logic;
+  signal sck_or2_0 : std_logic;
+  signal error_latch : std_logic := '0';
+begin
+  process (clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' then
+        state <= 0;
+        error_latch <= '0';
+      else
+      case state is
+        when 0 =>
+          x0 <= x0_in;
+          x1 <= x1_in;
+          x2 <= x2_in;
+          x3 <= x3_in;
+        when 1 =>
+          p0 <= resize(to_signed(3, 16) * x0, 16);  -- on mult[0]
+          p1 <= resize(to_signed(7, 16) * x1, 16);  -- on mult[1]
+          p2 <= resize(to_signed(7, 16) * x2, 16);  -- on mult[2]
+          p3 <= resize(to_signed(3, 16) * x3, 16);  -- on mult[3]
+          p0_chk_t1m <= resize(to_signed(-3, 16) * x0, 16);  -- on checker[0]
+          p1_chk_t1m <= resize(to_signed(-7, 16) * x1, 16);  -- on checker[1]
+          p2_chk_t1m <= resize(to_signed(-7, 16) * x2, 16);  -- on checker[2]
+          p3_chk_t1m <= resize(to_signed(-3, 16) * x3, 16);  -- on checker[3]
+        when 2 =>
+          a1 <= p0 + p1;  -- on alu[0]
+          p0_chk_t1s <= p0 + p0_chk_t1m;  -- on checker[0]
+          p1_chk_t1s <= p1 + p1_chk_t1m;  -- on checker[1]
+          p2_chk_t1s <= p2 + p2_chk_t1m;  -- on checker[2]
+          p3_chk_t1s <= p3 + p3_chk_t1m;  -- on checker[3]
+        when 3 =>
+          a2 <= a1 + p2;  -- on alu[0]
+          p0_cmp_t1 <= '1' when p0_chk_t1s /= to_signed(0, 16) else '0';
+          p1_cmp_t1 <= '1' when p1_chk_t1s /= to_signed(0, 16) else '0';
+          p2_cmp_t1 <= '1' when p2_chk_t1s /= to_signed(0, 16) else '0';
+          p3_cmp_t1 <= '1' when p3_chk_t1s /= to_signed(0, 16) else '0';
+          a1_chk_t1 <= a1 - p0;  -- on checker[0]
+          sck_or0_0 <= p0_cmp_t1 or p1_cmp_t1;
+          sck_or0_1 <= p2_cmp_t1 or p3_cmp_t1;
+          sck_or1_0 <= sck_or0_0 or sck_or0_1;
+        when 4 =>
+          a3 <= a2 + p3;  -- on alu[0]
+          a1_cmp_t1 <= '1' when a1_chk_t1 /= p1 else '0';
+          a2_chk_t1 <= a2 - a1;  -- on checker[0]
+        when 5 =>
+          y_out <= a3;
+          a2_cmp_t1 <= '1' when a2_chk_t1 /= p2 else '0';
+          a3_chk_t1 <= a3 - a2;  -- on checker[0]
+          sck_or0_2 <= a1_cmp_t1 or a2_cmp_t1;
+        when others => null;
+      end case;
+      if state = 6 then state <= 0; else state <= state + 1; end if;
+      end if;
+    end if;
+  end process;
+  error_flag <= error_latch;
+end architecture rtl;

@@ -1,0 +1,51 @@
+module rca4(a0, a1, a2, a3, b0, b1, b2, b3, cin, fa0_s, fa1_s, fa2_s, fa3_s, fa3_cout);
+  input a0;
+  input a1;
+  input a2;
+  input a3;
+  input b0;
+  input b1;
+  input b2;
+  input b3;
+  input cin;
+  output fa0_s;
+  output fa1_s;
+  output fa2_s;
+  output fa3_s;
+  output fa3_cout;
+  wire fa0_p;
+  wire fa0_g1;
+  wire fa1_p;
+  wire fa1_g1;
+  wire fa2_p;
+  wire fa2_g1;
+  wire fa3_p;
+  wire fa3_g1;
+  wire fa0_g2;
+  wire fa0_cout;
+  wire fa1_g2;
+  wire fa1_cout;
+  wire fa2_g2;
+  wire fa2_cout;
+  wire fa3_g2;
+  assign fa0_p = a0 ^ b0;  // fa0_x1
+  assign fa0_g1 = a0 & b0;  // fa0_a1
+  assign fa1_p = a1 ^ b1;  // fa1_x1
+  assign fa1_g1 = a1 & b1;  // fa1_a1
+  assign fa2_p = a2 ^ b2;  // fa2_x1
+  assign fa2_g1 = a2 & b2;  // fa2_a1
+  assign fa3_p = a3 ^ b3;  // fa3_x1
+  assign fa3_g1 = a3 & b3;  // fa3_a1
+  assign fa0_s = fa0_p ^ cin;  // fa0_x2
+  assign fa0_g2 = fa0_p & cin;  // fa0_a2
+  assign fa0_cout = fa0_g1 | fa0_g2;  // fa0_o1
+  assign fa1_s = fa1_p ^ fa0_cout;  // fa1_x2
+  assign fa1_g2 = fa1_p & fa0_cout;  // fa1_a2
+  assign fa1_cout = fa1_g1 | fa1_g2;  // fa1_o1
+  assign fa2_s = fa2_p ^ fa1_cout;  // fa2_x2
+  assign fa2_g2 = fa2_p & fa1_cout;  // fa2_a2
+  assign fa2_cout = fa2_g1 | fa2_g2;  // fa2_o1
+  assign fa3_s = fa3_p ^ fa2_cout;  // fa3_x2
+  assign fa3_g2 = fa3_p & fa2_cout;  // fa3_a2
+  assign fa3_cout = fa3_g1 | fa3_g2;  // fa3_o1
+endmodule

@@ -1,0 +1,46 @@
+library ieee;
+use ieee.std_logic_1164.all;
+
+entity rca4 is
+  port (
+    a0 : in  std_logic;
+    a1 : in  std_logic;
+    a2 : in  std_logic;
+    a3 : in  std_logic;
+    b0 : in  std_logic;
+    b1 : in  std_logic;
+    b2 : in  std_logic;
+    b3 : in  std_logic;
+    cin : in  std_logic;
+    fa0_s : out std_logic;
+    fa1_s : out std_logic;
+    fa2_s : out std_logic;
+    fa3_s : out std_logic;
+    fa3_cout : out std_logic
+  );
+end entity rca4;
+
+architecture structural of rca4 is
+  signal fa0_p, fa0_g1, fa1_p, fa1_g1, fa2_p, fa2_g1, fa3_p, fa3_g1, fa0_g2, fa0_cout, fa1_g2, fa1_cout, fa2_g2, fa2_cout, fa3_g2 : std_logic;
+begin
+  fa0_p <= a0 xor b0;  -- fa0_x1
+  fa0_g1 <= a0 and b0;  -- fa0_a1
+  fa1_p <= a1 xor b1;  -- fa1_x1
+  fa1_g1 <= a1 and b1;  -- fa1_a1
+  fa2_p <= a2 xor b2;  -- fa2_x1
+  fa2_g1 <= a2 and b2;  -- fa2_a1
+  fa3_p <= a3 xor b3;  -- fa3_x1
+  fa3_g1 <= a3 and b3;  -- fa3_a1
+  fa0_s <= fa0_p xor cin;  -- fa0_x2
+  fa0_g2 <= fa0_p and cin;  -- fa0_a2
+  fa0_cout <= fa0_g1 or fa0_g2;  -- fa0_o1
+  fa1_s <= fa1_p xor fa0_cout;  -- fa1_x2
+  fa1_g2 <= fa1_p and fa0_cout;  -- fa1_a2
+  fa1_cout <= fa1_g1 or fa1_g2;  -- fa1_o1
+  fa2_s <= fa2_p xor fa1_cout;  -- fa2_x2
+  fa2_g2 <= fa2_p and fa1_cout;  -- fa2_a2
+  fa2_cout <= fa2_g1 or fa2_g2;  -- fa2_o1
+  fa3_s <= fa3_p xor fa2_cout;  -- fa3_x2
+  fa3_g2 <= fa3_p and fa2_cout;  -- fa3_a2
+  fa3_cout <= fa3_g1 or fa3_g2;  -- fa3_o1
+end architecture structural;

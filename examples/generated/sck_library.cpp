@@ -1,0 +1,75 @@
+template <class TYPE>
+class SCK
+{
+  private:
+    TYPE ID;    // internal data
+    bool E;     // error bit
+
+  public:
+    SCK() {}                       // empty constructor (synthesis)
+    SCK(TYPE v) : ID(v), E(false) {}
+
+    TYPE GetID() const   { return ID; }
+    bool GetError() const { return E; }
+
+    SCK<TYPE> &operator=(const SCK<TYPE> &src);
+    SCK<TYPE> operator+(const SCK<TYPE> &op2) const;
+    SCK<TYPE> operator-(const SCK<TYPE> &op2) const;
+    SCK<TYPE> operator*(const SCK<TYPE> &op2) const;
+    SCK<TYPE> operator/(const SCK<TYPE> &op2) const;
+};
+
+template <class TYPE>
+SCK<TYPE> SCK<TYPE>::operator+(const SCK<TYPE> &op2) const
+{
+    const SCK<TYPE> &op1 = *this;
+    SCK<TYPE> ris;
+    bool err = op1.E || op2.E;        // error propagation
+    ris.ID = op1.ID + op2.ID;  // nominal operation
+    TYPE chk1 = ris.ID - op1.ID;  // hidden inverse operations
+    TYPE chk2 = ris.ID - op2.ID;
+    err = err || (chk1 != op2.ID) || (chk2 != op1.ID);
+    ris.E = err;
+    return ris;
+}
+
+template <class TYPE>
+SCK<TYPE> SCK<TYPE>::operator-(const SCK<TYPE> &op2) const
+{
+    const SCK<TYPE> &op1 = *this;
+    SCK<TYPE> ris;
+    bool err = op1.E || op2.E;        // error propagation
+    ris.ID = op1.ID - op2.ID;  // nominal operation
+    TYPE chk1 = ris.ID + op2.ID;
+    TYPE chk2 = op2.ID - op1.ID;
+    err = err || (chk1 != op1.ID) || ((ris.ID + chk2) != 0);
+    ris.E = err;
+    return ris;
+}
+
+template <class TYPE>
+SCK<TYPE> SCK<TYPE>::operator*(const SCK<TYPE> &op2) const
+{
+    const SCK<TYPE> &op1 = *this;
+    SCK<TYPE> ris;
+    bool err = op1.E || op2.E;        // error propagation
+    ris.ID = op1.ID * op2.ID;  // nominal operation
+    TYPE chk = (-op1.ID) * op2.ID;  // hidden dual product
+    err = err || ((ris.ID + chk) != 0);
+    ris.E = err;
+    return ris;
+}
+
+template <class TYPE>
+SCK<TYPE> SCK<TYPE>::operator/(const SCK<TYPE> &op2) const
+{
+    const SCK<TYPE> &op1 = *this;
+    SCK<TYPE> ris;
+    bool err = op1.E || op2.E;        // error propagation
+    ris.ID = op1.ID / op2.ID;  // nominal operation
+    TYPE rem = op1.ID % op2.ID;     // remainder correction
+    TYPE chk = ris.ID * op2.ID + rem;
+    err = err || (chk != op1.ID) || (rem < 0 ? -rem : rem) >= (op2.ID < 0 ? -op2.ID : op2.ID);
+    ris.E = err;
+    return ris;
+}

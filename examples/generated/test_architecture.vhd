@@ -1,0 +1,142 @@
+-- Test architecture for the paired operations f (add) and its dual
+-- (subtract = f with g(op) = one's complement and carry-in = 1), both
+-- executed on the same (faulty) unit, per paper Section 4.1.
+--
+-- Fault universe of the single full-adder cell (xor3_majority):
+--    0: SA0 @ a (stem)
+--    1: SA1 @ a (stem)
+--    2: SA0 @ a -> x3.pin0 (branch)
+--    3: SA1 @ a -> x3.pin0 (branch)
+--    4: SA0 @ a -> a1.pin0 (branch)
+--    5: SA1 @ a -> a1.pin0 (branch)
+--    6: SA0 @ a -> o1.pin0 (branch)
+--    7: SA1 @ a -> o1.pin0 (branch)
+--    8: SA0 @ b (stem)
+--    9: SA1 @ b (stem)
+--   10: SA0 @ b -> x3.pin1 (branch)
+--   11: SA1 @ b -> x3.pin1 (branch)
+--   12: SA0 @ b -> a1.pin1 (branch)
+--   13: SA1 @ b -> a1.pin1 (branch)
+--   14: SA0 @ b -> o1.pin1 (branch)
+--   15: SA1 @ b -> o1.pin1 (branch)
+--   16: SA0 @ cin (stem)
+--   17: SA1 @ cin (stem)
+--   18: SA0 @ cin -> x3.pin2 (branch)
+--   19: SA1 @ cin -> x3.pin2 (branch)
+--   20: SA0 @ cin -> a2.pin0 (branch)
+--   21: SA1 @ cin -> a2.pin0 (branch)
+--   22: SA0 @ s (stem)
+--   23: SA1 @ s (stem)
+--   24: SA0 @ g (stem)
+--   25: SA1 @ g (stem)
+--   26: SA0 @ t (stem)
+--   27: SA1 @ t (stem)
+--   28: SA0 @ h (stem)
+--   29: SA1 @ h (stem)
+--   30: SA0 @ cout (stem)
+--   31: SA1 @ cout (stem)
+
+library ieee;
+use ieee.std_logic_1164.all;
+
+entity rca4 is
+  port (
+    a0 : in  std_logic;
+    a1 : in  std_logic;
+    a2 : in  std_logic;
+    a3 : in  std_logic;
+    b0 : in  std_logic;
+    b1 : in  std_logic;
+    b2 : in  std_logic;
+    b3 : in  std_logic;
+    cin : in  std_logic;
+    fa0_s : out std_logic;
+    fa1_s : out std_logic;
+    fa2_s : out std_logic;
+    fa3_s : out std_logic;
+    fa3_cout : out std_logic
+  );
+end entity rca4;
+
+architecture structural of rca4 is
+  signal fa0_p, fa0_g1, fa1_p, fa1_g1, fa2_p, fa2_g1, fa3_p, fa3_g1, fa0_g2, fa0_cout, fa1_g2, fa1_cout, fa2_g2, fa2_cout, fa3_g2 : std_logic;
+begin
+  fa0_p <= a0 xor b0;  -- fa0_x1
+  fa0_g1 <= a0 and b0;  -- fa0_a1
+  fa1_p <= a1 xor b1;  -- fa1_x1
+  fa1_g1 <= a1 and b1;  -- fa1_a1
+  fa2_p <= a2 xor b2;  -- fa2_x1
+  fa2_g1 <= a2 and b2;  -- fa2_a1
+  fa3_p <= a3 xor b3;  -- fa3_x1
+  fa3_g1 <= a3 and b3;  -- fa3_a1
+  fa0_s <= fa0_p xor cin;  -- fa0_x2
+  fa0_g2 <= fa0_p and cin;  -- fa0_a2
+  fa0_cout <= fa0_g1 or fa0_g2;  -- fa0_o1
+  fa1_s <= fa1_p xor fa0_cout;  -- fa1_x2
+  fa1_g2 <= fa1_p and fa0_cout;  -- fa1_a2
+  fa1_cout <= fa1_g1 or fa1_g2;  -- fa1_o1
+  fa2_s <= fa2_p xor fa1_cout;  -- fa2_x2
+  fa2_g2 <= fa2_p and fa1_cout;  -- fa2_a2
+  fa2_cout <= fa2_g1 or fa2_g2;  -- fa2_o1
+  fa3_s <= fa3_p xor fa2_cout;  -- fa3_x2
+  fa3_g2 <= fa3_p and fa2_cout;  -- fa3_a2
+  fa3_cout <= fa3_g1 or fa3_g2;  -- fa3_o1
+end architecture structural;
+
+library ieee;
+use ieee.std_logic_1164.all;
+
+entity test_architecture is
+  port (
+    x0, x1, x2, x3 : in  std_logic;
+    y0, y1, y2, y3 : in  std_logic;
+    mismatch : out std_logic
+  );
+end entity test_architecture;
+
+architecture paired of test_architecture is
+  signal ris : std_logic_vector(3 downto 0);
+  signal xv  : std_logic_vector(3 downto 0);
+  signal chk : std_logic_vector(3 downto 0);
+  signal gy  : std_logic_vector(3 downto 0);
+  signal expect : std_logic_vector(3 downto 0);
+  signal diff : std_logic_vector(3 downto 0);
+begin
+    xv(0) <= x0;
+  xv(1) <= x1;
+  xv(2) <= x2;
+  xv(3) <= x3;
+  -- nominal: ris = x + y            (cin = '0')
+  -- dual:    chk = ris + g(x) + 1   (g = one's complement; cin = '1')
+  -- checker: mismatch = '1' when chk /= y
+  nominal : entity work.rca4
+    port map (
+      a0 => x0, a1 => x1, a2 => x2, a3 => x3,
+      b0 => y0, b1 => y1, b2 => y2, b3 => y3,
+      cin => '0',
+      fa0_s => ris(0), fa1_s => ris(1), fa2_s => ris(2), fa3_s => ris(3),
+      fa3_cout => open
+    );
+  -- The dual operation instantiates the same unit in a real run; the
+  -- fault simulator (repro.coverage.engine) injects the fault into
+  -- both instances to model reuse of the one physical unit.
+  dual : entity work.rca4
+    port map (
+      a0 => ris(0), a1 => ris(1), a2 => ris(2), a3 => ris(3),
+      b0 => gy(0), b1 => gy(1), b2 => gy(2), b3 => gy(3),
+      cin => '1',
+      fa0_s => chk(0), fa1_s => chk(1), fa2_s => chk(2), fa3_s => chk(3),
+      fa3_cout => open
+    );
+  g_complement : for k in 0 to 3 generate
+    gy(k) <= not xv(k);  -- g(op1): one's complement of the subtrahend
+  end generate;
+    expect(0) <= y0;
+  expect(1) <= y1;
+  expect(2) <= y2;
+  expect(3) <= y3;
+  compare : for k in 0 to 3 generate
+    diff(k) <= chk(k) xor expect(k);
+  end generate;
+  mismatch <= diff(0) or diff(1) or diff(2) or diff(3);
+end architecture paired;

@@ -21,7 +21,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.arch.bitops import ArrayLike, broadcast_pair, check_width, mask_of, ones_complement
+from repro.arch.bitops import ArrayLike, broadcast_pair, check_width, mask_of
 from repro.arch.cell import FullAdderCell
 from repro.errors import FaultError, SimulationError
 
@@ -43,9 +43,11 @@ class RestoringDividerUnit:
     fault_position: Optional[int] = None
 
     def __post_init__(self) -> None:
+        # The guard-bit chain needs width + 1 <= 64 uint64 lanes, which
+        # check_width's generic 62-bit unit limit already guarantees --
+        # no separate divider bound exists (the seed's width + 1 > 62
+        # guard wrongly rejected width 62).
         check_width(self.width)
-        if self.width + 1 > 62:
-            raise FaultError(f"divider width {self.width} exceeds implementation limit")
         if (self.faulty_cell is None) != (self.fault_position is None):
             raise FaultError("faulty_cell and fault_position must be given together")
         if self.fault_position is not None and not (
@@ -71,7 +73,12 @@ class RestoringDividerUnit:
         means ``a >= b`` in the fault-free case.
         """
         chain_width = self.width + 1
-        nb = ones_complement(b, chain_width)
+        # Complement within the chain width directly: ``ones_complement``
+        # delegates to ``mask_of`` whose generic unit limit (62 bits)
+        # would reject the 63-bit chain of a width-62 divider even
+        # though the uint64 lanes hold it fine.
+        chain_mask = np.uint64((1 << chain_width) - 1)
+        nb = (~b) & chain_mask
         shape = np.broadcast_shapes(a.shape, nb.shape)
         total = np.zeros(shape, dtype=np.uint64)
         carry = np.ones(shape, dtype=np.uint64)  # +1 of the two's complement

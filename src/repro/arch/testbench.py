@@ -8,34 +8,59 @@ flat gate-level netlist so the batched bit-parallel engine
 (:mod:`repro.gates.engine`) can evaluate every fault case over
 word-packed exhaustive operand sweeps:
 
-* the unit's cell chain is instantiated once per operation it performs
+* the unit's cell array is instantiated once per operation it performs
   (the nominal computation plus each on-unit checking operation) --
-  combinational *replicas* of the same sequentially-reused hardware;
+  combinational *replicas* of the same sequentially-reused hardware.
+  For the restoring divider the replication axis is time: the unit
+  reuses one subtractor chain for ``width`` quotient iterations, so the
+  unrolled netlist instantiates the chain once per iteration;
 * the checking comparisons (fault-free in the paper's model) are built
-  from XOR/OR reduction gates next to the chains;
-* a cell-level stuck-at fault at chain position ``p`` translates to a
+  from XOR/OR reduction gates next to the arrays, and the divider's
+  reconstruction check ``q*b + r == a`` plus remainder-range check use
+  fault-free multiplier/adder/comparator logic (different unit classes
+  in the paper's model);
+* a cell-level stuck-at fault at array position ``p`` translates to a
   *fault group*: the corresponding stuck-at site in every replica's
   position-``p`` cell instance, all injected in one engine matrix row
   (:meth:`repro.gates.engine.BitParallelEngine.run_fault_groups`).
 
+Operand universes may be *masked*: the divider excludes zero divisors,
+so its architecture reports per-word valid-lane masks
+(:meth:`_Table2ArchitectureBase.valid_words`, built on
+:func:`repro.gates.engine.exhaustive_field_mask`) that the sweep applies
+before counting situations.
+
 Because the LUT library is itself derived by exhaustively simulating the
 same cell netlist under the same stuck-at universe, the flat gate-level
 sweep is bit-identical to the functional LUT evaluation -- the property
-the parity tests in ``tests/test_table2_exact.py`` pin down.
+the parity tests in ``tests/test_table2_exact.py`` and
+``tests/test_testbench_muldiv.py`` pin down.
 """
 
 from __future__ import annotations
 
 import functools
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.arch.cell import DEFAULT_CELL_NETLIST, cell_netlist
+from repro.arch.multiplier import ArrayMultiplierUnit
 from repro.errors import SimulationError
-from repro.gates.builders import instantiate_cell
+from repro.gates.builders import (
+    _fa_cell,
+    instantiate_cell,
+    restoring_divider_steps,
+    truncated_multiplier_rows,
+)
 from repro.gates.cells import CellType
-from repro.gates.engine import ALL_ONES, LANES, exhaustive_word_range
+from repro.gates.engine import (
+    ALL_ONES,
+    LANES,
+    exhaustive_field_mask,
+    exhaustive_word_range,
+    popcount_words,
+)
 from repro.gates.faults import FaultSite, StuckAtFault
 from repro.gates.netlist import Netlist
 
@@ -43,6 +68,13 @@ from repro.gates.netlist import Netlist
 #: reused for every on-unit operation: Table 2's overloaded ``+`` and
 #: the overloaded ``-`` that shares the same adder core.
 CHAIN_OPERATORS = ("add", "sub")
+
+#: Operators realised as 2-D cell arrays (the truncated ripple-row
+#: multiplier) or unrolled sequential chains (the restoring divider).
+ARRAY_OPERATORS = ("mul", "div")
+
+#: Every operator with a gate-level Table 2 architecture.
+GATE_OPERATORS = CHAIN_OPERATORS + ARRAY_OPERATORS
 
 
 def _translate_cell_fault(
@@ -75,11 +107,19 @@ def _translate_cell_fault(
     return [StuckAtFault(FaultSite(flat_net, (f"{tag}_{gate_name}", pin)), fault.value)]
 
 
-class Table2Architecture:
-    """One operator's Table 2 experiment as a flat gate-level netlist.
+class _Table2ArchitectureBase:
+    """Shared machinery of the per-operator Table 2 architectures.
+
+    Subclasses implement :meth:`_build` (returning the flat netlist) and
+    declare ``positions`` (the faulty-cell location axis),
+    ``n_result_rows`` (how many leading output rows form the nominal
+    result) and ``detect_rows`` (output row per netlist-emitted
+    detection flag).  The base provides cell instantiation with fault
+    translation bookkeeping, fault-free helper logic, and the packed
+    operand-sweep interface the batched coverage sweep consumes.
 
     Attributes:
-        operator: ``"add"`` or ``"sub"``.
+        operator: operator name (``add``/``sub``/``mul``/``div``).
         width: operand width in bits.
         cell_style: full-adder cell netlist style (see
             :mod:`repro.arch.cell`).
@@ -87,52 +127,45 @@ class Table2Architecture:
             ``a0..a{n-1}``, ``b0..b{n-1}`` plus the constants ``zero``
             and ``one``; primary outputs are the nominal result bits
             followed by one detection flag per technique.
-        chains: per-replica instance tags, ``chains[c][p]`` naming the
-            position-``p`` cell of the ``c``-th copy of the faulty unit.
+        chains: per-replica instance tags; ``chains[c][p]`` names the
+            position-``p`` cell of the ``c``-th copy of the faulty unit
+            (for the divider, the ``c``-th unrolled iteration).
+        positions: all faulty-cell positions, in fault-universe order.
     """
 
-    def __init__(
-        self,
-        operator: str,
-        width: int,
-        cell_style: str = DEFAULT_CELL_NETLIST,
-    ) -> None:
-        if operator not in CHAIN_OPERATORS:
-            raise SimulationError(
-                f"no gate-level Table 2 architecture for operator {operator!r}; "
-                f"choose from {CHAIN_OPERATORS}"
-            )
+    operator: str
+
+    def __init__(self, operator: str, width: int, cell_style: str) -> None:
         if width < 1:
             raise SimulationError(f"width must be >= 1, got {width}")
         self.operator = operator
         self.width = width
         self.cell_style = cell_style
         self.cell = cell_netlist(cell_style)
-        self.chains: List[List[str]] = []
+        self.chains: List = []
         self._bindings: Dict[str, Dict[str, str]] = {}
+        self.positions: Sequence = self._position_axis()
+        self._position_set = set(self.positions)
         self.netlist = self._build()
         self.netlist.validate()
 
     # ------------------------------------------------------------------
-    # Construction
+    # Construction helpers
     # ------------------------------------------------------------------
-    def _chain(
-        self, nl: Netlist, name: str, a_nets: List[str], b_nets: List[str], cin: str
-    ) -> List[str]:
-        """One replica of the cell chain; returns its sum nets."""
-        tags: List[str] = []
-        sums: List[str] = []
-        carry = cin
-        for i in range(self.width):
-            tag = f"{name}_p{i}"
-            bindings = {"a": a_nets[i], "b": b_nets[i], "cin": carry}
-            netmap = instantiate_cell(nl, self.cell, tag, bindings)
-            self._bindings[tag] = bindings
-            sums.append(netmap["s"])
-            carry = netmap["cout"]
-            tags.append(tag)
-        self.chains.append(tags)
-        return sums
+    def _position_axis(self) -> Sequence:
+        raise NotImplementedError
+
+    def _build(self) -> Netlist:
+        raise NotImplementedError
+
+    def _cell(
+        self, nl: Netlist, tag: str, a: str, b: str, cin: str
+    ) -> Tuple[str, str]:
+        """Instantiate one (potentially faulty) cell and record bindings."""
+        bindings = {"a": a, "b": b, "cin": cin}
+        netmap = instantiate_cell(nl, self.cell, tag, bindings)
+        self._bindings[tag] = bindings
+        return netmap["s"], netmap["cout"]
 
     def _invert(self, nl: Netlist, nets: List[str], prefix: str) -> List[str]:
         """Fault-free one's-complement (the paper's ``g``-function routing)."""
@@ -142,6 +175,24 @@ class Table2Architecture:
             nl.add_gate(CellType.NOT, [net], inv, name=f"inv_{inv}")
             out.append(inv)
         return out
+
+    def _sum_chain(
+        self, nl: Netlist, prefix: str, xs: List[str], ys: List[str], cin: str
+    ) -> List[str]:
+        """Fault-free ripple sum mod ``2**n`` (final carry dropped)."""
+        carry = cin
+        sums = []
+        for i, (x, y) in enumerate(zip(xs, ys)):
+            s, carry = _fa_cell(nl, f"{prefix}_p{i}", x, y, carry)
+            sums.append(s)
+        return sums
+
+    def _negate(
+        self, nl: Netlist, nets: List[str], prefix: str, zero: str, one: str
+    ) -> List[str]:
+        """Fault-free two's complement ``~x + 1`` mod ``2**n``."""
+        inverted = self._invert(nl, nets, f"{prefix}_n")
+        return self._sum_chain(nl, prefix, inverted, [zero] * len(nets), one)
 
     def _mismatch(
         self, nl: Netlist, name: str, got: List[str], want: List[str]
@@ -160,6 +211,145 @@ class Table2Architecture:
         else:
             nl.add_gate(CellType.OR, bits, name, name=f"or_{name}")
         return name
+
+    # ------------------------------------------------------------------
+    # Interfaces for the batched sweep
+    # ------------------------------------------------------------------
+    @property
+    def n_vectors(self) -> int:
+        """Size of the raw exhaustive operand space, ``2**(2*width)``."""
+        return 1 << (2 * self.width)
+
+    @property
+    def n_words(self) -> int:
+        """Packed words spanning the exhaustive sweep."""
+        return max(1, self.n_vectors >> 6)
+
+    @property
+    def tail_mask(self) -> np.uint64:
+        """Valid-lane mask of the final word (sub-word sweeps only)."""
+        if self.n_vectors >= LANES:
+            return ALL_ONES
+        return np.uint64((1 << self.n_vectors) - 1)
+
+    @property
+    def n_result_rows(self) -> int:
+        """Leading output rows that form the nominal result."""
+        raise NotImplementedError
+
+    @property
+    def detect_rows(self) -> Dict[str, int]:
+        """Output-row index of each technique's detection flag."""
+        raise NotImplementedError
+
+    def input_rows(self, word_lo: int, word_hi: int) -> np.ndarray:
+        """Packed input words ``[word_lo, word_hi)`` of the operand sweep.
+
+        Vector ``v`` drives ``a = v mod 2**width`` and
+        ``b = v >> width`` -- the same enumeration the functional
+        evaluators use -- with the ``zero``/``one`` constant rows
+        appended in primary-input order.
+        """
+        span = word_hi - word_lo
+        rows = np.empty((2 * self.width + 2, span), dtype=np.uint64)
+        rows[: 2 * self.width] = exhaustive_word_range(
+            2 * self.width, word_lo, word_hi
+        )
+        rows[2 * self.width] = 0
+        rows[2 * self.width + 1] = ALL_ONES
+        return rows
+
+    def valid_words(
+        self, word_lo: int, word_hi: int, rows: Optional[np.ndarray] = None
+    ) -> Optional[np.ndarray]:
+        """Per-word valid-lane masks for ``[word_lo, word_hi)``.
+
+        ``None`` means every lane is a real situation (bar the phantom
+        lanes of a sub-word sweep, folded in here when the range covers
+        the final word).  Masked universes -- the divider's zero-divisor
+        exclusion -- override this with the actual operand predicate;
+        callers that already hold the range's :meth:`input_rows` matrix
+        pass it as ``rows`` so the mask derives from it instead of
+        regenerating the sweep.
+        """
+        tail = self.tail_mask
+        if tail == ALL_ONES or word_hi != self.n_words:
+            return None
+        masks = np.full(word_hi - word_lo, ALL_ONES, dtype=np.uint64)
+        masks[-1] = tail
+        return masks
+
+    def valid_count(self, word_lo: int, word_hi: int) -> int:
+        """Number of real situations in words ``[word_lo, word_hi)``."""
+        return max(
+            0,
+            min(self.n_vectors, word_hi * LANES)
+            - min(self.n_vectors, word_lo * LANES),
+        )
+
+    def fault_group(
+        self, cell_fault: StuckAtFault, position
+    ) -> Tuple[StuckAtFault, ...]:
+        """Flat fault group for one Table 2 case.
+
+        The cell-level ``cell_fault`` at array ``position`` is
+        replicated into every copy of the faulty unit (the nominal array
+        and each on-unit checking replica; for the divider, every
+        unrolled iteration of the reused chain), matching the paper's
+        model where the same broken hardware executes every operation.
+        """
+        if position not in self._position_set:
+            raise SimulationError(
+                f"no {self.operator} cell at position {position!r} (width {self.width})"
+            )
+        flat: List[StuckAtFault] = []
+        for tags in self.chains:
+            tag = tags[position]
+            flat.extend(
+                _translate_cell_fault(self.cell, tag, self._bindings[tag], cell_fault)
+            )
+        return tuple(flat)
+
+
+class Table2Architecture(_Table2ArchitectureBase):
+    """One chain operator's Table 2 experiment as a flat netlist.
+
+    ``operator`` is ``"add"`` or ``"sub"``: the faulty unit is a ripple
+    chain of ``width`` cells reused by the nominal operation and both
+    on-unit checking operations (three replicas).
+    """
+
+    def __init__(
+        self,
+        operator: str,
+        width: int,
+        cell_style: str = DEFAULT_CELL_NETLIST,
+    ) -> None:
+        if operator not in CHAIN_OPERATORS:
+            raise SimulationError(
+                f"no chain Table 2 architecture for operator {operator!r}; "
+                f"choose from {CHAIN_OPERATORS}"
+            )
+        super().__init__(operator, width, cell_style)
+
+    def _position_axis(self) -> Sequence:
+        return tuple(range(self.width))
+
+    # ------------------------------------------------------------------
+    def _chain(
+        self, nl: Netlist, name: str, a_nets: List[str], b_nets: List[str], cin: str
+    ) -> List[str]:
+        """One replica of the cell chain; returns its sum nets."""
+        tags: List[str] = []
+        sums: List[str] = []
+        carry = cin
+        for i in range(self.width):
+            tag = f"{name}_p{i}"
+            s, carry = self._cell(nl, tag, a_nets[i], b_nets[i], carry)
+            sums.append(s)
+            tags.append(tag)
+        self.chains.append(tags)
+        return sums
 
     def _build(self) -> Netlist:
         n = self.width
@@ -190,15 +380,7 @@ class Table2Architecture:
             # final summation ris + ris' must be all-zero (mod 2**n).
             na = self._invert(nl, a, "na")
             ris2 = self._chain(nl, "u2", b, na, one)
-            ref = cell_netlist(self.cell_style)
-            carry = zero
-            sums = []
-            for i in range(n):
-                netmap = instantiate_cell(
-                    nl, ref, f"fsum_p{i}", {"a": ris[i], "b": ris2[i], "cin": carry}
-                )
-                sums.append(netmap["s"])
-                carry = netmap["cout"]
+            sums = self._sum_chain(nl, "fsum", ris, ris2, zero)
             neq2 = self._any(nl, "nz", sums)
         for net in ris:
             nl.mark_output(net)
@@ -207,24 +389,9 @@ class Table2Architecture:
         return nl
 
     # ------------------------------------------------------------------
-    # Interfaces for the batched sweep
-    # ------------------------------------------------------------------
     @property
-    def n_vectors(self) -> int:
-        """Size of the exhaustive operand space, ``2**(2*width)``."""
-        return 1 << (2 * self.width)
-
-    @property
-    def n_words(self) -> int:
-        """Packed words spanning the exhaustive sweep."""
-        return max(1, self.n_vectors >> 6)
-
-    @property
-    def tail_mask(self) -> np.uint64:
-        """Valid-lane mask of the final word (sub-word sweeps only)."""
-        if self.n_vectors >= LANES:
-            return ALL_ONES
-        return np.uint64((1 << self.n_vectors) - 1)
+    def n_result_rows(self) -> int:
+        return self.width
 
     @property
     def result_rows(self) -> range:
@@ -233,57 +400,196 @@ class Table2Architecture:
 
     @property
     def detect_rows(self) -> Dict[str, int]:
-        """Output-row index of each technique's detection flag."""
         return {"tech1": self.width, "tech2": self.width + 1}
 
-    def input_rows(self, word_lo: int, word_hi: int) -> np.ndarray:
-        """Packed input words ``[word_lo, word_hi)`` of the operand sweep.
 
-        Vector ``v`` drives ``a = v mod 2**width`` and
-        ``b = v >> width`` -- the same enumeration the functional
-        evaluators use -- with the ``zero``/``one`` constant rows
-        appended in primary-input order.
-        """
-        span = word_hi - word_lo
-        rows = np.empty((2 * self.width + 2, span), dtype=np.uint64)
-        rows[: 2 * self.width] = exhaustive_word_range(
-            2 * self.width, word_lo, word_hi
-        )
-        rows[2 * self.width] = 0
-        rows[2 * self.width + 1] = ALL_ONES
-        return rows
+class Table2MultiplierArchitecture(_Table2ArchitectureBase):
+    """The truncated array multiplier's Table 2 experiment.
 
-    def fault_group(
-        self, cell_fault: StuckAtFault, position: int
-    ) -> Tuple[StuckAtFault, ...]:
-        """Flat fault group for one Table 2 case.
+    The faulty unit is the ``n x n -> n`` ripple-row array
+    (:class:`~repro.arch.multiplier.ArrayMultiplierUnit`); the fixed
+    width makes ``op1*op2 + (-op1)*op2 == 0 (mod 2**n)``, so both
+    checking products run through the same faulty array (three replicas)
+    while the negations, final summations and zero tests are fault-free
+    routing/comparator logic.  Faulty-cell positions are the array's
+    ``(row, col)`` pairs, ``32 * n(n-1)/2`` cases in all.
+    """
 
-        The cell-level ``cell_fault`` at chain ``position`` is replicated
-        into every copy of the faulty unit (the nominal chain and each
-        on-unit checking chain), matching the paper's model where the
-        same broken hardware executes all three operations.
-        """
-        if not (0 <= position < self.width):
+    def __init__(self, width: int, cell_style: str = DEFAULT_CELL_NETLIST) -> None:
+        if width < 2:
             raise SimulationError(
-                f"position {position} outside [0, {self.width})"
+                f"the multiplier array needs width >= 2, got {width}"
             )
-        flat: List[StuckAtFault] = []
-        for tags in self.chains:
-            tag = tags[position]
-            flat.extend(
-                _translate_cell_fault(self.cell, tag, self._bindings[tag], cell_fault)
+        super().__init__("mul", width, cell_style)
+
+    def _position_axis(self) -> Sequence:
+        return tuple(ArrayMultiplierUnit.cell_positions(self.width))
+
+    def _array(
+        self, nl: Netlist, name: str, a_nets: List[str], b_nets: List[str], zero: str
+    ) -> List[str]:
+        """One replica of the faulty multiplier array; returns product nets."""
+        tags: Dict[Tuple[int, int], str] = {}
+
+        def cell(position: Tuple[int, int], x: str, y: str, cin: str):
+            row, col = position
+            tag = f"{name}_r{row}c{col}"
+            tags[position] = tag
+            return self._cell(nl, tag, x, y, cin)
+
+        product = truncated_multiplier_rows(nl, name, a_nets, b_nets, zero, cell)
+        self.chains.append(tags)
+        return product
+
+    def _build(self) -> Netlist:
+        n = self.width
+        nl = Netlist(f"table2_mul_{self.cell_style}_{n}")
+        a = [nl.add_input(f"a{i}") for i in range(n)]
+        b = [nl.add_input(f"b{i}") for i in range(n)]
+        zero = nl.add_input("zero")
+        one = nl.add_input("one")
+        # Nominal ris = a * b through the (possibly faulty) array.
+        ris = self._array(nl, "u0", a, b, zero)
+        # Tech 1: ris1 = (-op1) * op2 on the same array; fault-free
+        # final summation ris + ris1 must vanish mod 2**n.
+        na = self._negate(nl, a, "nega", zero, one)
+        ris1 = self._array(nl, "u1", na, b, zero)
+        s1 = self._sum_chain(nl, "fs1", ris, ris1, zero)
+        neq1 = self._any(nl, "neq1", s1)
+        # Tech 2: ris2 = op1 * (-op2), same array, same zero test.
+        nb = self._negate(nl, b, "negb", zero, one)
+        ris2 = self._array(nl, "u2", a, nb, zero)
+        s2 = self._sum_chain(nl, "fs2", ris, ris2, zero)
+        neq2 = self._any(nl, "neq2", s2)
+        for net in ris:
+            nl.mark_output(net)
+        nl.mark_output(neq1)
+        nl.mark_output(neq2)
+        return nl
+
+    @property
+    def n_result_rows(self) -> int:
+        return self.width
+
+    @property
+    def detect_rows(self) -> Dict[str, int]:
+        return {"tech1": self.width, "tech2": self.width + 1}
+
+
+class Table2DividerArchitecture(_Table2ArchitectureBase):
+    """The restoring divider's Table 2 experiment.
+
+    The faulty unit is the ``width + 1``-cell subtractor chain inside
+    :class:`~repro.arch.divider.RestoringDividerUnit`, reused once per
+    quotient bit; the unrolled netlist instantiates it ``width`` times,
+    so a faulty cell at chain position ``p`` becomes a fault group over
+    every iteration's ``p``-th cell.  The checks run on *other* unit
+    classes and are therefore fault-free: Tech 1 reconstructs
+    ``q*b + r`` (truncated multiplier + adder) and compares against
+    ``a``; Tech 2 additionally enforces the remainder range ``r < b``
+    (the paper's precision-of-the-inverse-operation concern).
+
+    Zero divisors are excluded from the operand universe:
+    :meth:`valid_words` masks the ``b == 0`` lanes out of the sweep,
+    leaving ``2**n * (2**n - 1)`` situations per fault case.
+    """
+
+    def __init__(self, width: int, cell_style: str = DEFAULT_CELL_NETLIST) -> None:
+        super().__init__("div", width, cell_style)
+
+    def _position_axis(self) -> Sequence:
+        return tuple(range(self.width + 1))
+
+    def _build(self) -> Netlist:
+        n = self.width
+        nl = Netlist(f"table2_div_{self.cell_style}_{n}")
+        a = [nl.add_input(f"a{i}") for i in range(n)]
+        b = [nl.add_input(f"b{i}") for i in range(n)]
+        zero = nl.add_input("zero")
+        one = nl.add_input("one")
+        steps: Dict[int, Dict[int, str]] = {}
+
+        def cell(position: Tuple[int, int], x: str, y: str, cin: str):
+            step, index = position
+            tag = f"u_s{step}_p{index}"
+            steps.setdefault(step, {})[index] = tag
+            return self._cell(nl, tag, x, y, cin)
+
+        # Nominal q, r = a divmod b through the (possibly faulty) unit.
+        q, r = restoring_divider_steps(nl, "u", a, b, zero, one, cell)
+        # One chains entry per unrolled iteration of the reused chain.
+        for step in sorted(steps):
+            self.chains.append(steps[step])
+        # Tech 1: fault-free reconstruction q*b + r, compared against a.
+        prod = truncated_multiplier_rows(
+            nl,
+            "chk",
+            q,
+            b,
+            zero,
+            lambda pos, x, y, cin: _fa_cell(nl, f"chk_r{pos[0]}c{pos[1]}", x, y, cin),
+        )
+        recon = self._sum_chain(nl, "rec", prod, r, zero)
+        neq1 = self._mismatch(nl, "neq1", recon, a)
+        # Tech 2: also require r < b -- carry-out of r + ~b + 1 means
+        # r >= b (fault-free magnitude comparator).
+        nb = self._invert(nl, b, "genb")
+        ge = one
+        for i in range(n):
+            _, ge = _fa_cell(nl, f"ge_p{i}", r[i], nb[i], ge)
+        nl.add_gate(CellType.OR, [neq1, ge], "neq2", name="or_neq2")
+        for net in q:
+            nl.mark_output(net)
+        for net in r:
+            nl.mark_output(net)
+        nl.mark_output(neq1)
+        nl.mark_output("neq2")
+        return nl
+
+    @property
+    def n_result_rows(self) -> int:
+        return 2 * self.width
+
+    @property
+    def detect_rows(self) -> Dict[str, int]:
+        return {"tech1": 2 * self.width, "tech2": 2 * self.width + 1}
+
+    def valid_words(
+        self, word_lo: int, word_hi: int, rows: Optional[np.ndarray] = None
+    ) -> Optional[np.ndarray]:
+        if rows is not None:
+            # The divisor field's rows are already packed; their OR is
+            # exactly the b != 0 lane mask.
+            masks = np.bitwise_or.reduce(rows[self.width : 2 * self.width], axis=0)
+        else:
+            masks = exhaustive_field_mask(
+                2 * self.width, self.width, 2 * self.width, word_lo, word_hi
             )
-        return tuple(flat)
+        if masks.size and word_hi == self.n_words and self.tail_mask != ALL_ONES:
+            masks[-1] &= self.tail_mask
+        return masks
+
+    def valid_count(self, word_lo: int, word_hi: int) -> int:
+        return int(popcount_words(self.valid_words(word_lo, word_hi)))
 
 
 @functools.lru_cache(maxsize=None)
 def table2_architecture(
     operator: str, width: int, cell_style: str = DEFAULT_CELL_NETLIST
-) -> Table2Architecture:
-    """Cached :class:`Table2Architecture` for ``(operator, width, style)``.
+) -> _Table2ArchitectureBase:
+    """Cached Table 2 architecture for ``(operator, width, style)``.
 
-    The cache keeps the compiled-netlist/engine caches hot across
-    repeated evaluations (and across shard workers forked from a warm
-    parent).
+    Dispatches to the chain, multiplier or divider architecture; the
+    cache keeps the compiled-netlist/engine caches hot across repeated
+    evaluations (and across shard workers forked from a warm parent).
     """
-    return Table2Architecture(operator, width, cell_style)
+    if operator in CHAIN_OPERATORS:
+        return Table2Architecture(operator, width, cell_style)
+    if operator == "mul":
+        return Table2MultiplierArchitecture(width, cell_style)
+    if operator == "div":
+        return Table2DividerArchitecture(width, cell_style)
+    raise SimulationError(
+        f"no gate-level Table 2 architecture for operator {operator!r}; "
+        f"choose from {GATE_OPERATORS}"
+    )

@@ -20,14 +20,17 @@ Each evaluator picks (or is told) one of four methods, recorded in
 Table 2 cell was computed:
 
 ``"gate"`` (provenance ``gate-sweep``)
-    The tentpole batched path for the chain operators (``add``/``sub``):
-    the whole test architecture -- nominal unit, on-unit checking
-    replicas and fault-free comparators -- is lowered once through
+    The batched path for every operator: the whole test architecture --
+    nominal unit, on-unit checking replicas (the divider's unrolled
+    iterations) and fault-free comparators -- is lowered once through
     :class:`~repro.gates.compile.CompiledNetlist` and every collapsed
     fault case is simulated as a multi-site fault group by the
     bit-parallel engine over word-packed exhaustive operand sweeps,
-    streamed in vector chunks (:mod:`repro.arch.testbench`).  Exact, and
-    the default whenever the operand space fits ``exhaustive_limit``.
+    streamed in vector chunks (:mod:`repro.arch.testbench`).  Masked
+    universes (the divider's zero-divisor exclusion) apply valid-lane
+    words before counting.  Exact; the default whenever the operand
+    space fits ``exhaustive_limit`` (chain operators) or the array cap
+    ``DEFAULT_ARRAY_GATE_LIMIT`` (``mul``/``div``, n <= 8).
 
 ``"transfer"``
     The carry-state transfer-matrix dynamic program
@@ -39,18 +42,24 @@ Table 2 cell was computed:
 ``"functional"``
     The seed LUT-splicing evaluators -- one vectorised NumPy pass per
     fault case over explicit operand arrays.  Exact when the space fits
-    ``exhaustive_limit``; kept as the differential-testing reference and
-    as the only evaluator for the multiplier / divider arrays.
+    ``exhaustive_limit``; kept as the differential-testing reference
+    for every operator.
 
 ``"sampled"``
-    The legacy seeded Monte-Carlo estimate.  Wide widths only sample
-    when explicitly requested via ``samples=`` (cross-checking the exact
-    paths) or when no exact method exists (wide ``mul``/``div``).
+    The legacy seeded Monte-Carlo estimate, demoted to an explicit
+    cross-check: it only runs on explicit ``samples=`` opt-in or when
+    no exact method exists at all (``mul``/``div`` beyond the array
+    cap, whose architectures have no chain decomposition for the
+    transfer DP).  Because the operand sample is reseeded per shard
+    from the same ``seed``, sampled runs are shard-invariant too.
 
-Fault-case sharding: every exact method computes exact integer counts
-per fault case, so campaigns shard across a ``ProcessPoolExecutor``
-(``workers=``, auto-selected by universe size) with bit-identical
-results for any worker count -- see :mod:`repro.faults.sharding`.
+Sharding: every method computes exact integer counts per fault case
+(or deterministic seeded counts, for the sampled estimator), so
+campaigns shard across a ``ProcessPoolExecutor`` (``workers=``,
+auto-selected by universe size) with bit-identical results for any
+worker count; the gate sweep additionally tiles big operand spaces by
+*word range* (:func:`repro.faults.sharding.shard_grid`) when workers
+outnumber fault cases -- see :mod:`repro.faults.sharding`.
 
 :func:`evaluate_gate_level` complements the functional-level evaluators
 with a structural one: the raw stuck-at detectability of a gate-level
@@ -70,18 +79,26 @@ from repro.arch.bitops import mask_of
 from repro.arch.cell import DEFAULT_CELL_NETLIST, collapsed_cell_library
 from repro.arch.divider import RestoringDividerUnit
 from repro.arch.multiplier import ArrayMultiplierUnit
-from repro.arch.testbench import CHAIN_OPERATORS, table2_architecture
+from repro.arch.testbench import (
+    CHAIN_OPERATORS,
+    GATE_OPERATORS,
+    table2_architecture,
+)
 from repro.coverage import situations as situation_counts
 from repro.coverage.transfer import case_flag_counts
 from repro.errors import SimulationError
-from repro.faults.sharding import resolve_workers, run_sharded, shard_bounds
+from repro.faults.sharding import (
+    resolve_workers,
+    run_sharded,
+    shard_bounds,
+    shard_grid,
+)
 from repro.faults.universe import (
     adder_fault_cases,
     divider_fault_cases,
     multiplier_fault_cases,
 )
 from repro.gates.engine import (
-    ALL_ONES,
     StuckAtCampaignResult,
     engine_for,
     popcount_words,
@@ -90,6 +107,12 @@ from repro.gates.netlist import Netlist
 
 #: Widths up to this operand-space size are enumerated exhaustively.
 DEFAULT_EXHAUSTIVE_LIMIT = 1 << 20
+#: Auto-selection cap of the gate sweep for the 2-D array operators
+#: (``mul``/``div``): their test architectures grow quadratically /
+#: as the unrolled iteration count, so the default sweep stops at
+#: ``4**8`` operand pairs (n = 8, the paper's widest published mul/div
+#: row).  Explicit ``method="gate"`` ignores the cap.
+DEFAULT_ARRAY_GATE_LIMIT = 1 << 16
 #: Sample count used when the sampled estimator runs without an explicit
 #: ``samples=`` (wide multiplier/divider cases, which have no exact path).
 DEFAULT_SAMPLES = 4096
@@ -418,8 +441,15 @@ def _run_functional(
 
 
 # ----------------------------------------------------------------------
-# Batched gate-level sweep (chain operators)
+# Batched gate-level sweep (every operator with a test architecture)
 # ----------------------------------------------------------------------
+#: Soft cap on one fault-matrix chunk's working set: the word chunk
+#: shrinks so ``n_nets * (fault_chunk + 1) * word_chunk`` uint64 cells
+#: stay under this many bytes.  Chunking never changes the counts, so
+#: the cap only bounds worker memory on the large mul/div netlists.
+GATE_MATRIX_BUDGET = 32 << 20
+
+
 def _gate_case_counts(
     operator: str,
     width: int,
@@ -428,23 +458,29 @@ def _gate_case_counts(
     fault_chunk: int,
     case_lo: int,
     case_hi: int,
+    word_lo: int,
+    word_hi: int,
 ) -> List[_CaseCounts]:
-    """Shard worker: exact sweep counts for collapsed cases [case_lo, case_hi).
+    """Shard worker: sweep counts for collapsed cases [case_lo, case_hi)
+    over sweep words [word_lo, word_hi).
 
     Rebuilds the (cached) test architecture and compiled engine locally,
-    then streams the word-packed exhaustive operand sweep through the
-    fault-group matrix chunk by chunk, reducing packed classification
-    masks to counts via popcount -- vectors are never unpacked.
+    then streams the word-packed operand sweep through the fault-group
+    matrix chunk by chunk, reducing packed classification masks to
+    counts via popcount -- vectors are never unpacked.  Masked universes
+    (the divider's zero-divisor exclusion) apply the architecture's
+    valid-lane words before counting, so partial word ranges produce
+    exact partial counts the caller sums back together.
     """
     arch = table2_architecture(operator, width, cell_netlist)
     engine = engine_for(arch.netlist)
-    names = ("tech1", "tech2", "both")
+    names = _SPECS[operator].names
     rep_cases = [
         (group, position)
         for group in collapsed_cell_library(cell_netlist)
-        for position in range(width)
+        for position in arch.positions
     ][case_lo:case_hi]
-    space = arch.n_vectors
+    range_count = arch.valid_count(word_lo, word_hi)
     results: List[Optional[_CaseCounts]] = [None] * len(rep_cases)
     sim_indices: List[int] = []
     fault_groups = []
@@ -452,54 +488,90 @@ def _gate_case_counts(
         if group.is_reference:
             # LUT identical to the fault-free cell: every situation is
             # correct and no check fires.  No simulation needed.
-            per = {name: (space, 0) for name in names}
-            results[k] = (group.multiplicity, space, space, per)
+            per = {name: (range_count, 0) for name in names}
+            results[k] = (group.multiplicity, range_count, range_count, per)
         else:
             sim_indices.append(k)
             fault_groups.append(
                 arch.fault_group(group.representative.fault.fault, position)
             )
-    # corr, cov/dc per technique (tech1, tech2, both) -> 7 tallies.
-    tallies = np.zeros((len(sim_indices), 7), dtype=np.int64)
-    word_chunk = max(1, word_chunk)
+    n_result = arch.n_result_rows
+    detect_names = list(arch.detect_rows)
+    # correct, then (covered, detected-while-correct) per technique.
+    tallies = np.zeros((len(sim_indices), 1 + 2 * len(names)), dtype=np.int64)
     fault_chunk = max(1, fault_chunk)
-    tail = arch.tail_mask
-    for word_lo in range(0, arch.n_words, word_chunk):
-        word_hi = min(word_lo + word_chunk, arch.n_words)
-        rows = arch.input_rows(word_lo, word_hi)
-        mask_tail = word_hi == arch.n_words and tail != ALL_ONES
+    row_cells = engine.compiled.n_nets * (min(fault_chunk, max(1, len(fault_groups))) + 1)
+    word_chunk = max(8, min(max(1, word_chunk), GATE_MATRIX_BUDGET // (8 * row_cells)))
+    for chunk_lo in range(word_lo, word_hi, word_chunk):
+        chunk_hi = min(chunk_lo + word_chunk, word_hi)
+        rows = arch.input_rows(chunk_lo, chunk_hi)
+        valid = arch.valid_words(chunk_lo, chunk_hi, rows=rows)
         for lo in range(0, len(fault_groups), fault_chunk):
             hi = min(lo + fault_chunk, len(fault_groups))
             out = engine.run_fault_groups(rows, fault_groups[lo:hi])
-            ris = out[: width, :-1, :]
-            golden = out[: width, -1:, :]
+            ris = out[:n_result, :-1, :]
+            golden = out[:n_result, -1:, :]
             correct = ~np.bitwise_or.reduce(ris ^ golden, axis=0)
-            det1 = out[arch.detect_rows["tech1"], :-1, :]
-            det2 = out[arch.detect_rows["tech2"], :-1, :]
-            if mask_tail:
-                det1 = det1.copy()
-                det2 = det2.copy()
-                for arr in (correct, det1, det2):
-                    arr[..., -1] &= tail
-            both = det1 | det2
+            dets = {name: out[row, :-1, :] for name, row in arch.detect_rows.items()}
+            if valid is not None:
+                correct = correct & valid
+                dets = {name: det & valid for name, det in dets.items()}
+            for name in names:
+                if name not in dets:
+                    # Derived flag (``both``): OR of the emitted ones.
+                    dets[name] = np.bitwise_or.reduce(
+                        [dets[d] for d in detect_names], axis=0
+                    )
             block = tallies[lo:hi]
             block[:, 0] += popcount_words(correct)
-            block[:, 1] += popcount_words(correct | det1)
-            block[:, 2] += popcount_words(correct & det1)
-            block[:, 3] += popcount_words(correct | det2)
-            block[:, 4] += popcount_words(correct & det2)
-            block[:, 5] += popcount_words(correct | both)
-            block[:, 6] += popcount_words(correct & both)
+            for j, name in enumerate(names):
+                det = dets[name]
+                block[:, 1 + 2 * j] += popcount_words(correct | det)
+                block[:, 2 + 2 * j] += popcount_words(correct & det)
     for row, k in enumerate(sim_indices):
         group, _ = rep_cases[k]
-        corr, cov1, dc1, cov2, dc2, covb, dcb = (int(v) for v in tallies[row])
-        results[k] = (
-            group.multiplicity,
-            space,
-            corr,
-            {"tech1": (cov1, dc1), "tech2": (cov2, dc2), "both": (covb, dcb)},
-        )
-    return [r for r in results if r is not None]
+        counts = [int(v) for v in tallies[row]]
+        per = {
+            name: (counts[1 + 2 * j], counts[2 + 2 * j])
+            for j, name in enumerate(names)
+        }
+        results[k] = (group.multiplicity, range_count, counts[0], per)
+    # Every slot is filled (reference cases inline, simulated ones just
+    # above); the merge relies on positional alignment with the case
+    # range, so return the list as-is.
+    return results
+
+
+def _merge_gate_shards(
+    grid: List[Tuple[int, int, int, int]], shards: List[List[_CaseCounts]]
+) -> List[_CaseCounts]:
+    """Merge grid-sharded sweep counts back into one entry per case.
+
+    Counts from word-range tiles of the same fault case sum (they are
+    exact integer counts over disjoint vector ranges); the result is in
+    global case order, so the merge is bit-identical for any grid shape.
+    """
+    merged: Dict[int, List] = {}
+    for (case_lo, case_hi, _, _), chunk in zip(grid, shards):
+        if len(chunk) != case_hi - case_lo:
+            raise SimulationError(
+                f"gate shard returned {len(chunk)} case counts for range "
+                f"[{case_lo}, {case_hi}); merge would misalign"
+            )
+        for k, (repeat, count, n_correct, per) in zip(range(case_lo, case_hi), chunk):
+            entry = merged.get(k)
+            if entry is None:
+                merged[k] = [repeat, count, n_correct, dict(per)]
+            else:
+                entry[1] += count
+                entry[2] += n_correct
+                for name, (covered, det_correct) in per.items():
+                    prev_cov, prev_dc = entry[3][name]
+                    entry[3][name] = (prev_cov + covered, prev_dc + det_correct)
+    return [
+        (repeat, count, n_correct, per)
+        for repeat, count, n_correct, per in (merged[k] for k in sorted(merged))
+    ]
 
 
 def _run_gate(
@@ -510,24 +582,25 @@ def _run_gate(
     word_chunk: int,
     fault_chunk: int,
 ) -> Dict[str, CoverageStats]:
-    if operator not in CHAIN_OPERATORS:
+    if operator not in GATE_OPERATORS:
         raise SimulationError(
-            f"the gate-level sweep covers {CHAIN_OPERATORS}, not {operator!r}"
+            f"the gate-level sweep covers {GATE_OPERATORS}, not {operator!r}"
         )
-    n_cases = len(collapsed_cell_library(cell_netlist)) * width
-    space = 1 << (2 * width)
-    n_workers = resolve_workers(workers, n_cases, cost=n_cases * space)
+    arch = table2_architecture(operator, width, cell_netlist)
+    n_cases = len(collapsed_cell_library(cell_netlist)) * len(arch.positions)
+    n_workers = resolve_workers(workers, n_cases, cost=n_cases * arch.n_vectors)
+    grid = shard_grid(n_cases, arch.n_words, n_workers)
     shards = run_sharded(
         _gate_case_counts,
         [
-            (operator, width, cell_netlist, word_chunk, fault_chunk, lo, hi)
-            for lo, hi in shard_bounds(n_cases, n_workers)
+            (operator, width, cell_netlist, word_chunk, fault_chunk,
+             case_lo, case_hi, word_lo, word_hi)
+            for case_lo, case_hi, word_lo, word_hi in grid
         ],
     )
     acc = _Accumulator(_SPECS[operator].names)
-    for chunk in shards:
-        for repeat, count, n_correct, per in chunk:
-            acc.update_counts(count, n_correct, per, repeat=repeat)
+    for repeat, count, n_correct, per in _merge_gate_shards(grid, shards):
+        acc.update_counts(count, n_correct, per, repeat=repeat)
     return acc.stats(operator, width, True, "gate")
 
 
@@ -581,10 +654,15 @@ def _evaluate(
         )
     space = 1 << (2 * width)
     if method == "auto":
-        if space <= exhaustive_limit:
-            method = "gate" if operator in CHAIN_OPERATORS else "functional"
-        elif operator in CHAIN_OPERATORS and samples is None:
-            method = "transfer"
+        if operator in CHAIN_OPERATORS:
+            if space <= exhaustive_limit:
+                method = "gate"
+            elif samples is None:
+                method = "transfer"
+            else:
+                method = "sampled"
+        elif space <= min(exhaustive_limit, DEFAULT_ARRAY_GATE_LIMIT):
+            method = "gate"
         else:
             method = "sampled"
     if method == "gate":
@@ -675,9 +753,12 @@ def evaluate_multiplier(
     Fixed-width products: the identity ``op1*op2 + (-op1)*op2 == 0``
     holds modulo ``2**width``, so the checking product runs through the
     same faulty array and the final summation/comparison is fault-free.
-    The 2-D array has no chain decomposition, so wide widths fall back
-    to the seeded sampled estimate (``method`` records which); the
-    functional path shards across processes like the others.
+    By default the batched gate-level sweep evaluates the truncated
+    ripple-row array *exactly* up to n = 8
+    (``DEFAULT_ARRAY_GATE_LIMIT``); the 2-D array has no chain
+    decomposition for the transfer DP, so wider widths fall back to the
+    seeded sampled estimate (``method`` records which).  Sharding as
+    for :func:`evaluate_adder`.
     """
     if width < 2:
         raise SimulationError("multiplier coverage needs width >= 2")
@@ -705,8 +786,10 @@ def evaluate_divider(
     multiply/add (different unit classes).  Tech 2 additionally enforces
     the remainder range ``rem < op2`` -- the paper's "precision of the
     inverse operation" concern; see :mod:`repro.coverage.techniques`.
-    Zero divisors are excluded from the operand space.  Like the
-    multiplier, wide widths use the sampled estimate.
+    Zero divisors are excluded from the operand space (the gate sweep
+    masks them out of the packed vector words).  By default the
+    unrolled gate-level sweep is exact up to n = 8; like the
+    multiplier, wider widths use the sampled estimate.
     """
     return _evaluate(
         "div", width, cell_netlist, exhaustive_limit, samples, seed,

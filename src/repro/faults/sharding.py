@@ -70,6 +70,31 @@ def shard_bounds(n_items: int, n_shards: int) -> List[Tuple[int, int]]:
     return bounds
 
 
+def shard_grid(
+    n_cases: int, n_words: int, n_workers: int
+) -> List[Tuple[int, int, int, int]]:
+    """Tile the (fault case, sweep word) rectangle into at most
+    ``n_workers`` shards ``(case_lo, case_hi, word_lo, word_hi)``.
+
+    Fault cases split first (they are the cheaper dimension to merge:
+    per-case counts concatenate); when fewer cases than workers exist,
+    the spare parallelism splits each case range's *word* sweep, whose
+    per-case partial counts the caller sums back together.  Tiles cover
+    the rectangle exactly, in (case, word) order, so grid merges are as
+    deterministic as plain fault-case shards.
+    """
+    case_shards = shard_bounds(n_cases, n_workers)
+    if not case_shards:
+        return []
+    word_splits = min(max(1, n_words), max(1, n_workers // len(case_shards)))
+    word_shards = shard_bounds(n_words, word_splits) or [(0, n_words)]
+    return [
+        (case_lo, case_hi, word_lo, word_hi)
+        for case_lo, case_hi in case_shards
+        for word_lo, word_hi in word_shards
+    ]
+
+
 def run_sharded(
     worker: Callable[..., Any], arg_tuples: Sequence[Tuple[Any, ...]]
 ) -> List[Any]:

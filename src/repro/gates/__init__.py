@@ -7,7 +7,10 @@ This package models combinational circuits at the structural gate level:
 * :mod:`repro.gates.cells` -- the primitive cell library (AND, OR, XOR...);
 * :mod:`repro.gates.builders` -- parameterised generators for the
   arithmetic blocks used throughout the paper (full adder, ripple-carry
-  adder, carry-lookahead adder, subtractor, comparator, array multiplier);
+  adder, carry-lookahead adder, subtractor, comparator, array
+  multiplier, truncated array multiplier, unrolled restoring divider --
+  the latter two shared, via cell-instantiation callbacks, with the
+  Table 2 test architectures);
 * :mod:`repro.gates.faults` -- the classical single-stuck-at fault
   universe (stems plus fanout branches), functional and structural fault
   collapsing;
@@ -26,7 +29,8 @@ This package models combinational circuits at the structural gate level:
   cached one-shot :func:`simulate` / :func:`simulate_vector`, and the
   original interpreter as :class:`ReferenceSimulator` for differential
   testing;
-* :mod:`repro.gates.emit` -- structural VHDL emission.
+* :mod:`repro.gates.emit` -- structural VHDL/Verilog emission off the
+  compiled lowering.
 
 The paper's Section 4.1 test environment models the faulty functional unit
 as a single full adder in a chain; the 32-fault universe it quotes

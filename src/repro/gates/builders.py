@@ -10,11 +10,22 @@ the faulty functional unit is one full adder in the chain.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Tuple
+from typing import Callable, Dict, List, Mapping, Tuple
 
 from repro.errors import NetlistError
 from repro.gates.cells import CellType
 from repro.gates.netlist import Netlist
+
+#: Cell-instantiation callback of the structural lowering helpers:
+#: ``cell(position, a, b, cin) -> (sum, carry_out)``.  ``position``
+#: identifies the full-adder cell within the unit (``(row, col)`` for
+#: the multiplier array, ``(step, index)`` for the unrolled divider).
+#: The public builders pass a plain five-gate realisation
+#: (:func:`_fa_cell`); the Table 2 test architectures
+#: (:mod:`repro.arch.testbench`) pass a callback that instantiates the
+#: configurable cell netlist and records the instance tag so cell-level
+#: faults can be translated onto it.
+CellInstantiator = Callable[[Tuple[int, int], str, str, str], Tuple[str, str]]
 
 
 def instantiate_cell(
@@ -370,4 +381,177 @@ def array_multiplier(width: int, name: str = "mul") -> Netlist:
             alias = f"p_{k}"
             nl.add_gate(CellType.BUF, [net], alias, name=f"obuf{k}")
             nl.mark_output(alias)
+    return nl
+
+
+# ----------------------------------------------------------------------
+# Structural lowerings mirroring the functional mul/div units
+# ----------------------------------------------------------------------
+def truncated_multiplier_rows(
+    nl: Netlist,
+    prefix: str,
+    a: List[str],
+    b: List[str],
+    zero: str,
+    cell: CellInstantiator,
+) -> List[str]:
+    """Lower one truncated ripple-row multiplier array into ``nl``.
+
+    The structure mirrors :class:`repro.arch.multiplier.ArrayMultiplierUnit`
+    cell for cell (C ``int`` semantics, ``n x n -> n`` bits, upper half
+    and every row's final carry discarded): row 0 is the bare partial
+    product ``a & -b0``; row ``i >= 1`` adds ``(a & -b_i) << i`` into the
+    running sum through a ripple row of ``n - i`` full-adder cells, the
+    cell at ``(row, col)`` combining running-sum bit ``row + col``,
+    partial-product bit ``col`` and the row carry.  ``cell`` instantiates
+    each full adder (position ``(row, col)``), so the same lowering
+    serves the plain netlist builder and the faulty-cell test
+    architectures.  Returns the ``n`` product-bit nets.
+    """
+    width = len(a)
+    if len(b) != width:
+        raise NetlistError(
+            f"multiplier operands must share a width, got {len(a)} and {len(b)}"
+        )
+    product: List[str] = []
+    for j in range(width):
+        pp = f"{prefix}_pp0_{j}"
+        nl.add_gate(CellType.AND, [a[j], b[0]], pp, name=f"{prefix}_ppand0_{j}")
+        product.append(pp)
+    for row in range(1, width):
+        carry = zero
+        for col in range(width - row):
+            pp = f"{prefix}_pp{row}_{col}"
+            nl.add_gate(
+                CellType.AND, [a[col], b[row]], pp, name=f"{prefix}_ppand{row}_{col}"
+            )
+            # Reading product[row + col] before overwriting is safe: no
+            # later cell of this row reads a lower product bit.
+            s, carry = cell((row, col), product[row + col], pp, carry)
+            product[row + col] = s
+    return product
+
+
+def restoring_divider_steps(
+    nl: Netlist,
+    prefix: str,
+    a: List[str],
+    b: List[str],
+    zero: str,
+    one: str,
+    cell: CellInstantiator,
+) -> Tuple[List[str], List[str]]:
+    """Unroll one restoring divider into ``nl``; returns (quotient, remainder).
+
+    Mirrors :class:`repro.arch.divider.RestoringDividerUnit`: the
+    sequential unit reuses one ``width + 1``-cell subtractor chain for
+    ``width`` iterations, so the combinational unrolling instantiates the
+    chain once per quotient bit -- iteration ``step`` (processing
+    dividend bit ``a[step]``, MSB first) shifts the partial remainder
+    left, subtracts the divisor through cells ``(step, 0..width)`` and
+    keeps the difference when no borrow occurred (mux gates are
+    fault-free routing, as in the functional model).  Remainder bit
+    ``width`` of each iteration is never read downstream -- the next
+    shift pushes it beyond the chain and the unit masks its result -- so
+    only bits ``0..width-1`` are latched between iterations, exactly
+    reproducing the functional unit's observable behaviour.  ``cell``
+    instantiates each full adder, so a faulty cell at chain position
+    ``p`` maps onto every iteration's ``(step, p)`` instance.
+    """
+    width = len(a)
+    if len(b) != width:
+        raise NetlistError(
+            f"divider operands must share a width, got {len(a)} and {len(b)}"
+        )
+    nb: List[str] = []
+    for i in range(width):
+        inv = f"{prefix}_nb{i}"
+        nl.add_gate(CellType.NOT, [b[i]], inv, name=f"{prefix}_invb{i}")
+        nb.append(inv)
+    nb.append(one)  # guard bit of the chain-wide one's complement
+    remainder = [zero] * width
+    quotient = [zero] * width
+    for step in range(width - 1, -1, -1):
+        shifted = [a[step]] + remainder
+        carry = one  # +1 of the two's-complement subtraction
+        trial: List[str] = []
+        for i in range(width + 1):
+            s, carry = cell((step, i), shifted[i], nb[i], carry)
+            trial.append(s)
+        take = carry  # no borrow: remainder >= divisor, quotient bit set
+        ntake = f"{prefix}_s{step}_nt"
+        nl.add_gate(CellType.NOT, [take], ntake, name=f"{prefix}_s{step}_ntake")
+        nxt: List[str] = []
+        for i in range(width):
+            t1 = f"{prefix}_s{step}_t{i}"
+            t0 = f"{prefix}_s{step}_u{i}"
+            out = f"{prefix}_s{step}_r{i}"
+            nl.add_gate(CellType.AND, [take, trial[i]], t1, name=f"{prefix}_s{step}_a{i}")
+            nl.add_gate(
+                CellType.AND, [ntake, shifted[i]], t0, name=f"{prefix}_s{step}_b{i}"
+            )
+            nl.add_gate(CellType.OR, [t1, t0], out, name=f"{prefix}_s{step}_o{i}")
+            nxt.append(out)
+        remainder = nxt
+        quotient[step] = take
+    return quotient, remainder
+
+
+def truncated_array_multiplier(width: int, name: str = "tmul") -> Netlist:
+    """Truncated ``width x width -> width`` array multiplier netlist.
+
+    The fixed-width sibling of :func:`array_multiplier`, structured
+    exactly like :class:`~repro.arch.multiplier.ArrayMultiplierUnit` so
+    the two agree bit for bit (including under truncation).  Primary
+    inputs ``a0..``, ``b0..`` and the constant ``zero``; outputs
+    ``p0..p{width-1}``.
+    """
+    if width < 1:
+        raise NetlistError(f"multiplier width must be >= 1, got {width}")
+    nl = Netlist(name)
+    a = [nl.add_input(f"a{i}") for i in range(width)]
+    b = [nl.add_input(f"b{i}") for i in range(width)]
+    zero = nl.add_input("zero")
+
+    def plain(position: Tuple[int, int], x: str, y: str, cin: str) -> Tuple[str, str]:
+        row, col = position
+        return _fa_cell(nl, f"fa{row}_{col}", x, y, cin)
+
+    product = truncated_multiplier_rows(nl, "m", a, b, zero, plain)
+    for j, net in enumerate(product):
+        nl.add_gate(CellType.BUF, [net], f"p{j}", name=f"obuf{j}")
+        nl.mark_output(f"p{j}")
+    return nl
+
+
+def restoring_divider(width: int, name: str = "rdiv") -> Netlist:
+    """Unrolled restoring divider netlist, ``a / b`` with ``b != 0``.
+
+    Primary inputs ``a0..``, ``b0..`` plus the constants ``zero`` and
+    ``one``; outputs ``q0..q{width-1}`` then ``r0..r{width-1}``.
+    Structured exactly like
+    :class:`~repro.arch.divider.RestoringDividerUnit` for ``b != 0``;
+    the functional unit raises on a zero divisor while the netlist
+    yields don't-care values, so sweeps must mask those vectors out
+    (see :func:`repro.gates.engine.exhaustive_field_mask`).
+    """
+    if width < 1:
+        raise NetlistError(f"divider width must be >= 1, got {width}")
+    nl = Netlist(name)
+    a = [nl.add_input(f"a{i}") for i in range(width)]
+    b = [nl.add_input(f"b{i}") for i in range(width)]
+    zero = nl.add_input("zero")
+    one = nl.add_input("one")
+
+    def plain(position: Tuple[int, int], x: str, y: str, cin: str) -> Tuple[str, str]:
+        step, index = position
+        return _fa_cell(nl, f"fa{step}_{index}", x, y, cin)
+
+    quotient, remainder = restoring_divider_steps(nl, "d", a, b, zero, one, plain)
+    for j, net in enumerate(quotient):
+        nl.add_gate(CellType.BUF, [net], f"q{j}", name=f"obufq{j}")
+        nl.mark_output(f"q{j}")
+    for j, net in enumerate(remainder):
+        nl.add_gate(CellType.BUF, [net], f"r{j}", name=f"obufr{j}")
+        nl.mark_output(f"r{j}")
     return nl

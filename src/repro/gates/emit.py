@@ -5,14 +5,44 @@ the paper's Section 4.1 test environment artefacts.  The emitted VHDL is
 plain structural 1993-style code (entity + architecture with one
 concurrent signal assignment per gate) so it can be diffed and inspected;
 a Verilog emitter is provided as well.
+
+Both emitters run off the :class:`~repro.gates.compile.CompiledNetlist`
+lowering: gate statements follow the compiled topological program, net
+names resolve through the interned id arrays (O(1) per lookup, instead
+of the O(n) list-membership scans of the dict-netlist walk), and the
+``signal``/``wire`` declarations list internal nets in interning order
+-- primary inputs first, then first use along the topological program.
+``tests/test_gates_emit_golden.py`` pins the emitted bytes for the seed
+full adder.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Iterator, List, Tuple
 
 from repro.gates.cells import CellType
-from repro.gates.netlist import Gate, Netlist
+from repro.gates.compile import (
+    OP_AND,
+    OP_COPY,
+    OP_OR,
+    OP_XOR,
+    CompiledNetlist,
+    compile_netlist,
+)
+from repro.gates.netlist import Netlist
+
+#: Inverse of the compiled lowering table: ``(base op, invert)`` is a
+#: bijection back onto the primitive cell types.
+_CELL_FROM_OP = {
+    (OP_AND, False): CellType.AND,
+    (OP_AND, True): CellType.NAND,
+    (OP_OR, False): CellType.OR,
+    (OP_OR, True): CellType.NOR,
+    (OP_XOR, False): CellType.XOR,
+    (OP_XOR, True): CellType.XNOR,
+    (OP_COPY, False): CellType.BUF,
+    (OP_COPY, True): CellType.NOT,
+}
 
 _VHDL_OPS = {
     CellType.AND: "and",
@@ -30,29 +60,48 @@ _VERILOG_OPS = {
 }
 
 
-def _vhdl_expr(gate: Gate) -> str:
-    if gate.cell_type is CellType.NOT:
-        return f"not {gate.inputs[0]}"
-    if gate.cell_type is CellType.BUF:
-        return gate.inputs[0]
-    op = _VHDL_OPS[gate.cell_type]
-    return f" {op} ".join(gate.inputs)
+def _compiled_gates(
+    compiled: CompiledNetlist,
+) -> Iterator[Tuple[CellType, List[str], str, str]]:
+    """Yield ``(cell type, input nets, output net, gate name)`` in
+    compiled (topological) order, resolving names via the interned
+    arrays."""
+    names = compiled.net_names
+    offsets = compiled.operand_offsets
+    for g in range(compiled.n_gates):
+        cell_type = _CELL_FROM_OP[(int(compiled.base_ops[g]), bool(compiled.inverts[g]))]
+        inputs = [names[i] for i in compiled.operands[offsets[g] : offsets[g + 1]]]
+        yield cell_type, inputs, names[compiled.gate_output_ids[g]], compiled.gate_names[g]
+
+
+def _internal_nets(compiled: CompiledNetlist) -> List[str]:
+    """Internal net names (not primary I/O), in interning order."""
+    io_ids = set(int(i) for i in compiled.input_ids)
+    io_ids.update(int(i) for i in compiled.output_ids)
+    return [
+        name for nid, name in enumerate(compiled.net_names) if nid not in io_ids
+    ]
+
+
+def _vhdl_expr(cell_type: CellType, inputs: List[str]) -> str:
+    if cell_type is CellType.NOT:
+        return f"not {inputs[0]}"
+    if cell_type is CellType.BUF:
+        return inputs[0]
+    op = _VHDL_OPS[cell_type]
+    return f" {op} ".join(inputs)
 
 
 def to_vhdl(netlist: Netlist, entity: str = None) -> str:
     """Render ``netlist`` as a structural VHDL entity/architecture pair."""
-    netlist.validate()
+    compiled = compile_netlist(netlist)  # validates on cache miss
     entity = entity or netlist.name
     ports: List[str] = []
     for net in netlist.primary_inputs:
         ports.append(f"    {net} : in  std_logic")
     for net in netlist.primary_outputs:
         ports.append(f"    {net} : out std_logic")
-    internal = [
-        net
-        for net in netlist.nets
-        if net not in netlist.primary_inputs and net not in netlist.primary_outputs
-    ]
+    internal = _internal_nets(compiled)
     lines = [
         "library ieee;",
         "use ieee.std_logic_1164.all;",
@@ -68,31 +117,31 @@ def to_vhdl(netlist: Netlist, entity: str = None) -> str:
     if internal:
         lines.append(f"  signal {', '.join(internal)} : std_logic;")
     lines.append("begin")
-    for gate in netlist.topological_gates():
-        lines.append(f"  {gate.output} <= {_vhdl_expr(gate)};  -- {gate.name}")
+    for cell_type, inputs, output, name in _compiled_gates(compiled):
+        lines.append(f"  {output} <= {_vhdl_expr(cell_type, inputs)};  -- {name}")
     lines.append(f"end architecture structural;")
     return "\n".join(lines) + "\n"
 
 
-def _verilog_expr(gate: Gate) -> str:
-    if gate.cell_type is CellType.NOT:
-        return f"~{gate.inputs[0]}"
-    if gate.cell_type is CellType.BUF:
-        return gate.inputs[0]
-    if gate.cell_type in (CellType.NAND, CellType.NOR, CellType.XNOR):
+def _verilog_expr(cell_type: CellType, inputs: List[str]) -> str:
+    if cell_type is CellType.NOT:
+        return f"~{inputs[0]}"
+    if cell_type is CellType.BUF:
+        return inputs[0]
+    if cell_type in (CellType.NAND, CellType.NOR, CellType.XNOR):
         base = {
             CellType.NAND: "&",
             CellType.NOR: "|",
             CellType.XNOR: "^",
-        }[gate.cell_type]
-        return "~(" + f" {base} ".join(gate.inputs) + ")"
-    op = _VERILOG_OPS[gate.cell_type]
-    return f" {op} ".join(gate.inputs)
+        }[cell_type]
+        return "~(" + f" {base} ".join(inputs) + ")"
+    op = _VERILOG_OPS[cell_type]
+    return f" {op} ".join(inputs)
 
 
 def to_verilog(netlist: Netlist, module: str = None) -> str:
     """Render ``netlist`` as a flat Verilog module of assign statements."""
-    netlist.validate()
+    compiled = compile_netlist(netlist)  # validates on cache miss
     module = module or netlist.name
     ports = netlist.primary_inputs + netlist.primary_outputs
     lines = [f"module {module}({', '.join(ports)});"]
@@ -100,14 +149,9 @@ def to_verilog(netlist: Netlist, module: str = None) -> str:
         lines.append(f"  input {net};")
     for net in netlist.primary_outputs:
         lines.append(f"  output {net};")
-    internal = [
-        net
-        for net in netlist.nets
-        if net not in netlist.primary_inputs and net not in netlist.primary_outputs
-    ]
-    for net in internal:
+    for net in _internal_nets(compiled):
         lines.append(f"  wire {net};")
-    for gate in netlist.topological_gates():
-        lines.append(f"  assign {gate.output} = {_verilog_expr(gate)};  // {gate.name}")
+    for cell_type, inputs, output, name in _compiled_gates(compiled):
+        lines.append(f"  assign {output} = {_verilog_expr(cell_type, inputs)};  // {name}")
     lines.append("endmodule")
     return "\n".join(lines) + "\n"

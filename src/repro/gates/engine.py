@@ -176,6 +176,30 @@ def exhaustive_word_range(n_inputs: int, word_lo: int, word_hi: int) -> np.ndarr
     return rows
 
 
+def exhaustive_field_mask(
+    n_inputs: int, field_lo: int, field_hi: int, word_lo: int, word_hi: int
+) -> np.ndarray:
+    """Valid-lane masks excluding vectors whose ``[field_lo, field_hi)``
+    bits are all zero.
+
+    Returns one uint64 per word of ``[word_lo, word_hi)`` in the
+    exhaustive sweep of ``n_inputs`` (conventions as
+    :func:`exhaustive_word_range`): lane ``v % 64`` of word ``v // 64``
+    is set iff vector ``v`` assigns a non-zero value to the input field.
+    This is how masked operand sweeps restrict an exhaustive universe --
+    e.g. the divider's Table 2 architecture drives ``b = v >> width``
+    through inputs ``[width, 2*width)`` and must exclude zero divisors.
+    The mask is simply the OR of the field's input rows, so it composes
+    with :attr:`PackedVectors.tail_mask` for sub-word sweeps.
+    """
+    if not (0 <= field_lo < field_hi <= n_inputs):
+        raise SimulationError(
+            f"field [{field_lo}, {field_hi}) outside the {n_inputs} sweep inputs"
+        )
+    rows = exhaustive_word_range(n_inputs, word_lo, word_hi)[field_lo:field_hi]
+    return np.bitwise_or.reduce(rows, axis=0)
+
+
 # 8-bit popcount lookup, the fallback when NumPy lacks ``bitwise_count``
 # (added in NumPy 2.0).
 _POP8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)

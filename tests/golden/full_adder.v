@@ -1,0 +1,15 @@
+module fa(a, b, cin, s, cout);
+  input a;
+  input b;
+  input cin;
+  output s;
+  output cout;
+  wire p;
+  wire g1;
+  wire g2;
+  assign p = a ^ b;  // x1
+  assign g1 = a & b;  // a1
+  assign s = p ^ cin;  // x2
+  assign g2 = p & cin;  // a2
+  assign cout = g1 | g2;  // o1
+endmodule

@@ -1,0 +1,22 @@
+library ieee;
+use ieee.std_logic_1164.all;
+
+entity fa is
+  port (
+    a : in  std_logic;
+    b : in  std_logic;
+    cin : in  std_logic;
+    s : out std_logic;
+    cout : out std_logic
+  );
+end entity fa;
+
+architecture structural of fa is
+  signal p, g1, g2 : std_logic;
+begin
+  p <= a xor b;  -- x1
+  g1 <= a and b;  -- a1
+  s <= p xor cin;  -- x2
+  g2 <= p and cin;  -- a2
+  cout <= g1 or g2;  -- o1
+end architecture structural;

@@ -181,6 +181,21 @@ class TestRestoringDividerUnit:
         q, r = unit.divmod(a, b)
         assert q.shape == a.shape and r.shape == a.shape
 
+    def test_width_boundary(self):
+        """The 63-bit guard-bit chain of a width-62 divider fits uint64,
+        so every width the generic unit limit allows is supported."""
+        unit = RestoringDividerUnit(62)
+        a = np.array([(1 << 62) - 1, 123456789012345678, 5], dtype=np.uint64)
+        b = np.array([3, 987654321, 7], dtype=np.uint64)
+        q, r = unit.divmod(a, b)
+        assert (q == a // b).all() and (r == a % b).all()
+        # A faulty cell at the top of the 63-cell chain is legal too.
+        faulty = RestoringDividerUnit(62, effective_faulty_cells()[0], 62)
+        fq, fr = faulty.divmod(a, b)
+        assert fq.shape == a.shape and fr.shape == a.shape
+        with pytest.raises(SimulationError):
+            RestoringDividerUnit(63)  # the generic 62-bit unit limit
+
 
 class TestFaultableALU:
     def test_signed_semantics(self):

@@ -16,6 +16,7 @@ from repro.arch.cell import collapsed_cell_library, faulty_cell_library
 from repro.arch.testbench import table2_architecture
 from repro.coverage.engine import (
     evaluate_adder,
+    evaluate_divider,
     evaluate_multiplier,
     evaluate_operator,
     evaluate_subtractor,
@@ -88,11 +89,22 @@ class TestMethodResolution:
         assert not stats["tech1"].exhaustive
         assert stats["tech1"].situations == 32 * 3 * 128
 
-    def test_gate_method_rejects_array_operators(self):
-        with pytest.raises(SimulationError):
-            evaluate_multiplier(3, method="gate")
+    def test_gate_method_covers_array_operators(self):
+        """Since PR 3 the gate sweep serves mul/div too; only the
+        transfer DP remains chain-only (no chain decomposition)."""
+        stats = evaluate_multiplier(3, method="gate")
+        assert stats["tech1"].method == "gate" and stats["tech1"].exhaustive
         with pytest.raises(SimulationError):
             evaluate_operator("div", 2, method="transfer")
+
+    def test_default_muldiv_n8_is_gate_not_sampled(self):
+        """Acceptance: wide mul/div rows no longer silently sample."""
+        mul = evaluate_multiplier(8)
+        div = evaluate_divider(8)
+        for stats, op in ((mul, "mul"), (div, "div")):
+            assert stats["tech1"].method == "gate"
+            assert stats["tech1"].exhaustive
+            assert stats["tech1"].situations == theoretical_situations(op, 8)
 
     def test_unknown_method_rejected(self):
         with pytest.raises(SimulationError):
@@ -124,14 +136,45 @@ class TestShardInvariance:
         )
 
     def test_functional_workers_bit_identical(self):
-        assert _key(evaluate_multiplier(3, workers=1)) == _key(
-            evaluate_multiplier(3, workers=3)
+        assert _key(evaluate_multiplier(3, method="functional", workers=1)) == _key(
+            evaluate_multiplier(3, method="functional", workers=3)
         )
+
+    def test_sampled_estimator_workers_bit_identical(self):
+        """The seeded Monte-Carlo path reseeds per shard from the same
+        seed, so its merged runs are as worker-invariant as the exact
+        paths -- for every operator, including the masked divider."""
+        for evaluate, kwargs in (
+            (evaluate_adder, {}),
+            (evaluate_multiplier, {}),
+            (evaluate_divider, {}),
+            (evaluate_adder, {"seed": 7}),
+        ):
+            solo = evaluate(5, samples=256, method="sampled", workers=1, **kwargs)
+            sharded = evaluate(5, samples=256, method="sampled", workers=3, **kwargs)
+            assert _key(solo) == _key(sharded)
+            assert solo["tech1"].method == "sampled"
+            assert not solo["tech1"].exhaustive
 
     def test_campaign_workers_bit_identical(self):
         netlist = builders.ripple_carry_adder(4)
         solo = run_sharded_stuck_at_campaign(netlist, workers=1)
         sharded = run_sharded_stuck_at_campaign(netlist, workers=3)
+        assert solo.faults == sharded.faults
+        assert (solo.detected == sharded.detected).all()
+        assert (solo.first_detected == sharded.first_detected).all()
+
+    def test_campaign_sampled_vectors_workers_bit_identical(self):
+        """Fault-list shards all see the same sampled vector set, so
+        sampled campaigns merge bit-identically too."""
+        netlist = builders.ripple_carry_adder(5)
+        rng = np.random.default_rng(20050307)
+        vectors = {
+            name: rng.integers(0, 2, size=96, dtype=np.uint8).astype(np.uint8)
+            for name in netlist.primary_inputs
+        }
+        solo = run_sharded_stuck_at_campaign(netlist, vectors=vectors, workers=1)
+        sharded = run_sharded_stuck_at_campaign(netlist, vectors=vectors, workers=3)
         assert solo.faults == sharded.faults
         assert (solo.detected == sharded.detected).all()
         assert (solo.first_detected == sharded.first_detected).all()
