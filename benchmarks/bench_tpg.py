@@ -1,0 +1,89 @@
+"""Benchmark gating the test-generation subsystem's compaction claim.
+
+The n = 8 ripple-carry adder's exhaustive stuck-at sweep applies
+``2**17 = 131072`` vectors.  The ATPG pipeline must reach *exactly* the
+same per-fault detection -- bit-identical to the campaign engine's
+verdicts -- from a compact set at least ``COMPACTION_FLOOR``x smaller
+(the acceptance criterion is 10x; greedy cover lands near 13 vectors,
+a ~10000x reduction), within ``BENCH_TPG_BUDGET`` seconds.
+
+Also prints the per-unit generation table at n = 4 so the benchmark log
+doubles as the ATPG companion to the Table 2 report.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.gates.builders import ripple_carry_adder
+from repro.gates.engine import run_stuck_at_campaign
+from repro.tpg import (
+    generate_tests,
+    render_tpg_report,
+    replay_detected,
+    tpg_unit_results,
+)
+
+#: Wall-clock budget of the whole n = 8 pipeline (campaign + ATPG +
+#: compaction + replay).  Local runs take well under a second; shared
+#: CI runners can relax it.
+BUDGET = float(os.environ.get("BENCH_TPG_BUDGET", "10.0"))
+#: Required size reduction of the compact set vs the exhaustive sweep.
+COMPACTION_FLOOR = float(os.environ.get("BENCH_TPG_COMPACTION", "10.0"))
+
+
+@pytest.fixture(scope="module")
+def rca8():
+    return ripple_carry_adder(8)
+
+
+def test_rca8_compact_set_10x_smaller_at_equal_coverage(rca8, once):
+    start = time.perf_counter()
+    campaign = run_stuck_at_campaign(rca8)
+    t_campaign = time.perf_counter() - start
+
+    start = time.perf_counter()
+    result = once(generate_tests, rca8)
+    t_atpg = time.perf_counter() - start
+    compact = result.compact
+
+    # Equal coverage, bit for bit: the compact set's claim matches the
+    # exhaustive campaign's per-fault verdicts exactly...
+    assert np.array_equal(compact.detected, np.asarray(campaign.detected))
+    # ...and replaying the compact set through the campaign engine
+    # reproduces the claim exactly.
+    start = time.perf_counter()
+    replay = replay_detected(rca8, compact.vectors)
+    t_replay = time.perf_counter() - start
+    assert np.array_equal(replay, compact.detected)
+
+    ratio = campaign.n_vectors / max(1, compact.n_tests)
+    print()
+    print(f"RCA-8 stuck-at test generation ({campaign.n_faults} faults)")
+    print(f"  exhaustive campaign   {campaign.n_vectors:7d} vectors  "
+          f"{t_campaign * 1e3:8.1f}ms")
+    print(f"  ATPG + greedy cover   {compact.n_tests:7d} vectors  "
+          f"{t_atpg * 1e3:8.1f}ms  ({ratio:.0f}x smaller)")
+    print(f"  compact-set replay    {'bit-identical':>13s}  "
+          f"{t_replay * 1e3:8.1f}ms")
+    assert ratio >= COMPACTION_FLOOR, (
+        f"compact set only {ratio:.1f}x smaller than the exhaustive sweep"
+    )
+    total = t_campaign + t_atpg + t_replay
+    assert total < BUDGET, f"n=8 TPG pipeline took {total:.2f}s"
+
+
+def test_unit_report_regenerates(once):
+    results = once(tpg_unit_results, width=4)
+    table = render_tpg_report(width=4, results=results)
+    print()
+    print(table)
+    assert "compact" in table
+    for unit, result in results.items():
+        assert result.exhausted, unit
+        # Every unit's compact set beats the floor against its own
+        # constrained universe.
+        tried = result.space.valid_count(0, result.space.n_words)
+        assert result.compact.n_tests * COMPACTION_FLOOR <= tried, unit

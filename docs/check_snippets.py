@@ -3,7 +3,8 @@
 CI runs this so README/docs snippets cannot rot: each fenced block is
 executed in file order. Blocks within one document share a namespace
 (later snippets may use earlier imports); documents are isolated from
-each other.
+each other.  Plain ``.py`` targets (runnable example scripts) execute
+as ``__main__``, so the checked examples cannot rot either.
 
 Usage:  PYTHONPATH=src python docs/check_snippets.py [files...]
 """
@@ -12,13 +13,20 @@ from __future__ import annotations
 
 import pathlib
 import re
+import runpy
 import sys
 
 FENCE = re.compile(r"^```python\s*$")
 END = re.compile(r"^```\s*$")
 
-#: Documents checked by default, repo-root relative.
-DEFAULT_DOCS = ("README.md", "docs/architecture.md", "docs/api.md")
+#: Documents checked by default, repo-root relative.  Markdown files
+#: contribute their fenced blocks; ``.py`` entries run whole.
+DEFAULT_DOCS = (
+    "README.md",
+    "docs/architecture.md",
+    "docs/api.md",
+    "examples/compact_test_sets.py",
+)
 
 
 def python_blocks(text: str):
@@ -37,6 +45,10 @@ def python_blocks(text: str):
 
 
 def check(path: pathlib.Path) -> int:
+    if path.suffix == ".py":
+        runpy.run_path(str(path), run_name="__main__")
+        print(f"{path}: script ok")
+        return 1
     namespace: dict = {"__name__": f"docsnippet::{path.name}"}
     count = 0
     for count, code in enumerate(python_blocks(path.read_text()), start=1):

@@ -1,0 +1,44 @@
+; program add3_selftest
+    ldi r5 0
+    ldi r1 -1
+    ldi r2 0
+    add r3 r1 r2
+    ldi r4 -1
+    cmpne r6 r3 r4
+    or r5 r5 r6
+    ldi r1 0
+    ldi r2 -1
+    add r3 r1 r2
+    ldi r6 1
+    add r3 r3 r6
+    ldi r4 0
+    cmpne r6 r3 r4
+    or r5 r5 r6
+    ldi r1 -1
+    ldi r2 -1
+    add r3 r1 r2
+    ldi r4 -2
+    cmpne r6 r3 r4
+    or r5 r5 r6
+    ldi r1 0
+    ldi r2 -1
+    add r3 r1 r2
+    ldi r4 -1
+    cmpne r6 r3 r4
+    or r5 r5 r6
+    ldi r1 2
+    ldi r2 2
+    add r3 r1 r2
+    ldi r6 1
+    add r3 r3 r6
+    ldi r4 -3
+    cmpne r6 r3 r4
+    or r5 r5 r6
+    ldi r1 1
+    ldi r2 1
+    add r3 r1 r2
+    ldi r4 2
+    cmpne r6 r3 r4
+    or r5 r5 r6
+    st r0 r5 0
+    halt

@@ -20,10 +20,24 @@ The package provides:
   regenerating Table 3 (:mod:`repro.vm`, :mod:`repro.codesign`);
 * generators for the paper's figures and HDL artefacts
   (:mod:`repro.hdlgen`);
+* a test-generation subsystem: fault dictionaries, compact test sets
+  and emitted self-test benches/programs (:mod:`repro.tpg`);
 * benchmark applications, FIR first (:mod:`repro.apps`).
 """
 
 from repro.core import SCK, SCKContext, current_context
+from repro.tpg import (
+    CompactTestSet,
+    FaultDictionary,
+    TestSpace,
+    build_fault_dictionary,
+    compact_test_set,
+    emit_self_test_verilog,
+    emit_self_test_vhdl,
+    emit_vm_self_test,
+    generate_tests,
+    unit_test_set,
+)
 from repro.errors import (
     CheckError,
     CompilationError,
@@ -42,6 +56,16 @@ __all__ = [
     "SCK",
     "SCKContext",
     "current_context",
+    "CompactTestSet",
+    "FaultDictionary",
+    "TestSpace",
+    "build_fault_dictionary",
+    "compact_test_set",
+    "emit_self_test_verilog",
+    "emit_self_test_vhdl",
+    "emit_vm_self_test",
+    "generate_tests",
+    "unit_test_set",
     "ReproError",
     "NetlistError",
     "SimulationError",

@@ -287,6 +287,25 @@ class _Table2ArchitectureBase:
             - min(self.n_vectors, word_lo * LANES),
         )
 
+    def test_space(self):
+        """Constrained TPG universe of this architecture's netlist.
+
+        The operand bits sweep, the ``zero``/``one`` rails are pinned
+        and the divider's divisor field is required non-zero -- the
+        same masked operand universe the coverage sweep classifies, so
+        a :mod:`repro.tpg` compact set for the architecture exercises
+        exactly the situations Table 2 counts.
+        """
+        from repro.tpg.dictionary import TestSpace
+
+        nonzero = (self.width, 2 * self.width) if self.operator == "div" else None
+        return TestSpace(
+            self.netlist,
+            tuple(self.netlist.primary_inputs[: 2 * self.width]),
+            (("zero", 0), ("one", 1)),
+            nonzero,
+        )
+
     def fault_group(
         self, cell_fault: StuckAtFault, position
     ) -> Tuple[StuckAtFault, ...]:

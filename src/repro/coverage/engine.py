@@ -101,6 +101,7 @@ from repro.faults.universe import (
 from repro.gates.engine import (
     StuckAtCampaignResult,
     engine_for,
+    matrix_word_chunk,
     popcount_words,
 )
 from repro.gates.netlist import Netlist
@@ -443,11 +444,13 @@ def _run_functional(
 # ----------------------------------------------------------------------
 # Batched gate-level sweep (every operator with a test architecture)
 # ----------------------------------------------------------------------
-#: Soft cap on one fault-matrix chunk's working set: the word chunk
-#: shrinks so ``n_nets * (fault_chunk + 1) * word_chunk`` uint64 cells
-#: stay under this many bytes.  Chunking never changes the counts, so
-#: the cap only bounds worker memory on the large mul/div netlists.
-GATE_MATRIX_BUDGET = 32 << 20
+#: Word sweeps at least this long shard the (case x word) grid by *word
+#: range first*: every tile spans all fault cases over one word slice,
+#: whose cost is uniform (per-case cost is not -- reference classes are
+#: free), so wide explicit ``method="gate"`` runs balance across
+#: workers even when cases outnumber them.  2**12 words = n >= 9 for
+#: the chain operators' ``2**(2n-6)``-word sweeps.
+GATE_GRID_WORD_FIRST = 1 << 12
 
 
 def _gate_case_counts(
@@ -460,6 +463,7 @@ def _gate_case_counts(
     case_hi: int,
     word_lo: int,
     word_hi: int,
+    matrix_budget: Optional[int] = None,
 ) -> List[_CaseCounts]:
     """Shard worker: sweep counts for collapsed cases [case_lo, case_hi)
     over sweep words [word_lo, word_hi).
@@ -501,7 +505,7 @@ def _gate_case_counts(
     tallies = np.zeros((len(sim_indices), 1 + 2 * len(names)), dtype=np.int64)
     fault_chunk = max(1, fault_chunk)
     row_cells = engine.compiled.n_nets * (min(fault_chunk, max(1, len(fault_groups))) + 1)
-    word_chunk = max(8, min(max(1, word_chunk), GATE_MATRIX_BUDGET // (8 * row_cells)))
+    word_chunk = matrix_word_chunk(row_cells, word_chunk, matrix_budget)
     for chunk_lo in range(word_lo, word_hi, word_chunk):
         chunk_hi = min(chunk_lo + word_chunk, word_hi)
         rows = arch.input_rows(chunk_lo, chunk_hi)
@@ -581,6 +585,7 @@ def _run_gate(
     workers: Optional[int],
     word_chunk: int,
     fault_chunk: int,
+    matrix_budget: Optional[int] = None,
 ) -> Dict[str, CoverageStats]:
     if operator not in GATE_OPERATORS:
         raise SimulationError(
@@ -589,12 +594,17 @@ def _run_gate(
     arch = table2_architecture(operator, width, cell_netlist)
     n_cases = len(collapsed_cell_library(cell_netlist)) * len(arch.positions)
     n_workers = resolve_workers(workers, n_cases, cost=n_cases * arch.n_vectors)
-    grid = shard_grid(n_cases, arch.n_words, n_workers)
+    grid = shard_grid(
+        n_cases,
+        arch.n_words,
+        n_workers,
+        word_first=arch.n_words >= GATE_GRID_WORD_FIRST,
+    )
     shards = run_sharded(
         _gate_case_counts,
         [
             (operator, width, cell_netlist, word_chunk, fault_chunk,
-             case_lo, case_hi, word_lo, word_hi)
+             case_lo, case_hi, word_lo, word_hi, matrix_budget)
             for case_lo, case_hi, word_lo, word_hi in grid
         ],
     )
@@ -647,6 +657,7 @@ def _evaluate(
     workers: Optional[int],
     word_chunk: int,
     fault_chunk: int,
+    matrix_budget: Optional[int] = None,
 ) -> Dict[str, CoverageStats]:
     if method not in EVALUATION_METHODS:
         raise SimulationError(
@@ -666,7 +677,10 @@ def _evaluate(
         else:
             method = "sampled"
     if method == "gate":
-        return _run_gate(operator, width, cell_netlist, workers, word_chunk, fault_chunk)
+        return _run_gate(
+            operator, width, cell_netlist, workers, word_chunk, fault_chunk,
+            matrix_budget,
+        )
     if method == "transfer":
         return _run_transfer(operator, width, cell_netlist)
     return _run_functional(
@@ -691,6 +705,7 @@ def evaluate_adder(
     workers: Optional[int] = None,
     word_chunk: int = GATE_WORD_CHUNK,
     fault_chunk: int = GATE_FAULT_CHUNK,
+    matrix_budget: Optional[int] = None,
 ) -> Dict[str, CoverageStats]:
     """Worst-case coverage of the overloaded ``+`` (Table 2).
 
@@ -707,7 +722,7 @@ def evaluate_adder(
     """
     return _evaluate(
         "add", width, cell_netlist, exhaustive_limit, samples, seed,
-        method, workers, word_chunk, fault_chunk,
+        method, workers, word_chunk, fault_chunk, matrix_budget,
     )
 
 
@@ -721,6 +736,7 @@ def evaluate_subtractor(
     workers: Optional[int] = None,
     word_chunk: int = GATE_WORD_CHUNK,
     fault_chunk: int = GATE_FAULT_CHUNK,
+    matrix_budget: Optional[int] = None,
 ) -> Dict[str, CoverageStats]:
     """Worst-case coverage of the overloaded ``-``.
 
@@ -733,7 +749,7 @@ def evaluate_subtractor(
     """
     return _evaluate(
         "sub", width, cell_netlist, exhaustive_limit, samples, seed,
-        method, workers, word_chunk, fault_chunk,
+        method, workers, word_chunk, fault_chunk, matrix_budget,
     )
 
 
@@ -747,6 +763,7 @@ def evaluate_multiplier(
     workers: Optional[int] = None,
     word_chunk: int = GATE_WORD_CHUNK,
     fault_chunk: int = GATE_FAULT_CHUNK,
+    matrix_budget: Optional[int] = None,
 ) -> Dict[str, CoverageStats]:
     """Worst-case coverage of the overloaded ``*``.
 
@@ -764,7 +781,7 @@ def evaluate_multiplier(
         raise SimulationError("multiplier coverage needs width >= 2")
     return _evaluate(
         "mul", width, cell_netlist, exhaustive_limit, samples, seed,
-        method, workers, word_chunk, fault_chunk,
+        method, workers, word_chunk, fault_chunk, matrix_budget,
     )
 
 
@@ -778,6 +795,7 @@ def evaluate_divider(
     workers: Optional[int] = None,
     word_chunk: int = GATE_WORD_CHUNK,
     fault_chunk: int = GATE_FAULT_CHUNK,
+    matrix_budget: Optional[int] = None,
 ) -> Dict[str, CoverageStats]:
     """Worst-case coverage of the overloaded ``/``.
 
@@ -793,7 +811,7 @@ def evaluate_divider(
     """
     return _evaluate(
         "div", width, cell_netlist, exhaustive_limit, samples, seed,
-        method, workers, word_chunk, fault_chunk,
+        method, workers, word_chunk, fault_chunk, matrix_budget,
     )
 
 
@@ -886,6 +904,7 @@ def evaluate_operator(
     seed: int = DEFAULT_SEED,
     method: str = "auto",
     workers: Optional[int] = None,
+    matrix_budget: Optional[int] = None,
 ) -> Dict[str, CoverageStats]:
     """Dispatch to the per-operator evaluator by name.
 
@@ -906,6 +925,7 @@ def evaluate_operator(
         seed=seed,
         method=method,
         workers=workers,
+        matrix_budget=matrix_budget,
     )
 
 

@@ -71,7 +71,7 @@ def shard_bounds(n_items: int, n_shards: int) -> List[Tuple[int, int]]:
 
 
 def shard_grid(
-    n_cases: int, n_words: int, n_workers: int
+    n_cases: int, n_words: int, n_workers: int, word_first: bool = False
 ) -> List[Tuple[int, int, int, int]]:
     """Tile the (fault case, sweep word) rectangle into at most
     ``n_workers`` shards ``(case_lo, case_hi, word_lo, word_hi)``.
@@ -82,7 +82,19 @@ def shard_grid(
     per-case partial counts the caller sums back together.  Tiles cover
     the rectangle exactly, in (case, word) order, so grid merges are as
     deterministic as plain fault-case shards.
+
+    ``word_first`` flips the preference: every shard spans *all* cases
+    over one word range.  Per-case cost is wildly uneven (reference
+    classes are free, fault classes are not) while per-word cost is
+    uniform, so wide sweeps -- where the word axis dominates the work --
+    balance better across workers this way; the merge is the same
+    word-range summation either way.
     """
+    if word_first and n_cases and n_words >= max(1, n_workers):
+        return [
+            (0, n_cases, word_lo, word_hi)
+            for word_lo, word_hi in shard_bounds(n_words, n_workers)
+        ]
     case_shards = shard_bounds(n_cases, n_workers)
     if not case_shards:
         return []

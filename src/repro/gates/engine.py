@@ -39,6 +39,7 @@ only.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -218,6 +219,56 @@ def popcount_words(words: np.ndarray) -> np.ndarray:
         return np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
     as_bytes = np.ascontiguousarray(words).view(np.uint8)
     return _POP8[as_bytes].sum(axis=-1, dtype=np.int64)
+
+
+#: Bounds of the auto-sized fault-matrix working-set budget (bytes).
+#: The budget caps ``n_nets * (fault_chunk + 1) * word_chunk`` uint64
+#: cells per evaluation chunk; chunking never changes any count, so the
+#: bounds only trade worker memory against per-chunk overhead.
+GATE_MATRIX_BUDGET_MIN = 4 << 20
+GATE_MATRIX_BUDGET_MAX = 128 << 20
+#: Word-chunk length the auto-sized budget aims to afford: big enough
+#: that per-chunk Python overhead amortises, small enough to stay cache
+#: friendly on the netlists that actually need chunking.
+GATE_MATRIX_TARGET_WORDS = 256
+#: Environment override (bytes) of the auto-sized budget.
+GATE_MATRIX_BUDGET_ENV = "REPRO_GATE_MATRIX_BUDGET"
+
+
+def resolve_matrix_budget(row_cells: int, budget: Optional[int] = None) -> int:
+    """Fault-matrix working-set budget (bytes) for one evaluation chunk.
+
+    ``row_cells`` is the uint64 cell count of one word column of the
+    matrix -- ``n_nets * (fault_chunk + 1)`` -- so the budget scales
+    with the netlist instead of pinning every netlist to one fixed
+    constant: small netlists stop over-allocating, the big unrolled
+    mul/div architectures get chunks long enough to amortise per-chunk
+    overhead.  Resolution order: explicit ``budget`` argument, then the
+    ``REPRO_GATE_MATRIX_BUDGET`` environment variable (bytes), then the
+    auto size ``row_cells * 8 * GATE_MATRIX_TARGET_WORDS`` clamped to
+    ``[GATE_MATRIX_BUDGET_MIN, GATE_MATRIX_BUDGET_MAX]``.
+    """
+    if budget is None:
+        env = os.environ.get(GATE_MATRIX_BUDGET_ENV)
+        if env:
+            try:
+                budget = int(env)
+            except ValueError:
+                raise SimulationError(
+                    f"{GATE_MATRIX_BUDGET_ENV}={env!r} is not a byte count"
+                ) from None
+    if budget is not None:
+        return max(1, int(budget))
+    auto = int(row_cells) * 8 * GATE_MATRIX_TARGET_WORDS
+    return min(GATE_MATRIX_BUDGET_MAX, max(GATE_MATRIX_BUDGET_MIN, auto))
+
+
+def matrix_word_chunk(
+    row_cells: int, word_chunk: int, budget: Optional[int] = None
+) -> int:
+    """Clamp a requested ``word_chunk`` to the resolved matrix budget."""
+    resolved = resolve_matrix_budget(row_cells, budget)
+    return max(8, min(max(1, word_chunk), resolved // (8 * max(1, row_cells))))
 
 
 def _stuck_column(values: List[int]) -> np.ndarray:

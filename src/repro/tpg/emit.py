@@ -1,0 +1,406 @@
+"""Self-test artefact emission for compact test sets.
+
+Hardware side: :func:`emit_self_test_vhdl` / :func:`emit_self_test_verilog`
+render a *self-test bench* next to the structural DUT (which is emitted
+by :mod:`repro.gates.emit` off the :class:`~repro.gates.compile.CompiledNetlist`
+lowering): a stimulus ROM holding the compact set, a golden-response ROM
+holding the fault-free replica's answers (computed by the bit-parallel
+engine at emission time), and a clocked checker that walks the ROMs and
+latches a sticky ``ok`` flag -- the paper's Section 4.1 test-environment
+artefacts upgraded from "a netlist" to "a netlist that can test itself".
+
+Software side: :func:`emit_vm_self_test` compiles the same operand set
+into a :mod:`repro.vm` program whose arithmetic routes through the
+monoprocessor's faultable ALU; expected responses are produced by a
+golden ALU at emission time, mismatches OR into a flag register that is
+stored to memory address 0 before HALT.  :func:`emit_alu_self_test`
+concatenates per-unit blocks into one program exercising every
+functional unit of the ALU -- the software units get exactly the
+hardware's compact test sets, closing the paper's HW/SW loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.alu import FaultableALU
+from repro.arch.bitops import to_signed
+from repro.errors import SimulationError
+from repro.gates.emit import to_verilog, to_vhdl
+from repro.gates.engine import engine_for, unpack_bits
+from repro.gates.netlist import Netlist
+from repro.tpg.compaction import CompactTestSet
+from repro.vm.machine import Machine
+from repro.vm.program import Program, ProgramBuilder
+
+#: Register conventions of the emitted self-test programs.  r0 is never
+#: written (stays 0, the flag's store address); r1/r2 carry operands,
+#: r3/r7 results, r4 expectations, r6 scratch, r5 the sticky flag.
+_R_A, _R_B, _R_RES, _R_EXP, _R_FLAG, _R_TMP, _R_MOD = 1, 2, 3, 4, 5, 6, 7
+
+
+def golden_responses(netlist: Netlist, vectors: np.ndarray) -> np.ndarray:
+    """Fault-free output bits for a test table.
+
+    ``vectors`` is ``(n_tests, n_inputs)`` in netlist input order; the
+    result is ``(n_tests, n_outputs)`` in declared output order -- the
+    expected-response ROM of the emitted benches.
+    """
+    vectors = np.asarray(vectors, dtype=np.uint8)
+    n_tests = vectors.shape[0]
+    if n_tests == 0:
+        return np.zeros((0, len(netlist.primary_outputs)), dtype=np.uint8)
+    engine = engine_for(netlist)
+    packed, _ = engine.pack_inputs(
+        {
+            name: np.ascontiguousarray(vectors[:, i])
+            for i, name in enumerate(netlist.primary_inputs)
+        }
+    )
+    out = engine.output_words(packed)
+    return unpack_bits(out, n_tests).T
+
+
+def _check_emittable(netlist: Netlist, test_set: CompactTestSet) -> None:
+    if test_set.n_tests == 0:
+        raise SimulationError(
+            f"cannot emit a self-test bench for {netlist.name!r}: "
+            "the compact test set is empty"
+        )
+    if tuple(test_set.input_names) != tuple(netlist.primary_inputs):
+        raise SimulationError(
+            f"test set was generated for inputs {test_set.input_names}, "
+            f"netlist {netlist.name!r} declares {tuple(netlist.primary_inputs)}"
+        )
+
+
+def _bit_literal(bits: np.ndarray) -> str:
+    """MSB-first bit-string literal of one ROM row (index 0 rightmost)."""
+    return "".join(str(int(b)) for b in bits[::-1])
+
+
+def emit_self_test_vhdl(
+    netlist: Netlist, test_set: CompactTestSet, entity: Optional[str] = None
+) -> str:
+    """Structural DUT plus a VHDL self-test bench around it.
+
+    The bench walks ``STIM_ROM``/``RESP_ROM`` one test per rising clock
+    edge, compares the DUT's response against the golden replica's and
+    latches any mismatch into the sticky ``ok`` flag; ``done`` rises
+    after the last test.  ROM comments carry the compact set's marginal
+    coverage provenance.
+    """
+    _check_emittable(netlist, test_set)
+    entity = entity or f"{netlist.name}_selftest"
+    responses = golden_responses(netlist, test_set.vectors)
+    n_in = len(netlist.primary_inputs)
+    n_out = len(netlist.primary_outputs)
+    n_tests = test_set.n_tests
+    component_ports: List[str] = []
+    for net in netlist.primary_inputs:
+        component_ports.append(f"      {net} : in  std_logic")
+    for net in netlist.primary_outputs:
+        component_ports.append(f"      {net} : out std_logic")
+    # A single-element positional aggregate is illegal VHDL; name the
+    # association when only one test survives compaction.
+    prefix = "0 => " if n_tests == 1 else ""
+    stim_rows = [
+        f'    {prefix}"{_bit_literal(test_set.vectors[t])}"'
+        f"{',' if t + 1 < n_tests else ''}  -- {t}: +{test_set.marginal[t]} fault(s)"
+        for t in range(n_tests)
+    ]
+    resp_rows = [
+        f'    {prefix}"{_bit_literal(responses[t])}"{"," if t + 1 < n_tests else ""}'
+        for t in range(n_tests)
+    ]
+    port_map = [
+        f"      {net} => stim({i})" for i, net in enumerate(netlist.primary_inputs)
+    ] + [
+        f"      {net} => resp({i})" for i, net in enumerate(netlist.primary_outputs)
+    ]
+    lines = [
+        to_vhdl(netlist).rstrip("\n"),
+        "",
+        "library ieee;",
+        "use ieee.std_logic_1164.all;",
+        "",
+        f"entity {entity} is",
+        "  port (",
+        "    clk  : in  std_logic;",
+        "    ok   : out std_logic;",
+        "    done : out std_logic",
+        "  );",
+        f"end entity {entity};",
+        "",
+        f"architecture behavioural of {entity} is",
+        f"  component {netlist.name} is",
+        "    port (",
+        ";\n".join(component_ports),
+        "    );",
+        "  end component;",
+        f"  constant TEST_COUNT : natural := {n_tests};",
+        f"  subtype stim_word_t is std_logic_vector({n_in - 1} downto 0);",
+        f"  subtype resp_word_t is std_logic_vector({n_out - 1} downto 0);",
+        "  type stim_rom_t is array (0 to TEST_COUNT - 1) of stim_word_t;",
+        "  type resp_rom_t is array (0 to TEST_COUNT - 1) of resp_word_t;",
+        f"  -- compact test set: {test_set.summary()}",
+        "  constant STIM_ROM : stim_rom_t := (",
+        "\n".join(stim_rows),
+        "  );",
+        "  constant RESP_ROM : resp_rom_t := (",
+        "\n".join(resp_rows),
+        "  );",
+        "  signal index_q : natural range 0 to TEST_COUNT := 0;",
+        "  signal stim    : stim_word_t;",
+        "  signal resp    : resp_word_t;",
+        "  signal ok_q    : std_logic := '1';",
+        "  signal done_q  : std_logic := '0';",
+        "begin",
+        "  stim <= STIM_ROM(index_q) when index_q < TEST_COUNT else (others => '0');",
+        f"  dut : {netlist.name}",
+        "    port map (",
+        ",\n".join(port_map),
+        "    );",
+        "  check : process (clk)",
+        "  begin",
+        "    if rising_edge(clk) then",
+        "      if index_q < TEST_COUNT then",
+        "        if resp /= RESP_ROM(index_q) then",
+        "          ok_q <= '0';",
+        "        end if;",
+        "        index_q <= index_q + 1;",
+        "      else",
+        "        done_q <= '1';",
+        "      end if;",
+        "    end if;",
+        "  end process check;",
+        "  ok   <= ok_q;",
+        "  done <= done_q;",
+        f"end architecture behavioural;",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def emit_self_test_verilog(
+    netlist: Netlist, test_set: CompactTestSet, module: Optional[str] = None
+) -> str:
+    """Structural DUT plus a Verilog self-test bench (see the VHDL twin)."""
+    _check_emittable(netlist, test_set)
+    module = module or f"{netlist.name}_selftest"
+    responses = golden_responses(netlist, test_set.vectors)
+    n_in = len(netlist.primary_inputs)
+    n_out = len(netlist.primary_outputs)
+    n_tests = test_set.n_tests
+    stim_init = [
+        f"    stim_rom[{t}] = {n_in}'b{_bit_literal(test_set.vectors[t])};"
+        f"  // {t}: +{test_set.marginal[t]} fault(s)"
+        for t in range(n_tests)
+    ]
+    resp_init = [
+        f"    resp_rom[{t}] = {n_out}'b{_bit_literal(responses[t])};"
+        for t in range(n_tests)
+    ]
+    port_conn = [
+        f"    .{net}(stim[{i}])" for i, net in enumerate(netlist.primary_inputs)
+    ] + [
+        f"    .{net}(resp[{i}])" for i, net in enumerate(netlist.primary_outputs)
+    ]
+    lines = [
+        to_verilog(netlist).rstrip("\n"),
+        "",
+        f"module {module}(clk, ok, done);",
+        "  input clk;",
+        "  output ok;",
+        "  output done;",
+        "",
+        f"  localparam TEST_COUNT = {n_tests};",
+        f"  // compact test set: {test_set.summary()}",
+        f"  reg [{n_in - 1}:0] stim_rom [0:TEST_COUNT-1];",
+        f"  reg [{n_out - 1}:0] resp_rom [0:TEST_COUNT-1];",
+        "  reg [31:0] index_q = 0;",
+        "  reg ok_q = 1'b1;",
+        "  reg done_q = 1'b0;",
+        "",
+        "  initial begin",
+        "\n".join(stim_init),
+        "\n".join(resp_init),
+        "  end",
+        "",
+        f"  wire [{n_in - 1}:0] stim = done_q ? {{{n_in}{{1'b0}}}} : stim_rom[index_q];",
+        f"  wire [{n_out - 1}:0] resp;",
+        "",
+        f"  {netlist.name} dut (",
+        ",\n".join(port_conn),
+        "  );",
+        "",
+        "  always @(posedge clk) begin",
+        "    if (!done_q) begin",
+        "      if (resp !== resp_rom[index_q])",
+        "        ok_q <= 1'b0;",
+        "      if (index_q == TEST_COUNT - 1)",
+        "        done_q <= 1'b1;",
+        "      else",
+        "        index_q <= index_q + 1;",
+        "    end",
+        "  end",
+        "",
+        "  assign ok = ok_q;",
+        "  assign done = done_q;",
+        "endmodule",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# VM emission: the same test sets for the software-side units
+# ----------------------------------------------------------------------
+@dataclass
+class SelfTestProgram:
+    """An emitted VM self-test and its metadata.
+
+    ``run`` executes the program on a :class:`~repro.vm.machine.Machine`
+    (optionally around a pre-injected faulty ALU) and reports whether
+    any test mismatched -- the software twin of the bench's ``ok`` flag,
+    read back from memory address 0.
+    """
+
+    program: Program
+    unit: str
+    width: int
+    n_tests: int
+
+    def run(self, alu: Optional[FaultableALU] = None) -> bool:
+        machine = Machine(self.width, alu=alu)
+        result = machine.run(self.program)
+        return bool(result.memory.get(0, 0))
+
+
+def _unit_operands(
+    test_set: CompactTestSet, width: int
+) -> List[Tuple[int, int, Optional[int]]]:
+    """Decode a unit test table into ``(a, b, carry)`` operand triples.
+
+    Input columns must follow the unit-netlist convention: ``a{i}`` /
+    ``b{i}`` operand bits, an optional ``cin``, and the constant rails
+    ``zero``/``one`` (ignored -- the VM has real constants).
+    """
+    columns: Dict[str, int] = {name: i for i, name in enumerate(test_set.input_names)}
+    triples: List[Tuple[int, int, Optional[int]]] = []
+    for name in columns:
+        if name in ("cin", "zero", "one"):
+            continue
+        if not (name[0] in "ab" and name[1:].isdigit()) or int(name[1:]) >= width:
+            raise SimulationError(
+                f"cannot map input {name!r} onto {width}-bit VM operands"
+            )
+    missing = [
+        f"{op}{i}" for op in "ab" for i in range(width) if f"{op}{i}" not in columns
+    ]
+    if missing:
+        raise SimulationError(
+            f"test set lacks operand bit columns {missing} for a "
+            f"{width}-bit VM self-test"
+        )
+    for row in test_set.vectors:
+        a = sum(int(row[columns[f"a{i}"]]) << i for i in range(width))
+        b = sum(int(row[columns[f"b{i}"]]) << i for i in range(width))
+        carry = int(row[columns["cin"]]) if "cin" in columns else None
+        triples.append((a, b, carry))
+    return triples
+
+
+def _emit_unit_block(
+    builder: ProgramBuilder,
+    golden: FaultableALU,
+    unit: str,
+    test_set: CompactTestSet,
+    width: int,
+) -> int:
+    """Append one unit's tests to ``builder``; returns tests emitted.
+
+    Expected responses come from ``golden`` (a fault-free ALU executing
+    the very instruction sequence being emitted), so the program checks
+    the machine against its own nominal semantics -- signs included.
+    """
+    emitted = 0
+    for a, b, carry in _unit_operands(test_set, width):
+        a_s, b_s = to_signed(a, width), to_signed(b, width)
+        if unit == "div" and b_s == 0:
+            continue  # unreachable under the divider's b != 0 space
+        builder.ldi(_R_A, a_s)
+        builder.ldi(_R_B, b_s)
+        if unit == "add":
+            builder.add(_R_RES, _R_A, _R_B)
+            expect = int(golden.add(a_s, b_s))
+            if carry:
+                builder.ldi(_R_TMP, 1)
+                builder.add(_R_RES, _R_RES, _R_TMP)
+                expect = int(golden.add(expect, 1))
+        elif unit == "sub":
+            builder.sub(_R_RES, _R_A, _R_B)
+            expect = int(golden.sub(a_s, b_s))
+            if carry == 0:  # the chain computes a + ~b + cin = a - b - 1 + cin
+                builder.ldi(_R_TMP, 1)
+                builder.sub(_R_RES, _R_RES, _R_TMP)
+                expect = int(golden.sub(expect, 1))
+        elif unit == "mul":
+            builder.mul(_R_RES, _R_A, _R_B)
+            expect = int(golden.mul(a_s, b_s))
+        elif unit == "div":
+            builder.div(_R_RES, _R_A, _R_B)
+            builder.mod(_R_MOD, _R_A, _R_B)
+            expect = int(golden.div(a_s, b_s))
+            expect_mod = int(golden.mod(a_s, b_s))
+            builder.ldi(_R_EXP, expect_mod)
+            builder.cmpne(_R_TMP, _R_MOD, _R_EXP)
+            builder.or_(_R_FLAG, _R_FLAG, _R_TMP)
+        else:
+            raise SimulationError(
+                f"no VM self-test emission for unit {unit!r}"
+            )
+        builder.ldi(_R_EXP, expect)
+        builder.cmpne(_R_TMP, _R_RES, _R_EXP)
+        builder.or_(_R_FLAG, _R_FLAG, _R_TMP)
+        emitted += 1
+    return emitted
+
+
+def emit_vm_self_test(
+    test_set: CompactTestSet, unit: str, width: int, name: Optional[str] = None
+) -> SelfTestProgram:
+    """Compile a unit's compact test set into a VM self-test program.
+
+    The program applies every test operand pair through the machine's
+    faultable unit, compares against golden expectations, stores the
+    sticky mismatch flag to memory address 0 and halts.
+    """
+    builder = ProgramBuilder(name or f"{unit}{width}_selftest")
+    builder.ldi(_R_FLAG, 0)
+    n = _emit_unit_block(builder, FaultableALU(width), unit, test_set, width)
+    builder.st(0, _R_FLAG)
+    builder.halt()
+    return SelfTestProgram(builder.build(), unit, width, n)
+
+
+def emit_alu_self_test(
+    test_sets: Mapping[str, CompactTestSet], width: int, name: Optional[str] = None
+) -> SelfTestProgram:
+    """One VM program exercising every functional unit of the ALU.
+
+    ``test_sets`` maps unit names (``add``/``sub``/``mul``/``div``) to
+    their compact sets; blocks are emitted in mapping order, all OR-ing
+    into the same sticky flag, so a fault in *any* unit the sets cover
+    trips the single stored verdict.
+    """
+    builder = ProgramBuilder(name or f"alu{width}_selftest")
+    builder.ldi(_R_FLAG, 0)
+    golden = FaultableALU(width)
+    total = 0
+    for unit, test_set in test_sets.items():
+        total += _emit_unit_block(builder, golden, unit, test_set, width)
+    builder.st(0, _R_FLAG)
+    builder.halt()
+    return SelfTestProgram(builder.build(), "alu", width, total)

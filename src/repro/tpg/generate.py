@@ -1,0 +1,362 @@
+"""Simulation-based test-pattern generation (ATPG) on the batched engine.
+
+The classical two-phase loop, run entirely through the bit-parallel
+fault matrix:
+
+1. **Seeded random phases with fault dropping** -- each phase draws a
+   word-packed batch of random vectors, simulates every *still
+   undetected* equivalence-class representative against the shared
+   golden row, and keeps the first detecting vector of every newly
+   detected class.  Detected classes drop out of later phases; phases
+   stop after :data:`STALE_PHASES` consecutive batches detect nothing
+   new (random vectors saturate quickly -- the residue is the
+   hard-fault tail).
+2. **Exhaustive word-range sweeps over the residue** -- the remaining
+   classes stream through the *whole* constrained universe
+   (:func:`repro.gates.engine.exhaustive_word_range` slices, masked
+   lanes excluded), so every detectable fault ends up with a test and
+   everything still undetected is *proven* redundant within the space.
+
+The discovered test table is then re-simulated into a fault dictionary
+over the full universe ordering (:func:`~repro.tpg.dictionary.dictionary_for_vectors`)
+and greedily compacted (:func:`~repro.tpg.compaction.greedy_cover`).
+Everything is deterministic for a given ``seed``: the RNG stream, the
+class iteration order and the tie-breaks are all fixed, and process
+sharding only ever touches bit-exact dictionary construction -- the
+property ``tests/test_tpg.py`` pins down.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.gates.builders import (
+    restoring_divider,
+    ripple_borrow_subtractor,
+    ripple_carry_adder,
+    truncated_array_multiplier,
+)
+from repro.gates.engine import (
+    LANES,
+    MAX_EXHAUSTIVE_INPUTS,
+    engine_for,
+    matrix_word_chunk,
+    popcount_words,
+)
+from repro.gates.faults import StuckAtFault
+from repro.gates.netlist import Netlist
+from repro.tpg.compaction import CompactTestSet, compact_from_dictionary, greedy_cover
+from repro.tpg.dictionary import (
+    FaultDictionary,
+    TestSpace,
+    _resolve_universe,
+    build_fault_dictionary,
+    dictionary_for_vectors,
+)
+
+#: Default ATPG seed (the DATE'05 conference date, like the coverage
+#: engine's sampling seed).
+TPG_SEED = 20050307
+
+#: Words (x64 vectors) per random phase.
+PHASE_WORDS = 8
+#: Hard cap on random phases (the stale rule normally stops earlier).
+MAX_PHASES = 64
+#: Consecutive no-new-detection phases before the random stage stops.
+STALE_PHASES = 2
+
+#: ``compact_test_set(method="auto")`` builds the full dictionary up to
+#: this many universe vectors and runs ATPG beyond.
+DEFAULT_DICTIONARY_LIMIT = 1 << 16
+
+#: Units with a gate-level netlist builder for per-unit test sets.
+UNIT_OPERATORS = ("add", "sub", "mul", "div")
+
+_UNIT_BUILDERS: Dict[str, Callable[[int], Netlist]] = {
+    "add": ripple_carry_adder,
+    "sub": ripple_borrow_subtractor,
+    "mul": truncated_array_multiplier,
+    "div": restoring_divider,
+}
+
+
+@functools.lru_cache(maxsize=None)
+def unit_netlist(unit: str, width: int) -> Netlist:
+    """Cached gate-level netlist of one :mod:`repro.arch` unit class.
+
+    ``add``/``sub`` are the ripple chains (carry-in swept as a real
+    input), ``mul`` the truncated ripple-row array, ``div`` the unrolled
+    restoring divider -- the same structural lowerings the Table 2
+    architectures replicate.
+    """
+    try:
+        builder = _UNIT_BUILDERS[unit]
+    except KeyError:
+        raise SimulationError(
+            f"unknown unit {unit!r}; choose from {UNIT_OPERATORS}"
+        ) from None
+    return builder(width)
+
+
+@functools.lru_cache(maxsize=None)
+def unit_space(unit: str, width: int) -> TestSpace:
+    """Constrained TPG universe of one unit netlist.
+
+    Operand (and carry) bits sweep; the ``zero``/``one`` constant rails
+    of the array units are pinned, and the divider's divisor field is
+    required non-zero, exactly as in the coverage sweeps.
+    """
+    netlist = unit_netlist(unit, width)
+    constants = tuple(
+        (name, 1 if name == "one" else 0)
+        for name in netlist.primary_inputs
+        if name in ("zero", "one")
+    )
+    free = tuple(
+        name for name in netlist.primary_inputs if name not in ("zero", "one")
+    )
+    nonzero = (width, 2 * width) if unit == "div" else None
+    return TestSpace(netlist, free, constants, nonzero)
+
+
+@dataclass
+class TPGResult:
+    """Everything one ATPG run produced.
+
+    ``tests`` is the raw discovery-ordered test table; ``dictionary``
+    the fault dictionary over exactly those tests; ``compact`` the
+    greedy-compacted set with provenance; ``undetected`` the faults no
+    vector of the (constrained) universe detects -- proven redundant
+    when the residual sweep ran exhaustively.
+    """
+
+    netlist_name: str
+    space: TestSpace
+    tests: np.ndarray  # (n_tests, n_inputs) uint8, discovery order
+    dictionary: FaultDictionary
+    compact: CompactTestSet
+    undetected: Tuple[StuckAtFault, ...]
+    vectors_tried: int
+    random_phases: int
+    exhausted: bool
+    seed: int
+
+    @property
+    def n_tests(self) -> int:
+        return self.tests.shape[0]
+
+    def summary(self) -> str:
+        proven = "proven-redundant" if self.exhausted else "unresolved"
+        return (
+            f"{self.netlist_name}: {self.n_tests} ATPG tests "
+            f"({self.random_phases} random phases, {self.vectors_tried} "
+            f"vectors tried) -> {self.compact.n_tests} compact tests, "
+            f"{len(self.undetected)} {proven} faults"
+        )
+
+
+def _first_hits(diff: np.ndarray) -> List[Tuple[int, int, int]]:
+    """Per-row first set lane of a difference matrix.
+
+    Returns ``(row, word, lane)`` triples, row-ascending, for rows with
+    any set bit -- the campaign's lowest-bit trick, reused so the
+    "first detecting vector" choice is deterministic.
+    """
+    nonzero = diff != 0
+    hit_rows = np.nonzero(nonzero.any(axis=1))[0]
+    if not hit_rows.size:
+        return []
+    word_idx = np.argmax(nonzero[hit_rows], axis=1)
+    word = diff[hit_rows, word_idx]
+    low = word & (np.uint64(0) - word)
+    lane = np.log2(low.astype(np.float64)).astype(np.int64)
+    return list(zip(hit_rows.tolist(), word_idx.tolist(), lane.tolist()))
+
+
+def generate_tests(
+    netlist: Netlist,
+    space: Optional[TestSpace] = None,
+    seed: int = TPG_SEED,
+    phase_words: int = PHASE_WORDS,
+    max_phases: int = MAX_PHASES,
+    stale_phases: int = STALE_PHASES,
+    faults: Optional[Tuple[StuckAtFault, ...]] = None,
+    collapse: bool = True,
+    fault_chunk: int = 64,
+) -> TPGResult:
+    """Run the two-phase ATPG loop over ``netlist``.
+
+    Deterministic for a given ``seed``: the RNG stream, class iteration
+    order and first-detect tie-breaks are all fixed, so two runs return
+    identical test tables and compact sets.  When the free-input count
+    exceeds the exhaustive-packing cap the residual sweep is skipped and
+    surviving faults stay ``unresolved`` instead of proven redundant
+    (``TPGResult.exhausted`` records which).
+    """
+    if space is None:
+        space = TestSpace.full(netlist)
+    elif space.netlist is not netlist:
+        raise SimulationError("test space was built for a different netlist")
+    fault_seq, groups = _resolve_universe(netlist, faults, collapse)
+    engine = engine_for(netlist)
+    reps = [fault_seq[g[0]] for g in groups]
+    rng = np.random.default_rng(seed)
+
+    active = list(range(len(groups)))
+    tests: List[np.ndarray] = []
+    seen: set = set()
+    vectors_tried = 0
+    phases = 0
+    stale = 0
+    fault_chunk = max(1, fault_chunk)
+
+    def record_vector(rows: np.ndarray, word: int, lane: int) -> None:
+        bits = ((rows[:, word] >> np.uint64(lane)) & np.uint64(1)).astype(np.uint8)
+        key = bits.tobytes()
+        if key not in seen:
+            seen.add(key)
+            tests.append(bits)
+
+    def run_round(rows: np.ndarray, valid: Optional[np.ndarray]) -> int:
+        """Simulate the active classes over one packed batch; returns
+        how many classes the batch newly detected."""
+        newly = 0
+        batch = list(active)
+        for lo in range(0, len(batch), fault_chunk):
+            block = batch[lo : lo + fault_chunk]
+            out = engine.run_fault_groups(rows, [reps[g] for g in block])
+            diff = np.bitwise_or.reduce(out[:, :-1, :] ^ out[:, -1:, :], axis=0)
+            if valid is not None:
+                diff &= valid
+            for row, word, lane in _first_hits(diff):
+                record_vector(rows, word, lane)
+                active.remove(block[row])
+                newly += 1
+        return newly
+
+    # Phase 1: seeded random batches with fault dropping.
+    while active and phases < max_phases and stale < stale_phases:
+        rows, valid = space.random_rows(rng, max(1, phase_words))
+        phases += 1
+        vectors_tried += (
+            rows.shape[1] * LANES if valid is None else int(popcount_words(valid))
+        )
+        stale = 0 if run_round(rows, valid) else stale + 1
+
+    # Phase 2: exhaustive word-range sweep over the residue.
+    exhausted = space.n_free <= MAX_EXHAUSTIVE_INPUTS
+    if active and exhausted:
+        row_cells = engine.compiled.n_nets * (
+            min(fault_chunk, max(1, len(active))) + 1
+        )
+        word_chunk = matrix_word_chunk(row_cells, 256)
+        for lo in range(0, space.n_words, word_chunk):
+            if not active:
+                break
+            hi = min(lo + word_chunk, space.n_words)
+            rows = space.input_rows(lo, hi)
+            valid = space.valid_words(lo, hi, rows=rows)
+            vectors_tried += (
+                (hi - lo) * LANES if valid is None else int(popcount_words(valid))
+            )
+            run_round(rows, valid)
+
+    table = (
+        np.stack(tests)
+        if tests
+        else np.zeros((0, len(netlist.primary_inputs)), dtype=np.uint8)
+    )
+    dictionary = dictionary_for_vectors(
+        netlist, table, faults=faults, collapse=collapse, fault_chunk=fault_chunk
+    )
+    cover = greedy_cover(dictionary)
+    compact = CompactTestSet(
+        netlist_name=netlist.name,
+        input_names=tuple(netlist.primary_inputs),
+        vectors=table[list(cover.order)],
+        faults=dictionary.faults,
+        detected=cover.detected,
+        marginal=cover.marginal,
+        source="atpg+greedy",
+    )
+    return TPGResult(
+        netlist_name=netlist.name,
+        space=space,
+        tests=table,
+        dictionary=dictionary,
+        compact=compact,
+        undetected=tuple(dictionary.undetected_faults()),
+        vectors_tried=vectors_tried,
+        random_phases=phases,
+        exhausted=exhausted,
+        seed=seed,
+    )
+
+
+def compact_test_set(
+    netlist: Netlist,
+    space: Optional[TestSpace] = None,
+    method: str = "auto",
+    seed: int = TPG_SEED,
+    workers: Optional[int] = None,
+    dictionary_limit: int = DEFAULT_DICTIONARY_LIMIT,
+    collapse: bool = True,
+) -> CompactTestSet:
+    """One-call compact test set for a netlist.
+
+    ``method="dictionary"`` builds the full fault dictionary over the
+    (constrained) universe and greedy-covers it -- exact, RNG-free,
+    affordable while ``space.n_vectors`` is small; ``method="atpg"``
+    runs the two-phase generation loop and compacts its discoveries;
+    ``"auto"`` picks the dictionary up to ``dictionary_limit`` vectors
+    and ATPG beyond.  Both paths end in the same greedy cover, and both
+    claims replay bit-identically through the campaign engine.
+    """
+    if space is None:
+        space = TestSpace.full(netlist)
+    if method == "auto":
+        method = "dictionary" if space.n_vectors <= dictionary_limit else "atpg"
+    if method == "dictionary":
+        dictionary = build_fault_dictionary(
+            netlist, space, collapse=collapse, workers=workers
+        )
+        return compact_from_dictionary(dictionary, space)
+    if method == "atpg":
+        return generate_tests(netlist, space, seed=seed, collapse=collapse).compact
+    raise SimulationError(
+        f"unknown method {method!r}; choose from ('auto', 'dictionary', 'atpg')"
+    )
+
+
+def unit_test_set(
+    unit: str,
+    width: int,
+    method: str = "auto",
+    seed: int = TPG_SEED,
+    workers: Optional[int] = None,
+) -> CompactTestSet:
+    """Compact test set of one :mod:`repro.arch` unit class."""
+    return compact_test_set(
+        unit_netlist(unit, width),
+        unit_space(unit, width),
+        method=method,
+        seed=seed,
+        workers=workers,
+    )
+
+
+def table2_space(arch) -> TestSpace:
+    """TPG universe of a Table 2 test architecture.
+
+    Operand bits sweep, the ``zero``/``one`` rails are pinned, and the
+    divider architecture's divisor field is required non-zero -- i.e.
+    the same operand universe its coverage sweep classifies.  Delegates
+    to :meth:`repro.arch.testbench._Table2ArchitectureBase.test_space`,
+    the single definition of that universe.
+    """
+    return arch.test_space()

@@ -21,9 +21,11 @@ per-node frame slot, so arbitrarily large bodies compile.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-from repro.codesign.dfg import DataflowGraph, Node
+if TYPE_CHECKING:  # import-time cycle: codesign.swmodel imports this module
+    from repro.codesign.dfg import DataflowGraph
+
 from repro.errors import CompilationError
 from repro.vm.isa import NUM_REGISTERS, Opcode
 from repro.vm.program import Program, ProgramBuilder

@@ -1,0 +1,43 @@
+"""Golden-file pins for the emitted self-test benches.
+
+The full adder's compact test set comes from the RNG-free dictionary
+path (full-universe greedy cover with lowest-index tie-breaks), so the
+emitted VHDL/Verilog self-test benches are fully deterministic; these
+tests pin their bytes alongside the plain structural goldens in
+``tests/golden/``.
+"""
+
+import pathlib
+
+from repro.gates.builders import full_adder
+from repro.tpg import (
+    compact_test_set,
+    emit_self_test_verilog,
+    emit_self_test_vhdl,
+)
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+
+def _compact_set():
+    return compact_test_set(full_adder(), method="dictionary")
+
+
+class TestGoldenSelfTestBench:
+    def test_vhdl_byte_identical(self):
+        nl = full_adder()
+        text = emit_self_test_vhdl(nl, _compact_set())
+        assert text == (GOLDEN / "full_adder_selftest.vhd").read_text()
+
+    def test_verilog_byte_identical(self):
+        nl = full_adder()
+        text = emit_self_test_verilog(nl, _compact_set())
+        assert text == (GOLDEN / "full_adder_selftest.v").read_text()
+
+    def test_bench_embeds_the_structural_golden(self):
+        """The DUT half of the bench is exactly the plain emitter's output."""
+        nl = full_adder()
+        vhdl = emit_self_test_vhdl(nl, _compact_set())
+        vlog = emit_self_test_verilog(nl, _compact_set())
+        assert vhdl.startswith((GOLDEN / "full_adder.vhd").read_text().rstrip("\n"))
+        assert vlog.startswith((GOLDEN / "full_adder.v").read_text().rstrip("\n"))
