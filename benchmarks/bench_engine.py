@@ -18,6 +18,14 @@ Three baselines are measured:
 The batched campaign beats all three; the assertion is made against the
 strongest one.  A ripple-carry-adder scaling row shows the gap widening
 with netlist size.
+
+Backend head-to-head: the same RCA-8 exhaustive campaign runs under
+every registered execution backend (:mod:`repro.gates.backends`) in the
+fault-major regime -- the whole collapsed universe through one fault
+matrix per word chunk -- with bit-identical classifications required
+and the ``fused`` backend gated at ``BENCH_BACKEND_SPEEDUP``x over the
+``python_loop`` reference.  The numba gate applies only when numba is
+importable.
 """
 
 import os
@@ -26,6 +34,7 @@ import time
 import numpy as np
 
 from repro.gates import builders
+from repro.gates.backends import list_backends
 from repro.gates.engine import run_stuck_at_campaign
 from repro.gates.faults import full_fault_list
 from repro.gates.simulate import NetlistSimulator, ReferenceSimulator
@@ -38,6 +47,20 @@ SPEEDUP_FLOOR = float(os.environ.get("BENCH_SPEEDUP_FLOOR", "10.0"))
 #: simulator, hoisted out of the loop) -- kept lower than the headline
 #: floor because at ~0.1ms scales scheduler noise can eat several x.
 COMPILED_FLOOR = float(os.environ.get("BENCH_COMPILED_FLOOR", "5.0"))
+#: Acceptance floor of the ``fused`` backend over ``python_loop`` on
+#: the RCA-8 exhaustive stuck-at campaign (fault-major regime).
+BACKEND_SPEEDUP_FLOOR = float(os.environ.get("BENCH_BACKEND_SPEEDUP", "3.0"))
+#: Floor of the optional numba backend over ``python_loop`` (gated only
+#: when numba is installed; a JIT CSR walk should clear this easily).
+NUMBA_SPEEDUP_FLOOR = float(os.environ.get("BENCH_NUMBA_SPEEDUP", "2.0"))
+#: Fault batch size of the backend head-to-head.  One batch carries the
+#: whole collapsed RCA-8 universe (194 groups), the regime the backend
+#: layer targets: the reference loop must allocate a fresh ~45 MB
+#: fault matrix per call (past glibc's mmap threshold, so every call
+#: page-faults it in again), while the fused backend's persistent
+#: workspace and tainted-prefix walk amortise both allocation and
+#: arithmetic.
+BACKEND_FAULT_CHUNK = 256
 
 
 def _best(fns, repeats=11, inner=5):
@@ -84,7 +107,53 @@ def _throughput(n_vectors, n_faults, seconds):
     return n_vectors * n_faults / seconds
 
 
-def test_bench_engine_full_adder(once):
+def test_bench_backend_speedup(once, record):
+    """Registered backends, head to head, on the RCA-8 campaign."""
+    once(lambda: None)
+    netlist = builders.ripple_carry_adder(8)
+    backends = [name for name in ("python_loop", "fused", "numba")
+                if name in list_backends()]
+    assert "python_loop" in backends and "fused" in backends
+
+    def campaign(backend):
+        return lambda: run_stuck_at_campaign(
+            netlist, backend=backend, fault_chunk=BACKEND_FAULT_CHUNK
+        )
+
+    times, results = _best([campaign(name) for name in backends],
+                           repeats=7, inner=1)
+    # Bit-identical classifications across every registered backend.
+    baseline = results[0]
+    for result in results[1:]:
+        assert np.array_equal(result.detected, baseline.detected)
+        assert np.array_equal(result.first_detected, baseline.first_detected)
+
+    by_name = dict(zip(backends, times))
+    t_loop = by_name["python_loop"]
+    print()
+    print(f"Backend head-to-head -- RCA-8 exhaustive campaign "
+          f"({baseline.n_faults} faults x {baseline.n_vectors} vectors, "
+          f"fault_chunk={BACKEND_FAULT_CHUNK})")
+    for name in backends:
+        print(f"  {name:12s} {by_name[name] * 1e3:9.3f}ms"
+              f" {t_loop / by_name[name]:8.2f}x")
+        record(f"backend_{name}", by_name[name],
+               speedup_vs_python_loop=t_loop / by_name[name],
+               backend=name)
+
+    assert t_loop / by_name["fused"] >= BACKEND_SPEEDUP_FLOOR, (
+        f"fused backend only {t_loop / by_name['fused']:.2f}x faster than "
+        f"python_loop (fused {by_name['fused'] * 1e3:.3f}ms vs "
+        f"{t_loop * 1e3:.3f}ms)"
+    )
+    if "numba" in by_name:
+        assert t_loop / by_name["numba"] >= NUMBA_SPEEDUP_FLOOR, (
+            f"numba backend only {t_loop / by_name['numba']:.2f}x faster "
+            f"than python_loop"
+        )
+
+
+def test_bench_engine_full_adder(once, record):
     once(lambda: None)
     netlist = builders.full_adder()
     faults = full_fault_list(netlist)
@@ -120,6 +189,8 @@ def test_bench_engine_full_adder(once):
             f" {t_interp / t:8.1f}x"
         )
     print(f"  ({result.summary()})")
+    record("full_adder_interpreted", t_interp)
+    record("full_adder_batched", t_batch, speedup=t_interp / t_batch)
 
     # Acceptance: >= 10x vs the per-fault loop this refactor replaces --
     # the seed's interpreted NetlistSimulator (now ReferenceSimulator).
@@ -136,7 +207,7 @@ def test_bench_engine_full_adder(once):
     )
 
 
-def test_bench_engine_scaling(once):
+def test_bench_engine_scaling(once, record):
     """The batched gap grows with netlist size (RCA-8, sampled faults)."""
     once(lambda: None)
     netlist = builders.ripple_carry_adder(8)
@@ -178,4 +249,6 @@ def test_bench_engine_scaling(once):
         f"  ({t_loop / t_batch:.1f}x, {result.n_simulated_runs} runs for "
         f"{len(faults)} faults)"
     )
+    record("rca8_per_fault", t_loop)
+    record("rca8_batched", t_batch, speedup=t_loop / t_batch)
     assert t_loop / t_batch >= SPEEDUP_FLOOR

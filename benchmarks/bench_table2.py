@@ -91,7 +91,7 @@ def test_table2_every_width_exact(results):
     assert results[16]["tech1"].method == "transfer"
 
 
-def test_table2_n8_exact_under_budget(results):
+def test_table2_n8_exact_under_budget(results, record):
     """The 16.7M-situation n = 8 universe, exactly, within budget."""
     start = time.perf_counter()
     fresh = evaluate_adder(8)
@@ -110,6 +110,8 @@ def test_table2_n8_exact_under_budget(results):
         f"  batched gate-level sweep  {t_gate * 1e3:9.1f}ms"
         f"  ({t_functional / t_gate:.1f}x)"
     )
+    record("n8_gate_sweep", t_gate, speedup_vs_functional=t_functional / t_gate)
+    record("n8_functional", t_functional)
     assert t_gate < EXACT_BUDGET, f"n=8 exact sweep took {t_gate:.2f}s"
     assert t_functional / t_gate >= SPEEDUP_FLOOR, (
         f"gate sweep only {t_functional / t_gate:.1f}x faster than the "

@@ -39,7 +39,7 @@ def rca8():
     return ripple_carry_adder(8)
 
 
-def test_rca8_compact_set_10x_smaller_at_equal_coverage(rca8, once):
+def test_rca8_compact_set_10x_smaller_at_equal_coverage(rca8, once, record):
     start = time.perf_counter()
     campaign = run_stuck_at_campaign(rca8)
     t_campaign = time.perf_counter() - start
@@ -68,6 +68,9 @@ def test_rca8_compact_set_10x_smaller_at_equal_coverage(rca8, once):
           f"{t_atpg * 1e3:8.1f}ms  ({ratio:.0f}x smaller)")
     print(f"  compact-set replay    {'bit-identical':>13s}  "
           f"{t_replay * 1e3:8.1f}ms")
+    record("rca8_campaign", t_campaign)
+    record("rca8_atpg_greedy", t_atpg, compaction=ratio)
+    record("rca8_replay", t_replay)
     assert ratio >= COMPACTION_FLOOR, (
         f"compact set only {ratio:.1f}x smaller than the exhaustive sweep"
     )

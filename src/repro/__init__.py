@@ -26,6 +26,12 @@ The package provides:
 """
 
 from repro.core import SCK, SCKContext, current_context
+from repro.gates.backends import (
+    BACKEND_ENV,
+    DEFAULT_BACKEND,
+    list_backends,
+    resolve_backend_name,
+)
 from repro.tpg import (
     CompactTestSet,
     FaultDictionary,
@@ -56,6 +62,10 @@ __all__ = [
     "SCK",
     "SCKContext",
     "current_context",
+    "BACKEND_ENV",
+    "DEFAULT_BACKEND",
+    "list_backends",
+    "resolve_backend_name",
     "CompactTestSet",
     "FaultDictionary",
     "TestSpace",

@@ -98,6 +98,7 @@ from repro.faults.universe import (
     divider_fault_cases,
     multiplier_fault_cases,
 )
+from repro.gates.backends import resolve_backend_name
 from repro.gates.engine import (
     StuckAtCampaignResult,
     engine_for,
@@ -464,6 +465,7 @@ def _gate_case_counts(
     word_lo: int,
     word_hi: int,
     matrix_budget: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> List[_CaseCounts]:
     """Shard worker: sweep counts for collapsed cases [case_lo, case_hi)
     over sweep words [word_lo, word_hi).
@@ -477,7 +479,7 @@ def _gate_case_counts(
     exact partial counts the caller sums back together.
     """
     arch = table2_architecture(operator, width, cell_netlist)
-    engine = engine_for(arch.netlist)
+    engine = engine_for(arch.netlist, backend)
     names = _SPECS[operator].names
     rep_cases = [
         (group, position)
@@ -586,11 +588,13 @@ def _run_gate(
     word_chunk: int,
     fault_chunk: int,
     matrix_budget: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, CoverageStats]:
     if operator not in GATE_OPERATORS:
         raise SimulationError(
             f"the gate-level sweep covers {GATE_OPERATORS}, not {operator!r}"
         )
+    backend = resolve_backend_name(backend)
     arch = table2_architecture(operator, width, cell_netlist)
     n_cases = len(collapsed_cell_library(cell_netlist)) * len(arch.positions)
     n_workers = resolve_workers(workers, n_cases, cost=n_cases * arch.n_vectors)
@@ -604,7 +608,7 @@ def _run_gate(
         _gate_case_counts,
         [
             (operator, width, cell_netlist, word_chunk, fault_chunk,
-             case_lo, case_hi, word_lo, word_hi, matrix_budget)
+             case_lo, case_hi, word_lo, word_hi, matrix_budget, backend)
             for case_lo, case_hi, word_lo, word_hi in grid
         ],
     )
@@ -658,6 +662,7 @@ def _evaluate(
     word_chunk: int,
     fault_chunk: int,
     matrix_budget: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, CoverageStats]:
     if method not in EVALUATION_METHODS:
         raise SimulationError(
@@ -679,7 +684,7 @@ def _evaluate(
     if method == "gate":
         return _run_gate(
             operator, width, cell_netlist, workers, word_chunk, fault_chunk,
-            matrix_budget,
+            matrix_budget, backend,
         )
     if method == "transfer":
         return _run_transfer(operator, width, cell_netlist)
@@ -706,6 +711,7 @@ def evaluate_adder(
     word_chunk: int = GATE_WORD_CHUNK,
     fault_chunk: int = GATE_FAULT_CHUNK,
     matrix_budget: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, CoverageStats]:
     """Worst-case coverage of the overloaded ``+`` (Table 2).
 
@@ -722,7 +728,7 @@ def evaluate_adder(
     """
     return _evaluate(
         "add", width, cell_netlist, exhaustive_limit, samples, seed,
-        method, workers, word_chunk, fault_chunk, matrix_budget,
+        method, workers, word_chunk, fault_chunk, matrix_budget, backend,
     )
 
 
@@ -737,6 +743,7 @@ def evaluate_subtractor(
     word_chunk: int = GATE_WORD_CHUNK,
     fault_chunk: int = GATE_FAULT_CHUNK,
     matrix_budget: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, CoverageStats]:
     """Worst-case coverage of the overloaded ``-``.
 
@@ -749,7 +756,7 @@ def evaluate_subtractor(
     """
     return _evaluate(
         "sub", width, cell_netlist, exhaustive_limit, samples, seed,
-        method, workers, word_chunk, fault_chunk, matrix_budget,
+        method, workers, word_chunk, fault_chunk, matrix_budget, backend,
     )
 
 
@@ -764,6 +771,7 @@ def evaluate_multiplier(
     word_chunk: int = GATE_WORD_CHUNK,
     fault_chunk: int = GATE_FAULT_CHUNK,
     matrix_budget: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, CoverageStats]:
     """Worst-case coverage of the overloaded ``*``.
 
@@ -781,7 +789,7 @@ def evaluate_multiplier(
         raise SimulationError("multiplier coverage needs width >= 2")
     return _evaluate(
         "mul", width, cell_netlist, exhaustive_limit, samples, seed,
-        method, workers, word_chunk, fault_chunk, matrix_budget,
+        method, workers, word_chunk, fault_chunk, matrix_budget, backend,
     )
 
 
@@ -796,6 +804,7 @@ def evaluate_divider(
     word_chunk: int = GATE_WORD_CHUNK,
     fault_chunk: int = GATE_FAULT_CHUNK,
     matrix_budget: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, CoverageStats]:
     """Worst-case coverage of the overloaded ``/``.
 
@@ -811,7 +820,7 @@ def evaluate_divider(
     """
     return _evaluate(
         "div", width, cell_netlist, exhaustive_limit, samples, seed,
-        method, workers, word_chunk, fault_chunk, matrix_budget,
+        method, workers, word_chunk, fault_chunk, matrix_budget, backend,
     )
 
 
@@ -855,6 +864,7 @@ def evaluate_gate_level(
     collapse: bool = True,
     fault_dropping: bool = True,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Tuple[GateLevelCoverage, StuckAtCampaignResult]:
     """Batched stuck-at coverage of a gate-level netlist.
 
@@ -862,9 +872,9 @@ def evaluate_gate_level(
     bit-parallel pass against a shared golden run; by default the
     vector set is exhaustive over the primary inputs (the paper's
     full-adder universe is 32 faults against 8 vectors).  ``workers``
-    shards the fault list across processes (auto by universe size),
-    bit-identically.  Returns the aggregate stats plus the raw campaign
-    result.
+    shards the fault list across processes (auto by universe size) and
+    ``backend`` selects the execution backend, both bit-identically.
+    Returns the aggregate stats plus the raw campaign result.
     """
     from repro.faults.injector import run_sharded_stuck_at_campaign
 
@@ -874,6 +884,7 @@ def evaluate_gate_level(
         collapse=collapse,
         fault_dropping=fault_dropping,
         workers=workers,
+        backend=backend,
     )
     stats = GateLevelCoverage(
         netlist=netlist.name,
@@ -905,6 +916,7 @@ def evaluate_operator(
     method: str = "auto",
     workers: Optional[int] = None,
     matrix_budget: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, CoverageStats]:
     """Dispatch to the per-operator evaluator by name.
 
@@ -926,6 +938,7 @@ def evaluate_operator(
         method=method,
         workers=workers,
         matrix_budget=matrix_budget,
+        backend=backend,
     )
 
 

@@ -36,6 +36,7 @@ from repro.arch.alu import FaultableALU
 from repro.errors import CheckError, ReproError
 from repro.faults.model import FaultDescriptor
 from repro.faults.sharding import resolve_workers, run_sharded, shard_bounds
+from repro.gates.backends import resolve_backend_name
 from repro.gates.engine import StuckAtCampaignResult, run_stuck_at_campaign
 from repro.gates.faults import StuckAtFault, default_fault_universe
 from repro.gates.netlist import Netlist
@@ -159,14 +160,21 @@ def _campaign_shard(
     faults: List[StuckAtFault],
     collapse: bool,
     fault_dropping: bool,
+    backend: Optional[str] = None,
 ) -> StuckAtCampaignResult:
-    """Shard worker: the batched campaign over one fault-list slice."""
+    """Shard worker: the batched campaign over one fault-list slice.
+
+    ``backend`` arrives pre-resolved from the parent, so every worker
+    process re-selects the same execution backend regardless of its own
+    environment and sharded merges stay bit-identical.
+    """
     return run_stuck_at_campaign(
         netlist,
         inputs=vectors,
         faults=faults,
         collapse=collapse,
         fault_dropping=fault_dropping,
+        backend=backend,
     )
 
 
@@ -177,6 +185,7 @@ def run_sharded_stuck_at_campaign(
     collapse: bool = True,
     fault_dropping: bool = True,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> StuckAtCampaignResult:
     """:func:`~repro.gates.engine.run_stuck_at_campaign` with fault sharding.
 
@@ -188,7 +197,10 @@ def run_sharded_stuck_at_campaign(
     count; ``n_simulated_runs``/``groups`` reflect the per-shard
     collapsing actually performed.  ``workers=None`` auto-selects by
     universe size (faults x vectors) and machine parallelism.
+    ``backend`` selects the execution backend; it is resolved once here
+    and the resolved name is handed to every worker.
     """
+    backend = resolve_backend_name(backend)
     fault_seq: Tuple[StuckAtFault, ...] = (
         tuple(faults) if faults is not None else default_fault_universe(netlist)
     )
@@ -214,12 +226,14 @@ def run_sharded_stuck_at_campaign(
             faults=fault_seq if faults is not None else None,
             collapse=collapse,
             fault_dropping=fault_dropping,
+            backend=backend,
         )
     bounds = shard_bounds(len(fault_seq), n_workers)
     parts = run_sharded(
         _campaign_shard,
         [
-            (netlist, vectors, list(fault_seq[lo:hi]), collapse, fault_dropping)
+            (netlist, vectors, list(fault_seq[lo:hi]), collapse, fault_dropping,
+             backend)
             for lo, hi in bounds
         ],
     )
@@ -244,6 +258,7 @@ def run_gate_level_campaign(
     collapse: bool = True,
     fault_dropping: bool = True,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Tuple[CampaignResult, StuckAtCampaignResult]:
     """Batched stuck-at campaign over a gate-level netlist.
 
@@ -253,7 +268,9 @@ def run_gate_level_campaign(
     fault dropping.  ``vectors`` maps primary inputs to 0/1 arrays (all
     the same length); by default the exhaustive vector set is applied.
     ``workers`` shards the fault list across processes (``None``
-    auto-selects by universe size) with bit-identical classifications.
+    auto-selects by universe size) and ``backend`` selects the
+    execution backend (:mod:`repro.gates.backends`), both with
+    bit-identical classifications.
 
     A fault whose outputs diverge from the golden run on some vector is
     ``detected``; one that never diverges is ``escaped`` (at the bare
@@ -269,6 +286,7 @@ def run_gate_level_campaign(
         collapse=collapse,
         fault_dropping=fault_dropping,
         workers=workers,
+        backend=backend,
     )
     result = CampaignResult()
     for fault, hit in zip(raw.faults, raw.detected):

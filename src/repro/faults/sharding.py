@@ -11,7 +11,11 @@ bit-identical for any worker count -- the invariance property
 Workers are plain module-level functions taking picklable arguments
 (operator names, widths, index ranges) and rebuilding netlists and
 engines locally; on fork-based platforms they inherit the parent's warm
-caches for free.
+caches for free.  Campaign callers resolve the execution backend
+(:mod:`repro.gates.backends`) *before* sharding and pass the resolved
+name in every worker's argument tuple, so a worker re-selects the same
+backend regardless of its own environment and merges stay bit-identical
+whatever ``REPRO_BACKEND`` says in parent or child.
 """
 
 from __future__ import annotations

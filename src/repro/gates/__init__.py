@@ -24,6 +24,11 @@ This package models combinational circuits at the structural gate level:
   (:func:`run_stuck_at_campaign`), and the streaming helpers
   (:func:`engine.exhaustive_word_range`, :func:`engine.popcount_words`)
   that let exhaustive sweeps run in O(chunk) memory;
+* :mod:`repro.gates.backends` -- the pluggable execution layer under
+  the engine: the ``python_loop`` reference loop, the levelized
+  ``fused`` default, the optional ``numba`` JIT and the ``reference``
+  interpreter, selected per call via ``backend=`` or the
+  ``REPRO_BACKEND`` environment variable, all bit-identical;
 * :mod:`repro.gates.simulate` -- the public simulation surface:
   :class:`NetlistSimulator` (thin adapter over the compiled engine),
   cached one-shot :func:`simulate` / :func:`simulate_vector`, and the
@@ -39,6 +44,15 @@ fault list of the standard five-gate full adder built here.
 """
 
 from repro.gates.netlist import Gate, Net, Netlist
+from repro.gates.backends import (
+    BACKEND_ENV,
+    DEFAULT_BACKEND,
+    Backend,
+    backend_unavailable_reason,
+    list_backends,
+    register_backend,
+    resolve_backend_name,
+)
 from repro.gates.cells import CELL_LIBRARY, CellType, cell_function
 from repro.gates.compile import CompiledNetlist, compile_netlist
 from repro.gates.engine import (
@@ -70,6 +84,13 @@ __all__ = [
     "Gate",
     "Net",
     "Netlist",
+    "BACKEND_ENV",
+    "DEFAULT_BACKEND",
+    "Backend",
+    "backend_unavailable_reason",
+    "list_backends",
+    "register_backend",
+    "resolve_backend_name",
     "CELL_LIBRARY",
     "CellType",
     "cell_function",

@@ -1,0 +1,146 @@
+"""Pluggable execution backends for the bit-parallel engine.
+
+The :class:`~repro.gates.backends.base.Backend` protocol separates
+*what* is evaluated (the flat :class:`~repro.gates.compile.CompiledNetlist`
+arrays plus :class:`~repro.gates.backends.plan.OverridePlan` fault
+overrides) from *how*: every consumer of the engine -- campaigns,
+coverage sweeps, fault dictionaries, ATPG -- runs unchanged on any
+registered backend, and all backends are bit-identical on every path.
+
+Registered backends:
+
+``python_loop``
+    The original per-gate NumPy ufunc loop, kept verbatim as the
+    reference implementation (:mod:`.python_loop`).
+``fused``
+    Levelized batched evaluation with tainted-prefix fault walks and a
+    persistent workspace -- the default and the fast path
+    (:mod:`.fused`).
+``numba``
+    Optional JIT CSR walk; registered only when numba is importable,
+    otherwise reported unavailable with a clear reason
+    (:mod:`.numba_backend`).
+``reference``
+    The cell-library interpreter under the backend protocol, so
+    differential tests can enumerate the registry instead of
+    hand-listing oracles (:mod:`.reference`).
+
+Selection precedence: an explicit ``backend=`` keyword anywhere in the
+stack beats the ``REPRO_BACKEND`` environment variable, which beats
+:data:`DEFAULT_BACKEND`.  Worker processes of sharded campaigns receive
+the already-resolved name, so one flag switches the whole stack
+bit-identically.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.gates.backends.base import Backend
+from repro.gates.backends.plan import FaultGroup, OverridePlan
+from repro.gates.backends.fused import FusedBackend
+from repro.gates.backends.python_loop import PythonLoopBackend
+from repro.gates.backends.reference import ReferenceBackend
+from repro.gates.backends import numba_backend as _numba_module
+from repro.gates.compile import CompiledNetlist
+
+#: Environment variable naming the default backend for the process.
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: Built-in default when neither a keyword nor the env var selects one.
+DEFAULT_BACKEND = "fused"
+
+#: name -> factory for available backends (insertion order = listing order).
+_REGISTRY: Dict[str, Callable[[CompiledNetlist], Backend]] = {}
+
+#: name -> reason for backends that are known but not usable here.
+_UNAVAILABLE: Dict[str, str] = {}
+
+
+def register_backend(
+    name: str,
+    factory: Optional[Callable[[CompiledNetlist], Backend]],
+    unavailable_reason: Optional[str] = None,
+) -> None:
+    """Register an execution backend under ``name``.
+
+    ``factory(compiled)`` must return a bound :class:`Backend`.  Pass
+    ``factory=None`` with an ``unavailable_reason`` to register a known
+    backend that cannot run in this environment (e.g. a missing
+    optional dependency): selecting it raises a clear error instead of
+    an import failure, and :func:`list_backends` skips it.
+    """
+    if factory is None:
+        _UNAVAILABLE[name] = unavailable_reason or "unavailable"
+        _REGISTRY.pop(name, None)
+        return
+    _UNAVAILABLE.pop(name, None)
+    _REGISTRY[name] = factory
+
+
+def list_backends() -> Tuple[str, ...]:
+    """Names of the backends that can actually run here, in registry order."""
+    return tuple(_REGISTRY)
+
+
+def backend_unavailable_reason(name: str) -> Optional[str]:
+    """Why ``name`` cannot run here (``None`` if it can, or is unknown)."""
+    return _UNAVAILABLE.get(name)
+
+
+def resolve_backend_name(backend: Optional[str] = None) -> str:
+    """Resolve a backend selection to a registered name.
+
+    Precedence: the explicit ``backend`` argument, then the
+    ``REPRO_BACKEND`` environment variable, then
+    :data:`DEFAULT_BACKEND`.  Unknown or unavailable selections raise
+    :class:`~repro.errors.SimulationError` naming the alternatives.
+    """
+    source = "backend="
+    if backend is None:
+        env = os.environ.get(BACKEND_ENV)
+        if env:
+            backend, source = env, f"{BACKEND_ENV}="
+        else:
+            return DEFAULT_BACKEND
+    if backend in _REGISTRY:
+        return backend
+    reason = _UNAVAILABLE.get(backend)
+    if reason is not None:
+        raise SimulationError(
+            f"backend {source}{backend!r} is unavailable: {reason}; "
+            f"available backends: {list(list_backends())}"
+        )
+    raise SimulationError(
+        f"unknown backend {source}{backend!r}; "
+        f"available backends: {list(list_backends())}"
+    )
+
+
+def create_backend(backend: Optional[str], compiled: CompiledNetlist) -> Backend:
+    """Instantiate the selected backend bound to ``compiled``."""
+    return _REGISTRY[resolve_backend_name(backend)](compiled)
+
+
+register_backend(PythonLoopBackend.name, PythonLoopBackend)
+register_backend(FusedBackend.name, FusedBackend)
+if _numba_module.NumbaBackend is not None:
+    register_backend(_numba_module.NumbaBackend.name, _numba_module.NumbaBackend)
+else:
+    register_backend("numba", None, _numba_module.UNAVAILABLE_REASON)
+register_backend(ReferenceBackend.name, ReferenceBackend)
+
+__all__ = [
+    "Backend",
+    "OverridePlan",
+    "FaultGroup",
+    "BACKEND_ENV",
+    "DEFAULT_BACKEND",
+    "register_backend",
+    "list_backends",
+    "backend_unavailable_reason",
+    "resolve_backend_name",
+    "create_backend",
+]

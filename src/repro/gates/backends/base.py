@@ -1,0 +1,133 @@
+"""The execution-backend protocol of the bit-parallel engine.
+
+A backend is bound to one :class:`~repro.gates.compile.CompiledNetlist`
+and implements the word-level evaluation kernels every higher layer
+(campaigns, coverage sweeps, fault dictionaries, ATPG) is built on.
+Words are always uint64 with 64 test vectors per word, in the layout of
+:func:`repro.gates.engine.exhaustive_word_range`.
+
+Two kernels are primitive:
+
+* :meth:`Backend.run_words` -- fault-free evaluation of every net;
+* :meth:`Backend.run_matrix` -- fault-major evaluation under an
+  :class:`~repro.gates.backends.plan.OverridePlan`: row ``r`` of every
+  net matrix is the behaviour under the plan's ``r``-th fault group
+  (rows beyond the plan are override-free, i.e. golden).
+
+Two more are derived with default implementations here, so a minimal
+backend only writes the first two; fast backends override them:
+
+* :meth:`Backend.run_outputs` -- primary-output rows only;
+* :meth:`Backend.run_detect` -- per-row *detection words*: the OR over
+  primary outputs of ``faulty XOR fault-free``, which is the single
+  quantity campaigns, dictionaries and ATPG actually consume.
+
+Bit-identity contract: every backend must produce bit-identical results
+on every path -- ``run_matrix`` matrices equal element-wise, derived
+kernels equal element-wise.  The differential suite
+(``tests/test_backends.py``) enumerates the registry and asserts this.
+
+Aliasing contract: ``run_words`` / ``run_matrix`` may return views into
+a backend-internal workspace that are only valid until the next kernel
+call on the same backend; ``run_outputs`` / ``run_detect`` always
+return caller-owned arrays.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import ClassVar, List, Optional, Tuple
+
+import numpy as np
+
+from repro.gates.backends.plan import OverridePlan
+from repro.gates.compile import OP_AND, OP_OR, OP_XOR, CompiledNetlist
+
+#: base opcode -> binary ufunc (None = copy/NOT) -- the single lowering
+#: table shared by the NumPy backends, so a new base opcode only needs
+#: registering here.
+UFUNCS = {OP_AND: np.bitwise_and, OP_OR: np.bitwise_or, OP_XOR: np.bitwise_xor}
+
+#: One resolved per-gate dispatch tuple:
+#: (ufunc-or-None, invert, [operand net ids], output net id).
+GateOp = Tuple[Optional[np.ufunc], bool, List[int], int]
+
+
+def gate_program(compiled: CompiledNetlist) -> List[GateOp]:
+    """Per-gate dispatch tuples in topological order.
+
+    Resolved once at backend bind time so hot loops do no attribute
+    lookups, slicing arithmetic or opcode branching.
+    """
+    offsets = compiled.operand_offsets
+    return [
+        (
+            UFUNCS.get(int(compiled.base_ops[g])),
+            bool(compiled.inverts[g]),
+            [int(i) for i in compiled.operands[offsets[g] : offsets[g + 1]]],
+            int(compiled.gate_output_ids[g]),
+        )
+        for g in range(compiled.n_gates)
+    ]
+
+
+class Backend(ABC):
+    """One execution strategy bound to a compiled netlist."""
+
+    #: Registry name; class attribute set by each implementation.
+    name: ClassVar[str] = "abstract"
+
+    def __init__(self, compiled: CompiledNetlist) -> None:
+        self.compiled = compiled
+        self._input_ids = [int(i) for i in compiled.input_ids]
+        self._output_ids = [int(i) for i in compiled.output_ids]
+
+    # ------------------------------------------------------------------
+    # Primitive kernels
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def run_words(self, words: np.ndarray) -> np.ndarray:
+        """Fault-free evaluation of every net.
+
+        ``words`` is ``(n_inputs, n_words)`` packed input rows; returns
+        a ``(n_nets, n_words)`` matrix indexed by compiled net id.
+        """
+
+    @abstractmethod
+    def run_matrix(
+        self, words: np.ndarray, plan: OverridePlan, n_rows: int
+    ) -> np.ndarray:
+        """Fault-major evaluation: ``(n_nets, n_rows, n_words)``.
+
+        Row ``r`` of every net matrix is the behaviour under the
+        ``r``-th fault group of ``plan``; rows ``plan.n_rows`` and
+        beyond carry no overrides and evaluate to the fault-free run
+        (the campaign's ride-along golden row).
+        """
+
+    # ------------------------------------------------------------------
+    # Derived kernels (default implementations)
+    # ------------------------------------------------------------------
+    def run_outputs(
+        self, words: np.ndarray, plan: OverridePlan, n_rows: int
+    ) -> np.ndarray:
+        """Primary-output rows only, ``(n_outputs, n_rows, n_words)``."""
+        return self.run_matrix(words, plan, n_rows)[self._output_ids]
+
+    def run_detect(
+        self, words: np.ndarray, plan: OverridePlan, n_rows: int
+    ) -> np.ndarray:
+        """Detection words vs the fault-free run, ``(n_rows, n_words)``.
+
+        Lane ``v % 64`` of word ``v // 64`` in row ``r`` is set iff some
+        primary output differs from the golden run for vector ``v``
+        under fault group ``r``.  The default implementation rides one
+        override-free golden row along the fault matrix -- exactly the
+        historical campaign inner loop.
+        """
+        vals = self.run_matrix(words, plan, n_rows + 1)
+        diff: np.ndarray = np.zeros((n_rows, words.shape[1]), dtype=np.uint64)
+        for out_id in self._output_ids:
+            out = vals[out_id]
+            diff |= out[:-1] ^ out[-1]
+        return diff

@@ -1,0 +1,218 @@
+"""Optional numba-JIT execution backend.
+
+A nopython CSR walk over the flat :class:`CompiledNetlist` arrays: one
+compiled machine loop over (gate, fault row, word) replaces the NumPy
+ufunc dispatch entirely, which pays off on small word counts where the
+per-call overhead of the array backends dominates.  Overrides are
+lowered to flat CSR arrays (per-net stem entries, per-gate branch
+entries) so the kernel needs no dict lookups.
+
+numba is an *optional* dependency: when it is not importable this
+module still imports cleanly, exposes ``NumbaBackend = None`` plus
+:data:`UNAVAILABLE_REASON`, and the registry reports the backend as
+unavailable with that reason instead of failing at import time
+(:func:`repro.gates.backends.create_backend` raises a clear
+:class:`~repro.errors.SimulationError` if it is selected anyway).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.gates.backends.base import Backend
+from repro.gates.backends.plan import OverridePlan
+from repro.gates.compile import OP_AND, OP_OR, OP_XOR, CompiledNetlist
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    UNAVAILABLE_REASON: Optional[str] = None
+except ImportError:  # pragma: no cover - the common CI case
+    numba = None
+    UNAVAILABLE_REASON = "numba is not installed"
+
+
+def _stem_csr(plan: OverridePlan, n_nets: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-net CSR of (row, stuck word) stem entries."""
+    counts = np.zeros(n_nets + 1, dtype=np.int64)
+    for nid, (rows, _) in plan.stem.items():
+        counts[nid + 1] += len(rows)
+    ptr = np.cumsum(counts)
+    rows_arr = np.empty(ptr[-1], dtype=np.int64)
+    vals_arr = np.empty(ptr[-1], dtype=np.uint64)
+    cursor = ptr[:-1].copy()
+    for nid, (rows, consts) in plan.stem.items():
+        for i, r in enumerate(rows):
+            slot = cursor[nid]
+            rows_arr[slot] = r
+            vals_arr[slot] = consts[i, 0]
+            cursor[nid] += 1
+    return ptr, rows_arr, vals_arr
+
+
+def _branch_csr(
+    plan: OverridePlan, n_gates: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-gate CSR of (pin, row, stuck word) branch entries."""
+    counts = np.zeros(n_gates + 1, dtype=np.int64)
+    for g, pins in plan.branch_by_gate.items():
+        counts[g + 1] += sum(len(rows) for rows, _ in pins.values())
+    ptr = np.cumsum(counts)
+    pins_arr = np.empty(ptr[-1], dtype=np.int64)
+    rows_arr = np.empty(ptr[-1], dtype=np.int64)
+    vals_arr = np.empty(ptr[-1], dtype=np.uint64)
+    cursor = ptr[:-1].copy()
+    for g, pins in plan.branch_by_gate.items():
+        for pin, (rows, consts) in pins.items():
+            for i, r in enumerate(rows):
+                slot = cursor[g]
+                pins_arr[slot] = pin
+                rows_arr[slot] = r
+                vals_arr[slot] = consts[i, 0]
+                cursor[g] += 1
+    return ptr, pins_arr, rows_arr, vals_arr
+
+
+if numba is not None:  # pragma: no cover - exercised only with numba
+
+    @numba.njit(cache=True)
+    def _matrix_kernel(
+        base_ops,
+        inverts,
+        op_offsets,
+        operands,
+        gate_out_ids,
+        input_ids,
+        words,
+        stem_ptr,
+        stem_rows,
+        stem_vals,
+        br_ptr,
+        br_pins,
+        br_rows,
+        br_vals,
+        vals,
+    ):
+        n_rows = vals.shape[1]
+        n_words = vals.shape[2]
+        all_ones = np.uint64(0xFFFFFFFFFFFFFFFF)
+        for k in range(input_ids.shape[0]):
+            nid = input_ids[k]
+            for f in range(n_rows):
+                for w in range(n_words):
+                    vals[nid, f, w] = words[k, w]
+            for s in range(stem_ptr[nid], stem_ptr[nid + 1]):
+                r = stem_rows[s]
+                v = stem_vals[s]
+                for w in range(n_words):
+                    vals[nid, r, w] = v
+        n_gates = base_ops.shape[0]
+        for g in range(n_gates):
+            lo = op_offsets[g]
+            arity = op_offsets[g + 1] - lo
+            out = gate_out_ids[g]
+            base = base_ops[g]
+            blo, bhi = br_ptr[g], br_ptr[g + 1]
+            for f in range(n_rows):
+                # Pin 0, possibly branch-overridden for this row.
+                nid0 = operands[lo]
+                ov0 = False
+                c0 = np.uint64(0)
+                for s in range(blo, bhi):
+                    if br_pins[s] == 0 and br_rows[s] == f:
+                        ov0 = True
+                        c0 = br_vals[s]
+                if ov0:
+                    for w in range(n_words):
+                        vals[out, f, w] = c0
+                else:
+                    for w in range(n_words):
+                        vals[out, f, w] = vals[nid0, f, w]
+                for p in range(1, arity):
+                    nid = operands[lo + p]
+                    ovp = False
+                    cp = np.uint64(0)
+                    for s in range(blo, bhi):
+                        if br_pins[s] == p and br_rows[s] == f:
+                            ovp = True
+                            cp = br_vals[s]
+                    # numba treats the module-level opcode ints as
+                    # compile-time constants, so this chain costs the
+                    # same as hard-coded literals.
+                    if base == OP_AND:
+                        if ovp:
+                            for w in range(n_words):
+                                vals[out, f, w] &= cp
+                        else:
+                            for w in range(n_words):
+                                vals[out, f, w] &= vals[nid, f, w]
+                    elif base == OP_OR:
+                        if ovp:
+                            for w in range(n_words):
+                                vals[out, f, w] |= cp
+                        else:
+                            for w in range(n_words):
+                                vals[out, f, w] |= vals[nid, f, w]
+                    elif base == OP_XOR:
+                        if ovp:
+                            for w in range(n_words):
+                                vals[out, f, w] ^= cp
+                        else:
+                            for w in range(n_words):
+                                vals[out, f, w] ^= vals[nid, f, w]
+                if inverts[g]:
+                    for w in range(n_words):
+                        vals[out, f, w] = vals[out, f, w] ^ all_ones
+            for s in range(stem_ptr[out], stem_ptr[out + 1]):
+                r = stem_rows[s]
+                v = stem_vals[s]
+                for w in range(n_words):
+                    vals[out, r, w] = v
+
+
+if numba is None:
+    NumbaBackend = None
+else:  # pragma: no cover - exercised only where numba is installed
+
+    class NumbaBackend(Backend):
+        """JIT CSR walk; results bit-identical to the array backends."""
+
+        name = "numba"
+
+        def __init__(self, compiled: CompiledNetlist) -> None:
+            super().__init__(compiled)
+            c = compiled
+            self._args = (
+                np.asarray(c.base_ops, dtype=np.uint8),
+                np.asarray(c.inverts, dtype=np.bool_),
+                np.asarray(c.operand_offsets, dtype=np.int64),
+                np.asarray(c.operands, dtype=np.int64),
+                np.asarray(c.gate_output_ids, dtype=np.int64),
+                np.asarray(c.input_ids, dtype=np.int64),
+            )
+
+        def run_words(self, words: np.ndarray) -> np.ndarray:
+            return self.run_matrix(words, OverridePlan(self.compiled, []), 1)[:, 0, :]
+
+        def run_matrix(
+            self, words: np.ndarray, plan: OverridePlan, n_rows: int
+        ) -> np.ndarray:
+            c = self.compiled
+            vals = np.empty((c.n_nets, n_rows, words.shape[1]), dtype=np.uint64)
+            stem_ptr, stem_rows, stem_vals = _stem_csr(plan, c.n_nets)
+            br_ptr, br_pins, br_rows, br_vals = _branch_csr(plan, c.n_gates)
+            _matrix_kernel(
+                *self._args,
+                np.ascontiguousarray(words, dtype=np.uint64),
+                stem_ptr,
+                stem_rows,
+                stem_vals,
+                br_ptr,
+                br_pins,
+                br_rows,
+                br_vals,
+                vals,
+            )
+            return vals

@@ -1,0 +1,122 @@
+"""Pre-resolved stuck-at override plans shared by every execution backend.
+
+An :class:`OverridePlan` is the backend-facing form of a fault batch:
+row ``r`` of a fault-major evaluation simulates ``faults[r]`` -- a
+single :class:`~repro.gates.faults.StuckAtFault` or a sequence applied
+simultaneously (a multi-site fault group).  Stems are applied to a
+net's value right after it is produced; branches override the value
+seen by one specific gate input pin only.  The plan resolves every
+site to compiled ids once, so backends consume plain
+``{net id -> (row list, constant column)}`` maps with no name lookups
+in their hot loops.
+
+The plan also records ``row_levels`` -- per row, the topological level
+at which the row can first diverge from the fault-free run: the
+shallowest *reading gate* over the row's fault sites (``depth + 1``
+for rows with no sites, i.e. ride-along golden rows).  This is purely
+a scheduling hint -- the ``fused`` backend sorts rows by it so each
+gate evaluates only a tainted row prefix
+(:mod:`repro.gates.backends.fused`); correctness never depends on it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.gates.compile import CompiledNetlist
+from repro.gates.faults import StuckAtFault
+
+ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: One matrix row simulates either a single fault or a *group* of faults
+#: applied together (e.g. the same cell-level fault replicated into the
+#: nominal and checking copies of a functional unit).
+FaultGroup = Union[StuckAtFault, Sequence[StuckAtFault]]
+
+
+def _stuck_column(values: List[int]) -> np.ndarray:
+    """Per-row stuck constants as an ``(n, 1)`` uint64 column."""
+    col = np.empty((len(values), 1), dtype=np.uint64)
+    for i, v in enumerate(values):
+        col[i, 0] = ALL_ONES if v else 0
+    return col
+
+
+class OverridePlan:
+    """Pre-resolved stuck-at overrides for one fault-matrix evaluation.
+
+    Row indices stay plain lists -- they feed NumPy fancy indexing
+    directly and building ndarray objects per site costs more than it
+    saves at these sizes.  ``stem`` maps a net id to ``(rows, column)``;
+    ``branch_by_gate`` maps a compiled gate index to per-pin entries of
+    the same shape.
+    """
+
+    def __init__(self, compiled: CompiledNetlist, faults: Sequence[FaultGroup]) -> None:
+        stem: Dict[int, Tuple[List[int], List[int]]] = {}
+        branch: Dict[int, Dict[int, Tuple[List[int], List[int]]]] = {}
+        self.n_rows = len(faults)
+        untainted = compiled.depth + 1
+        row_levels = np.full(self.n_rows, untainted, dtype=np.int64)
+        for row, entry_faults in enumerate(faults):
+            group = (
+                (entry_faults,)
+                if isinstance(entry_faults, StuckAtFault)
+                else tuple(entry_faults)
+            )
+            for fault in group:
+                site_level = self._add(compiled, stem, branch, row, fault)
+                if site_level < row_levels[row]:
+                    row_levels[row] = site_level
+        self.row_levels = row_levels
+        # Each site becomes one fancy assignment: rows plus a per-row
+        # constant column (0 or all-ones) broadcast across the words.
+        self.stem = {
+            nid: (rows, _stuck_column(values)) for nid, (rows, values) in stem.items()
+        }
+        self.branch_by_gate = {
+            gate: {
+                pin: (rows, _stuck_column(values))
+                for pin, (rows, values) in pins.items()
+            }
+            for gate, pins in branch.items()
+        }
+
+    @staticmethod
+    def _add(
+        compiled: CompiledNetlist,
+        stem: Dict[int, Tuple[List[int], List[int]]],
+        branch: Dict[int, Dict[int, Tuple[List[int], List[int]]]],
+        row: int,
+        fault: StuckAtFault,
+    ) -> int:
+        """Register one site; returns the site's first-divergence level."""
+        if fault.site.is_stem:
+            nid = compiled.net_id(fault.site.net)
+            entry = stem.get(nid)
+            if entry is None:
+                entry = stem[nid] = ([], [])
+            entry[0].append(row)
+            entry[1].append(fault.value)
+            # A stem becomes observable at its shallowest reader (or,
+            # for read-free output nets, right where it is produced).
+            lo, hi = compiled.fanout_offsets[nid], compiled.fanout_offsets[nid + 1]
+            if hi > lo:
+                return int(compiled.gate_levels[compiled.fanout_gates[lo:hi]].min())
+            return int(compiled.net_levels[nid])
+        gate_name, pin = fault.site.branch
+        gate, pin = compiled.pin_id(gate_name, pin)
+        pins = branch.setdefault(gate, {})
+        entry = pins.get(pin)
+        if entry is None:
+            entry = pins[pin] = ([], [])
+        entry[0].append(row)
+        entry[1].append(fault.value)
+        return int(compiled.gate_levels[gate])
+
+    @staticmethod
+    def apply(entry: Tuple[List[int], np.ndarray], values: np.ndarray) -> None:
+        rows, consts = entry
+        values[rows] = consts

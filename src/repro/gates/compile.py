@@ -17,7 +17,11 @@ bit-parallel engine (:mod:`repro.gates.engine`) consumes:
   fanout_gates, fanout_pins)``: the pins reading net ``n`` are rows
   ``fanout_offsets[n]:fanout_offsets[n+1]``;
 * the topological order itself is computed once and cached with the
-  compiled object.
+  compiled object, along with the *levelization* (``gate_levels`` /
+  ``net_levels``): gates grouped by longest distance from the primary
+  inputs, which is what lets the ``fused`` execution backend
+  (:mod:`repro.gates.backends.fused`) replace the per-gate dispatch
+  loop with batched per-level NumPy calls.
 
 Compilation results are memoised per source netlist and invalidated via
 :attr:`Netlist.version`, so hot paths that repeatedly wrap the same
@@ -80,6 +84,8 @@ class CompiledNetlist:
     fanout_offsets: np.ndarray  # (n_nets + 1,) int32
     fanout_gates: np.ndarray  # compiled gate index per reader pin
     fanout_pins: np.ndarray  # pin index per reader pin
+    gate_levels: np.ndarray  # (n_gates,) int32, 1 + max operand level
+    net_levels: np.ndarray  # (n_nets,) int32, 0 for primary inputs
 
     @property
     def n_nets(self) -> int:
@@ -96,6 +102,11 @@ class CompiledNetlist:
     @property
     def n_outputs(self) -> int:
         return len(self.output_ids)
+
+    @property
+    def depth(self) -> int:
+        """Deepest gate level (0 for a gate-free netlist)."""
+        return int(self.gate_levels.max()) if len(self.gate_levels) else 0
 
     def net_id(self, net: str) -> int:
         """Resolve a net name to its compiled id."""
@@ -170,6 +181,22 @@ def _lower(netlist: Netlist, ordered: List[Gate]) -> CompiledNetlist:
     operands = np.array(flat_operands, dtype=np.int32)
     n_nets = len(net_names)
 
+    # Levelization: longest distance from the primary inputs.  Inputs
+    # (and any net first seen as a gate operand) sit at level 0; a gate
+    # is one past its deepest operand.  Topological order makes the
+    # single forward pass exact.
+    net_levels = np.zeros(n_nets, dtype=np.int32)
+    gate_levels = np.empty(len(ordered), dtype=np.int32)
+    for g in range(len(ordered)):
+        lo, hi = operand_offsets[g], operand_offsets[g + 1]
+        level = 0
+        for k in range(lo, hi):
+            opl = net_levels[flat_operands[k]]
+            if opl > level:
+                level = opl
+        gate_levels[g] = level + 1
+        net_levels[gate_output_ids[g]] = level + 1
+
     # Transposed CSR: readers of each net, ordered by compiled gate/pin.
     counts = np.zeros(n_nets + 1, dtype=np.int32)
     for nid in flat_operands:
@@ -203,6 +230,8 @@ def _lower(netlist: Netlist, ordered: List[Gate]) -> CompiledNetlist:
         fanout_offsets=fanout_offsets,
         fanout_gates=fanout_gates,
         fanout_pins=fanout_pins,
+        gate_levels=gate_levels,
+        net_levels=net_levels,
     )
 
 

@@ -35,24 +35,32 @@ Fault semantics match the reference interpreter
 overrides the net value seen by all readers and by primary outputs; a
 *branch* fault overrides the value seen by one specific gate input pin
 only.
+
+Execution itself is pluggable (:mod:`repro.gates.backends`): the engine
+binds one backend per instance -- the verbatim ``python_loop``, the
+levelized ``fused`` default, the optional ``numba`` JIT, or the
+``reference`` interpreter -- selected by the ``backend=`` keyword, the
+``REPRO_BACKEND`` environment variable, or the registry default, in
+that order.  All backends are bit-identical on every path.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.errors import SimulationError
-from repro.gates.compile import (
-    OP_AND,
-    OP_OR,
-    OP_XOR,
-    CompiledNetlist,
-    compile_netlist,
+from repro.gates.backends import (
+    Backend,
+    FaultGroup,
+    OverridePlan,
+    create_backend,
+    resolve_backend_name,
 )
+from repro.gates.compile import CompiledNetlist, compile_netlist
 from repro.gates.faults import (
     StuckAtFault,
     default_equivalence_groups,
@@ -271,85 +279,8 @@ def matrix_word_chunk(
     return max(8, min(max(1, word_chunk), resolved // (8 * max(1, row_cells))))
 
 
-def _stuck_column(values: List[int]) -> np.ndarray:
-    """Per-row stuck constants as an ``(n, 1)`` uint64 column."""
-    col = np.empty((len(values), 1), dtype=np.uint64)
-    for i, v in enumerate(values):
-        col[i, 0] = ALL_ONES if v else 0
-    return col
-
-
-#: One matrix row simulates either a single fault or a *group* of faults
-#: applied together (e.g. the same cell-level fault replicated into the
-#: nominal and checking copies of a functional unit).
-FaultGroup = Union[StuckAtFault, Sequence[StuckAtFault]]
-
-
-class _OverridePlan:
-    """Pre-resolved stuck-at overrides for one fault-matrix evaluation.
-
-    Row ``r`` of the matrix simulates ``faults[r]`` -- a single
-    :class:`StuckAtFault` or a sequence applied simultaneously (a
-    multi-site fault group).  Stems are applied to a net's value right
-    after it is produced; branches are applied to the (already copied)
-    pin matrix while evaluating the reading gate.  Row indices stay
-    plain lists -- they feed NumPy fancy indexing directly and building
-    ndarray objects per site costs more than it saves at these sizes.
-    """
-
-    def __init__(self, compiled: CompiledNetlist, faults: Sequence[FaultGroup]) -> None:
-        stem: Dict[int, Tuple[List[int], List[int]]] = {}
-        branch: Dict[int, Dict[int, Tuple[List[int], List[int]]]] = {}
-        for row, entry_faults in enumerate(faults):
-            group = (
-                (entry_faults,)
-                if isinstance(entry_faults, StuckAtFault)
-                else tuple(entry_faults)
-            )
-            for fault in group:
-                self._add(compiled, stem, branch, row, fault)
-        # Each site becomes one fancy assignment: rows plus a per-row
-        # constant column (0 or all-ones) broadcast across the words.
-        self.stem = {
-            nid: (rows, _stuck_column(values)) for nid, (rows, values) in stem.items()
-        }
-        self.branch_by_gate = {
-            gate: {
-                pin: (rows, _stuck_column(values))
-                for pin, (rows, values) in pins.items()
-            }
-            for gate, pins in branch.items()
-        }
-
-    @staticmethod
-    def _add(
-        compiled: CompiledNetlist,
-        stem: Dict[int, Tuple[List[int], List[int]]],
-        branch: Dict[int, Dict[int, Tuple[List[int], List[int]]]],
-        row: int,
-        fault: StuckAtFault,
-    ) -> None:
-        if fault.site.is_stem:
-            nid = compiled.net_id(fault.site.net)
-            entry = stem.get(nid)
-            if entry is None:
-                entry = stem[nid] = ([], [])
-            entry[0].append(row)
-            entry[1].append(fault.value)
-        else:
-            gate_name, pin = fault.site.branch
-            gate, pin = compiled.pin_id(gate_name, pin)
-            pins = branch.setdefault(gate, {})
-            entry = pins.get(pin)
-            if entry is None:
-                entry = pins[pin] = ([], [])
-            entry[0].append(row)
-            entry[1].append(fault.value)
-
-    @staticmethod
-    def apply(entry: Tuple[List[int], np.ndarray], values: np.ndarray) -> None:
-        rows, consts = entry
-        values[rows] = consts
+#: Backward-compatible alias: the plan now lives with the backends.
+_OverridePlan = OverridePlan
 
 
 @dataclass
@@ -407,32 +338,27 @@ class StuckAtCampaignResult:
 
 
 class BitParallelEngine:
-    """Word-parallel evaluator bound to one :class:`CompiledNetlist`."""
+    """Word-parallel evaluator bound to one :class:`CompiledNetlist`.
 
-    #: base opcode -> binary ufunc (None = copy/NOT)
-    _UFUNCS = {OP_AND: np.bitwise_and, OP_OR: np.bitwise_or, OP_XOR: np.bitwise_xor}
+    Evaluation itself is delegated to a pluggable execution backend
+    (:mod:`repro.gates.backends`): ``backend=`` selects one by name,
+    falling back to the ``REPRO_BACKEND`` environment variable and
+    then the registry default.  All backends are bit-identical, so the
+    choice only affects speed.
+    """
 
-    def __init__(self, compiled: CompiledNetlist) -> None:
+    def __init__(
+        self, compiled: CompiledNetlist, backend: Optional[str] = None
+    ) -> None:
         self.compiled = compiled
-        offsets = compiled.operand_offsets
-        # Per-gate dispatch tuples, resolved once so the hot loop does no
-        # attribute lookups, slicing arithmetic or opcode branching:
-        # (ufunc-or-None, invert, [operand net ids], output net id).
-        self._program: List[Tuple[Optional[np.ufunc], bool, List[int], int]] = [
-            (
-                self._UFUNCS.get(int(compiled.base_ops[g])),
-                bool(compiled.inverts[g]),
-                [int(i) for i in compiled.operands[offsets[g] : offsets[g + 1]]],
-                int(compiled.gate_output_ids[g]),
-            )
-            for g in range(compiled.n_gates)
-        ]
+        self.backend_name = resolve_backend_name(backend)
+        self.backend: Backend = create_backend(self.backend_name, compiled)
         self._input_ids = [int(i) for i in compiled.input_ids]
         self._output_ids = [int(i) for i in compiled.output_ids]
         self._exhaustive: Optional[PackedVectors] = None
-        # First-round campaign plan for the default collapsed universe,
+        # First-round campaign plans for the default collapsed universe,
         # rebuilt only when the memoised groups tuple changes identity.
-        self._round_plan: Optional[Tuple[int, _OverridePlan]] = None
+        self._round_plans: Optional[Tuple[int, Dict[Tuple[int, int], OverridePlan]]] = None
 
     # ------------------------------------------------------------------
     # Packing
@@ -476,10 +402,21 @@ class BitParallelEngine:
         return PackedVectors(words, n_vectors), scalar
 
     def exhaustive(self) -> PackedVectors:
-        """Packed exhaustive vector set over the primary inputs (cached)."""
-        if self._exhaustive is None:
-            self._exhaustive = exhaustive_words(self.compiled.n_inputs)
-        return self._exhaustive
+        """Packed exhaustive vector set over the primary inputs.
+
+        Cached per engine, but only while the packed set fits the
+        netlist's auto-sized matrix budget
+        (:func:`resolve_matrix_budget`): wide-netlist engines held by
+        the per-netlist simulator cache would otherwise pin arrays far
+        larger than any evaluation chunk.  Oversized sets are rebuilt
+        per call instead (the builder is a cheap streaming kernel).
+        """
+        if self._exhaustive is not None:
+            return self._exhaustive
+        packed = exhaustive_words(self.compiled.n_inputs)
+        if packed.words.nbytes <= resolve_matrix_budget(self.compiled.n_nets):
+            self._exhaustive = packed
+        return packed
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -489,81 +426,19 @@ class BitParallelEngine:
     ) -> np.ndarray:
         """Evaluate every net; returns a ``(n_nets, n_words)`` matrix."""
         if fault is not None:
-            return self._run_matrix(packed.words, _OverridePlan(self.compiled, [fault]), 1)[
-                :, 0, :
-            ]
-        c = self.compiled
-        vals = np.empty((c.n_nets, packed.n_words), dtype=np.uint64)
-        for k, nid in enumerate(self._input_ids):
-            vals[nid] = packed.words[k]
-        for ufunc, invert, operand_ids, out_id in self._program:
-            out = vals[out_id]
-            if ufunc is None:  # BUF / NOT
-                if invert:
-                    np.invert(vals[operand_ids[0]], out=out)
-                else:
-                    np.copyto(out, vals[operand_ids[0]])
-            else:
-                ufunc(vals[operand_ids[0]], vals[operand_ids[1]], out=out)
-                for nid in operand_ids[2:]:
-                    ufunc(out, vals[nid], out=out)
-                if invert:
-                    np.invert(out, out=out)
-        return vals
+            plan = OverridePlan(self.compiled, [fault])
+            return self.backend.run_matrix(packed.words, plan, 1)[:, 0, :].copy()
+        return self.backend.run_words(packed.words)
 
     def _run_matrix(
-        self, words: np.ndarray, plan: _OverridePlan, n_faults: int
+        self, words: np.ndarray, plan: OverridePlan, n_faults: int
     ) -> np.ndarray:
-        """Fault-major evaluation: ``(n_nets, n_faults, n_words)``.
+        """Fault-major evaluation, ``(n_nets, n_faults, n_words)``.
 
-        Row ``f`` of every net matrix is the behaviour under the
-        ``f``-th fault of the plan; all faults advance through the gate
-        program together, so each gate costs one word-wide NumPy op over
-        the whole fault batch instead of ``n_faults`` interpreter walks.
+        Thin delegate to the bound backend's matrix kernel; the result
+        may be a backend-workspace view, valid until the next call.
         """
-        c = self.compiled
-        n_words = words.shape[1]
-        stems = plan.stem
-        branches = plan.branch_by_gate
-        apply = plan.apply
-        vals = np.empty((c.n_nets, n_faults, n_words), dtype=np.uint64)
-        for k, nid in enumerate(self._input_ids):
-            vals[nid] = words[k]  # broadcast (n_words,) -> (n_faults, n_words)
-            entry = stems.get(nid)
-            if entry is not None:
-                apply(entry, vals[nid])
-        for g, (ufunc, invert, operand_ids, out_id) in enumerate(self._program):
-            gate_branches = branches.get(g)
-            if gate_branches is None:
-                pins = [vals[nid] for nid in operand_ids]
-            else:
-                # Copy only the pins a branch fault actually overrides;
-                # untouched pins stay zero-copy views of their nets.
-                pins = []
-                for pin, nid in enumerate(operand_ids):
-                    entry = gate_branches.get(pin)
-                    if entry is None:
-                        pins.append(vals[nid])
-                    else:
-                        faulted = vals[nid].copy()
-                        apply(entry, faulted)
-                        pins.append(faulted)
-            out = vals[out_id]
-            if ufunc is None:  # BUF / NOT
-                if invert:
-                    np.invert(pins[0], out=out)
-                else:
-                    np.copyto(out, pins[0])
-            else:
-                ufunc(pins[0], pins[1], out=out)
-                for pv in pins[2:]:
-                    ufunc(out, pv, out=out)
-                if invert:
-                    np.invert(out, out=out)
-            entry = stems.get(out_id)
-            if entry is not None:
-                apply(entry, out)
-        return vals
+        return self.backend.run_matrix(words, plan, n_faults)
 
     def output_words(
         self, packed: PackedVectors, fault: Optional[StuckAtFault] = None
@@ -586,9 +461,8 @@ class BitParallelEngine:
         )
         for lo in range(0, len(faults), fault_chunk):
             batch = faults[lo : lo + fault_chunk]
-            plan = _OverridePlan(self.compiled, batch)
-            vals = self._run_matrix(packed.words, plan, len(batch))
-            out = vals[out_ids]  # (n_out, B, n_words)
+            plan = OverridePlan(self.compiled, batch)
+            out = self.backend.run_outputs(packed.words, plan, len(batch))
             bits = unpack_bits(out, packed.n_vectors)  # (n_out, B, V)
             tables[lo : lo + len(batch)] = np.transpose(bits, (1, 2, 0))
         return tables
@@ -608,15 +482,34 @@ class BitParallelEngine:
         is the shared fault-free (golden) run; all groups advance through
         the gate program together, one word-wide NumPy op per gate.
         """
+        words = self._check_input_words(words)
+        plan = OverridePlan(self.compiled, groups)
+        return self.backend.run_outputs(words, plan, len(groups) + 1)
+
+    def detect_words(
+        self, words: np.ndarray, groups: Sequence[FaultGroup]
+    ) -> np.ndarray:
+        """Detection words of a fault-group batch vs the fault-free run.
+
+        Returns ``(len(groups), n_words)``: lane ``v % 64`` of word
+        ``v // 64`` in row ``r`` is set iff some primary output differs
+        from the golden run for vector ``v`` under group ``r``.  This is
+        the reduction campaigns, fault dictionaries and ATPG consume;
+        going through the backend kernel lets the ``fused`` backend
+        evaluate only tainted row prefixes instead of the full matrix.
+        """
+        words = self._check_input_words(words)
+        plan = OverridePlan(self.compiled, groups)
+        return self.backend.run_detect(words, plan, len(groups))
+
+    def _check_input_words(self, words: np.ndarray) -> np.ndarray:
         words = np.asarray(words, dtype=np.uint64)
         if words.ndim != 2 or words.shape[0] != self.compiled.n_inputs:
             raise SimulationError(
                 f"expected ({self.compiled.n_inputs}, n_words) input words, "
                 f"got shape {words.shape}"
             )
-        plan = _OverridePlan(self.compiled, groups)
-        vals = self._run_matrix(words, plan, len(groups) + 1)
-        return vals[self._output_ids]
+        return words
 
     # ------------------------------------------------------------------
     # Batched fault campaign
@@ -671,6 +564,14 @@ class BitParallelEngine:
         word_chunk = max(1, word_chunk)
         fault_chunk = max(1, fault_chunk)
         whole_universe = faults is None and collapse
+        plan_cache: Optional[Dict[Tuple[int, int], OverridePlan]] = None
+        if whole_universe:
+            # Plans over the memoised universe are identical across
+            # campaigns (and across word chunks until faults drop), so
+            # cache them per contiguous batch on the engine.
+            if self._round_plans is None or self._round_plans[0] != id(groups):
+                self._round_plans = (id(groups), {})
+            plan_cache = self._round_plans[1]
         for lo in range(0, max(n_words, 1), word_chunk):
             if not active:
                 break
@@ -685,28 +586,25 @@ class BitParallelEngine:
             for blo in range(0, len(active), fault_chunk):
                 batch = active[blo : blo + fault_chunk]
                 n_batch = len(batch)
-                plan: Optional[_OverridePlan] = None
-                if whole_universe and blo == 0 and n_batch == len(groups):
-                    # Round one over the memoised universe: reuse the plan.
-                    if self._round_plan is not None and self._round_plan[0] == id(groups):
-                        plan = self._round_plan[1]
-                    else:
-                        reps = [fault_seq[g[0]] for g in groups]
-                        plan = _OverridePlan(self.compiled, reps)
-                        self._round_plan = (id(groups), plan)
+                plan: Optional[OverridePlan] = None
+                key: Optional[Tuple[int, int]] = None
+                if plan_cache is not None and batch[-1] - batch[0] + 1 == n_batch:
+                    # ``active`` is ascending, so equal span and length
+                    # mean the batch is exactly [batch[0], batch[-1]].
+                    key = (batch[0], n_batch)
+                    plan = plan_cache.get(key)
                 if plan is None:
                     reps = [fault_seq[groups[g][0]] for g in batch]
-                    plan = _OverridePlan(self.compiled, reps)
-                # One extra override-free row rides along as the shared
-                # golden run -- no separate fault-free pass needed.
-                vals = self._run_matrix(chunk.words, plan, n_batch + 1)
+                    plan = OverridePlan(self.compiled, reps)
+                    if key is not None:
+                        if len(plan_cache) > 64:
+                            plan_cache.clear()
+                        plan_cache[key] = plan
+                # The backend folds a shared golden run into the
+                # detection words -- no separate fault-free pass needed.
+                diff = self.backend.run_detect(chunk.words, plan, n_batch)
                 n_runs += n_batch
-                diff: Optional[np.ndarray] = None
-                for out_id in out_ids:
-                    out = vals[out_id]
-                    delta = out[:-1] ^ out[-1]
-                    diff = delta if diff is None else (diff | delta)
-                if diff is None:  # no primary outputs: nothing observable
+                if not out_ids:  # no primary outputs: nothing observable
                     continue
                 if mask != ALL_ONES:
                     diff[:, -1] &= mask
@@ -743,19 +641,32 @@ class BitParallelEngine:
 
 
 # A CompiledNetlist is immutable, so identity alone keys the engine
-# cache (empty fingerprint); compile_netlist already maps a netlist
-# version to one live compiled object.
-_engine_for_compiled = identity_memo(lambda _compiled: ())(BitParallelEngine)
+# caches (empty fingerprint); compile_netlist already maps a netlist
+# version to one live compiled object.  One cache per backend name, so
+# switching backends never evicts another backend's warm engines.
+_ENGINE_CACHES: Dict[str, Callable[[CompiledNetlist], BitParallelEngine]] = {}
 
 
-def engine_for(netlist: Netlist) -> BitParallelEngine:
+def _engine_cache(name: str) -> Callable[[CompiledNetlist], BitParallelEngine]:
+    cache = _ENGINE_CACHES.get(name)
+    if cache is None:
+        cache = identity_memo(lambda _compiled: ())(
+            lambda compiled: BitParallelEngine(compiled, backend=name)
+        )
+        _ENGINE_CACHES[name] = cache
+    return cache
+
+
+def engine_for(netlist: Netlist, backend: Optional[str] = None) -> BitParallelEngine:
     """Cached :class:`BitParallelEngine` for ``netlist``.
 
     Piggybacks on the compiled-netlist cache: one engine per live
-    :class:`CompiledNetlist`, so repeated campaigns share the resolved
-    gate program and the packed exhaustive vector set.
+    :class:`CompiledNetlist` *per backend*, so repeated campaigns share
+    the resolved backend schedule and the packed exhaustive vector set.
+    ``backend`` resolves through the standard precedence (keyword >
+    ``REPRO_BACKEND`` env > default).
     """
-    return _engine_for_compiled(compile_netlist(netlist))
+    return _engine_cache(resolve_backend_name(backend))(compile_netlist(netlist))
 
 
 def run_stuck_at_campaign(
@@ -766,14 +677,16 @@ def run_stuck_at_campaign(
     fault_dropping: bool = True,
     word_chunk: int = 512,
     fault_chunk: int = 64,
+    backend: Optional[str] = None,
 ) -> StuckAtCampaignResult:
     """One-call batched campaign over ``netlist``'s stuck-at universe.
 
     ``inputs`` maps primary inputs to 0/1 vectors (all the same length);
-    omitted, the exhaustive vector set is used.  See
-    :meth:`BitParallelEngine.campaign` for the knobs.
+    omitted, the exhaustive vector set is used.  ``backend`` selects the
+    execution backend (classifications are bit-identical across all of
+    them).  See :meth:`BitParallelEngine.campaign` for the knobs.
     """
-    engine = engine_for(netlist)
+    engine = engine_for(netlist, backend)
     packed: Optional[PackedVectors] = None
     if inputs is not None:
         packed, _ = engine.pack_inputs(inputs)

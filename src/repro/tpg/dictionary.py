@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.faults.sharding import resolve_workers, run_sharded, shard_bounds
+from repro.gates.backends import resolve_backend_name
 from repro.gates.engine import (
     ALL_ONES,
     LANES,
@@ -271,6 +272,9 @@ class FaultDictionary:
     words: np.ndarray  # (n_faults, n_words) uint64
     n_vectors: int
     vector_base: int = 0
+    #: Name of the execution backend that built the detection rows
+    #: (recorded in ``.npz`` persistence; empty for legacy files).
+    backend: str = ""
 
     @property
     def n_faults(self) -> int:
@@ -361,6 +365,7 @@ class FaultDictionary:
             words=np.hstack([p.words for p in parts]),
             n_vectors=base - head.vector_base,
             vector_base=head.vector_base,
+            backend=head.backend,
         )
 
     # ------------------------------------------------------------------
@@ -384,6 +389,7 @@ class FaultDictionary:
         np.savez_compressed(
             path,
             netlist_name=np.array(self.netlist_name),
+            backend=np.array(self.backend),
             words=self.words,
             n_vectors=np.array(self.n_vectors, dtype=np.int64),
             vector_base=np.array(self.vector_base, dtype=np.int64),
@@ -426,6 +432,9 @@ class FaultDictionary:
                 words=data["words"],
                 n_vectors=int(data["n_vectors"]),
                 vector_base=int(data["vector_base"]),
+                backend=(
+                    str(data["backend"]) if "backend" in data.files else ""
+                ),
             )
 
 
@@ -465,6 +474,7 @@ def _detection_rows(
     word_chunk: int,
     fault_chunk: int,
     matrix_budget: Optional[int],
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Core kernel: per-fault detection words over a packed word range.
 
@@ -474,7 +484,7 @@ def _detection_rows(
     row, and the per-vector output difference words are broadcast to the
     whole class.
     """
-    engine = engine_for(netlist)
+    engine = engine_for(netlist, backend)
     reps = [fault_seq[g[0]] for g in groups]
     group_words = np.zeros((len(reps), n_words), dtype=np.uint64)
     fault_chunk = max(1, fault_chunk)
@@ -485,8 +495,7 @@ def _detection_rows(
         rows, valid = rows_of(word_lo + lo, word_lo + hi)
         for flo in range(0, len(reps), fault_chunk):
             fhi = min(flo + fault_chunk, len(reps))
-            out = engine.run_fault_groups(rows, reps[flo:fhi])
-            diff = np.bitwise_or.reduce(out[:, :-1, :] ^ out[:, -1:, :], axis=0)
+            diff = engine.detect_words(rows, reps[flo:fhi])
             if valid is not None:
                 diff &= valid
             group_words[flo:fhi, lo:hi] = diff
@@ -507,8 +516,13 @@ def _dictionary_shard(
     word_chunk: int,
     fault_chunk: int,
     matrix_budget: Optional[int],
+    backend: Optional[str] = None,
 ) -> np.ndarray:
-    """Shard worker: detection words for sweep words [word_lo, word_hi)."""
+    """Shard worker: detection words for sweep words [word_lo, word_hi).
+
+    ``backend`` arrives pre-resolved from the parent so every worker
+    re-selects the same execution backend.
+    """
     fault_seq, groups = _resolve_universe(netlist, faults, collapse)
 
     def rows_of(lo: int, hi: int):
@@ -518,6 +532,7 @@ def _dictionary_shard(
     return _detection_rows(
         netlist, groups, fault_seq, rows_of,
         word_hi - word_lo, word_lo, word_chunk, fault_chunk, matrix_budget,
+        backend,
     )
 
 
@@ -530,6 +545,7 @@ def build_fault_dictionary(
     word_chunk: int = DICT_WORD_CHUNK,
     fault_chunk: int = DICT_FAULT_CHUNK,
     matrix_budget: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> FaultDictionary:
     """Exhaustive fault dictionary of ``netlist`` over ``space``.
 
@@ -538,14 +554,17 @@ def build_fault_dictionary(
     order, so dictionary rows line up with
     :func:`~repro.gates.engine.run_stuck_at_campaign` verdicts).
     ``workers`` shards the vector universe by word range across
-    processes -- merges are bit-identical for any worker count.  Masked
-    lanes (a non-zero field, the tail of a sub-word universe) are never
-    counted as detecting.
+    processes -- merges are bit-identical for any worker count -- and
+    ``backend`` selects the execution backend, recorded on the
+    dictionary (and in its ``.npz`` persistence) for provenance.
+    Masked lanes (a non-zero field, the tail of a sub-word universe)
+    are never counted as detecting.
     """
     if space is None:
         space = TestSpace.full(netlist)
     elif space.netlist is not netlist:
         raise SimulationError("test space was built for a different netlist")
+    backend = resolve_backend_name(backend)
     fault_tuple = tuple(faults) if faults is not None else None
     fault_seq, groups = _resolve_universe(netlist, fault_tuple, collapse)
     n_words = space.n_words
@@ -557,7 +576,7 @@ def build_fault_dictionary(
         _dictionary_shard,
         [
             (netlist, space, fault_tuple, collapse, lo, hi,
-             word_chunk, fault_chunk, matrix_budget)
+             word_chunk, fault_chunk, matrix_budget, backend)
             for lo, hi in bounds
         ],
     )
@@ -568,6 +587,7 @@ def build_fault_dictionary(
         words=np.hstack(slices) if slices else np.zeros((len(fault_seq), 0), np.uint64),
         n_vectors=space.n_vectors,
         vector_base=0,
+        backend=backend,
     )
 
 
@@ -579,6 +599,7 @@ def dictionary_for_vectors(
     word_chunk: int = DICT_WORD_CHUNK,
     fault_chunk: int = DICT_FAULT_CHUNK,
     matrix_budget: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> FaultDictionary:
     """Fault dictionary over an explicit test table.
 
@@ -588,6 +609,7 @@ def dictionary_for_vectors(
     building it for a compact set and comparing ``detected`` against the
     set's claim is the end-to-end validation the tests pin down.
     """
+    backend = resolve_backend_name(backend)
     fault_tuple = tuple(faults) if faults is not None else None
     fault_seq, groups = _resolve_universe(netlist, fault_tuple, collapse)
     bits = np.asarray(bits, dtype=np.uint8)
@@ -604,6 +626,7 @@ def dictionary_for_vectors(
             groups=groups,
             words=np.zeros((len(fault_seq), 0), dtype=np.uint64),
             n_vectors=0,
+            backend=backend,
         )
     packed = np.stack([pack_bits(bits[:, k]) for k in range(bits.shape[1])])
     n_words = packed.shape[1]
@@ -620,7 +643,7 @@ def dictionary_for_vectors(
 
     words = _detection_rows(
         netlist, groups, fault_seq, rows_of,
-        n_words, 0, word_chunk, fault_chunk, matrix_budget,
+        n_words, 0, word_chunk, fault_chunk, matrix_budget, backend,
     )
     return FaultDictionary(
         netlist_name=netlist.name,
@@ -628,6 +651,7 @@ def dictionary_for_vectors(
         groups=groups,
         words=words,
         n_vectors=n_tests,
+        backend=backend,
     )
 
 
@@ -637,6 +661,7 @@ def replay_detected(
     faults: Optional[Iterable[StuckAtFault]] = None,
     collapse: bool = True,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Per-fault detection of an explicit test table, via the campaign path.
 
@@ -659,5 +684,6 @@ def replay_detected(
         faults=fault_tuple,
         collapse=collapse,
         workers=workers,
+        backend=backend,
     )
     return np.asarray(raw.detected, dtype=bool)

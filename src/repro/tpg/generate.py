@@ -35,6 +35,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.gates.backends import resolve_backend_name
 from repro.gates.builders import (
     restoring_divider,
     ripple_borrow_subtractor,
@@ -188,12 +189,15 @@ def generate_tests(
     faults: Optional[Tuple[StuckAtFault, ...]] = None,
     collapse: bool = True,
     fault_chunk: int = 64,
+    backend: Optional[str] = None,
 ) -> TPGResult:
     """Run the two-phase ATPG loop over ``netlist``.
 
     Deterministic for a given ``seed``: the RNG stream, class iteration
     order and first-detect tie-breaks are all fixed, so two runs return
-    identical test tables and compact sets.  When the free-input count
+    identical test tables and compact sets -- under any execution
+    backend (``backend`` resolves keyword > ``REPRO_BACKEND`` > default
+    and is recorded on the resulting dictionary).  When the free-input count
     exceeds the exhaustive-packing cap the residual sweep is skipped and
     surviving faults stay ``unresolved`` instead of proven redundant
     (``TPGResult.exhausted`` records which).
@@ -202,8 +206,9 @@ def generate_tests(
         space = TestSpace.full(netlist)
     elif space.netlist is not netlist:
         raise SimulationError("test space was built for a different netlist")
+    backend = resolve_backend_name(backend)
     fault_seq, groups = _resolve_universe(netlist, faults, collapse)
-    engine = engine_for(netlist)
+    engine = engine_for(netlist, backend)
     reps = [fault_seq[g[0]] for g in groups]
     rng = np.random.default_rng(seed)
 
@@ -229,8 +234,7 @@ def generate_tests(
         batch = list(active)
         for lo in range(0, len(batch), fault_chunk):
             block = batch[lo : lo + fault_chunk]
-            out = engine.run_fault_groups(rows, [reps[g] for g in block])
-            diff = np.bitwise_or.reduce(out[:, :-1, :] ^ out[:, -1:, :], axis=0)
+            diff = engine.detect_words(rows, [reps[g] for g in block])
             if valid is not None:
                 diff &= valid
             for row, word, lane in _first_hits(diff):
@@ -272,7 +276,8 @@ def generate_tests(
         else np.zeros((0, len(netlist.primary_inputs)), dtype=np.uint8)
     )
     dictionary = dictionary_for_vectors(
-        netlist, table, faults=faults, collapse=collapse, fault_chunk=fault_chunk
+        netlist, table, faults=faults, collapse=collapse,
+        fault_chunk=fault_chunk, backend=backend,
     )
     cover = greedy_cover(dictionary)
     compact = CompactTestSet(
@@ -306,6 +311,7 @@ def compact_test_set(
     workers: Optional[int] = None,
     dictionary_limit: int = DEFAULT_DICTIONARY_LIMIT,
     collapse: bool = True,
+    backend: Optional[str] = None,
 ) -> CompactTestSet:
     """One-call compact test set for a netlist.
 
@@ -323,11 +329,13 @@ def compact_test_set(
         method = "dictionary" if space.n_vectors <= dictionary_limit else "atpg"
     if method == "dictionary":
         dictionary = build_fault_dictionary(
-            netlist, space, collapse=collapse, workers=workers
+            netlist, space, collapse=collapse, workers=workers, backend=backend
         )
         return compact_from_dictionary(dictionary, space)
     if method == "atpg":
-        return generate_tests(netlist, space, seed=seed, collapse=collapse).compact
+        return generate_tests(
+            netlist, space, seed=seed, collapse=collapse, backend=backend
+        ).compact
     raise SimulationError(
         f"unknown method {method!r}; choose from ('auto', 'dictionary', 'atpg')"
     )
@@ -339,14 +347,21 @@ def unit_test_set(
     method: str = "auto",
     seed: int = TPG_SEED,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> CompactTestSet:
-    """Compact test set of one :mod:`repro.arch` unit class."""
+    """Compact test set of one :mod:`repro.arch` unit class.
+
+    ``backend`` selects the execution backend used to build the
+    detection data (bit-identical across backends, so the compact set
+    is too).
+    """
     return compact_test_set(
         unit_netlist(unit, width),
         unit_space(unit, width),
         method=method,
         seed=seed,
         workers=workers,
+        backend=backend,
     )
 
 

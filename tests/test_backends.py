@@ -1,0 +1,404 @@
+"""Differential suite over the execution-backend registry.
+
+Every registered backend must be *bit-identical* on every evaluation
+path: exhaustive campaigns, fault-group output matrices, detection
+words, coverage sweeps and dictionary builds.  Tests enumerate
+:func:`repro.gates.backends.list_backends` instead of hand-listing
+oracles, so a newly registered backend is differentially tested for
+free (including the optional numba backend wherever it is installed).
+"""
+
+import numpy as np
+import pytest
+
+from repro.coverage.engine import evaluate_operator
+from repro.errors import SimulationError
+from repro.gates import builders
+from repro.gates.backends import (
+    BACKEND_ENV,
+    DEFAULT_BACKEND,
+    backend_unavailable_reason,
+    create_backend,
+    list_backends,
+    resolve_backend_name,
+)
+from repro.gates.backends.plan import OverridePlan
+from repro.gates.compile import compile_netlist
+from repro.gates.engine import (
+    BitParallelEngine,
+    engine_for,
+    exhaustive_words,
+    resolve_matrix_budget,
+    run_stuck_at_campaign,
+)
+from repro.gates.faults import default_fault_universe
+from repro.faults.injector import run_sharded_stuck_at_campaign
+from repro.tpg.dictionary import FaultDictionary, build_fault_dictionary
+from repro.tpg.generate import table2_space, unit_netlist, unit_space
+from repro.arch.testbench import table2_architecture
+
+ALL_BACKENDS = list_backends()
+#: The packed word-parallel backends (the interpreting oracle is
+#: exercised separately on the smaller cases to keep runtime sane).
+FAST_BACKENDS = tuple(n for n in ALL_BACKENDS if n != "reference")
+
+UNITS = ("add", "sub", "mul", "div")
+
+
+def _unit_netlists(width):
+    return [unit_netlist(unit, width) for unit in UNITS]
+
+
+# ----------------------------------------------------------------------
+# Registry and selection
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_core_backends_registered(self):
+        assert "python_loop" in ALL_BACKENDS
+        assert "fused" in ALL_BACKENDS
+        assert "reference" in ALL_BACKENDS
+
+    def test_default_resolution(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert resolve_backend_name() == DEFAULT_BACKEND
+
+    def test_env_resolution(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "python_loop")
+        assert resolve_backend_name() == "python_loop"
+
+    def test_keyword_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "python_loop")
+        assert resolve_backend_name("fused") == "fused"
+
+    def test_unknown_backend_errors(self):
+        with pytest.raises(SimulationError, match="unknown backend"):
+            resolve_backend_name("no_such_backend")
+
+    def test_unknown_env_backend_errors(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "no_such_backend")
+        with pytest.raises(SimulationError, match=BACKEND_ENV):
+            resolve_backend_name()
+
+    def test_unavailable_backend_has_clear_error(self):
+        # Wherever numba is absent the backend must degrade gracefully:
+        # listed as unavailable with a reason, clear error on selection.
+        if "numba" in ALL_BACKENDS:
+            pytest.skip("numba installed here; unavailability not testable")
+        reason = backend_unavailable_reason("numba")
+        assert reason is not None and "numba" in reason
+        with pytest.raises(SimulationError, match="unavailable"):
+            resolve_backend_name("numba")
+
+    def test_engine_records_backend(self):
+        netlist = builders.full_adder()
+        for name in ALL_BACKENDS:
+            assert engine_for(netlist, name).backend_name == name
+
+    def test_env_switches_engine_default(self, monkeypatch):
+        netlist = builders.full_adder()
+        monkeypatch.setenv(BACKEND_ENV, "python_loop")
+        assert engine_for(netlist).backend_name == "python_loop"
+
+
+# ----------------------------------------------------------------------
+# Bit-identity: campaigns
+# ----------------------------------------------------------------------
+class TestCampaignEquivalence:
+    @pytest.mark.parametrize("width", (3, 4))
+    @pytest.mark.parametrize("unit", UNITS)
+    def test_exhaustive_campaigns_bit_identical(self, unit, width):
+        netlist = unit_netlist(unit, width)
+        results = {
+            name: run_stuck_at_campaign(netlist, backend=name)
+            for name in FAST_BACKENDS
+        }
+        baseline = results["python_loop"]
+        for name, result in results.items():
+            assert np.array_equal(result.detected, baseline.detected), name
+            assert np.array_equal(
+                result.first_detected, baseline.first_detected
+            ), name
+
+    @pytest.mark.parametrize("unit", UNITS)
+    def test_reference_backend_campaign(self, unit):
+        # The interpreting oracle, through the same campaign machinery.
+        netlist = unit_netlist(unit, 3)
+        got = run_stuck_at_campaign(netlist, backend="reference")
+        want = run_stuck_at_campaign(netlist, backend="python_loop")
+        assert np.array_equal(got.detected, want.detected)
+        assert np.array_equal(got.first_detected, want.first_detected)
+
+    def test_campaign_without_collapsing_or_dropping(self):
+        netlist = builders.ripple_carry_adder(3)
+        for name in FAST_BACKENDS:
+            result = run_stuck_at_campaign(
+                netlist, backend=name, collapse=False, fault_dropping=False
+            )
+            baseline = run_stuck_at_campaign(
+                netlist, backend="python_loop", collapse=False, fault_dropping=False
+            )
+            assert np.array_equal(result.detected, baseline.detected), name
+            assert np.array_equal(
+                result.first_detected, baseline.first_detected
+            ), name
+
+    def test_big_fault_batches_bit_identical(self):
+        # One batch carrying the whole universe exercises the fused
+        # prefix walk's permutation on every site class at once.
+        netlist = builders.ripple_carry_adder(8)
+        baseline = run_stuck_at_campaign(
+            netlist, backend="python_loop", fault_chunk=512
+        )
+        for name in FAST_BACKENDS:
+            result = run_stuck_at_campaign(netlist, backend=name, fault_chunk=512)
+            assert np.array_equal(result.detected, baseline.detected), name
+            assert np.array_equal(
+                result.first_detected, baseline.first_detected
+            ), name
+
+
+# ----------------------------------------------------------------------
+# Bit-identity: fault-group matrices (the Table 2 path)
+# ----------------------------------------------------------------------
+class TestFaultGroupEquivalence:
+    @pytest.mark.parametrize("operator", UNITS)
+    def test_table2_architecture_matrices(self, operator):
+        arch = table2_architecture(operator, 3, "xor3_majority")
+        space = table2_space(arch)
+        rows = space.input_rows(0, space.n_words)
+        # A handful of multi-site fault groups spanning the replicas.
+        from repro.arch.cell import collapsed_cell_library
+
+        groups = []
+        for group in collapsed_cell_library("xor3_majority"):
+            if group.is_reference:
+                continue
+            groups.append(
+                arch.fault_group(group.representative.fault.fault, arch.positions[0])
+            )
+            if len(groups) >= 6:
+                break
+        engines = {
+            name: engine_for(arch.netlist, name) for name in FAST_BACKENDS
+        }
+        outs = {
+            name: eng.run_fault_groups(rows, groups)
+            for name, eng in engines.items()
+        }
+        detects = {
+            name: eng.detect_words(rows, groups) for name, eng in engines.items()
+        }
+        base_out = outs["python_loop"]
+        base_det = detects["python_loop"]
+        for name in FAST_BACKENDS:
+            assert np.array_equal(outs[name], base_out), name
+            assert np.array_equal(detects[name], base_det), name
+
+    def test_reference_backend_fault_groups(self):
+        netlist = builders.ripple_carry_adder(3)
+        faults = default_fault_universe(netlist)
+        groups = [faults[0], (faults[1], faults[7]), (faults[2], faults[9])]
+        packed = engine_for(netlist).exhaustive()
+        want = engine_for(netlist, "python_loop").run_fault_groups(
+            packed.words, groups
+        )
+        got = engine_for(netlist, "reference").run_fault_groups(
+            packed.words, groups
+        )
+        assert np.array_equal(got, want)
+
+    @pytest.mark.parametrize("width", (3, 4))
+    def test_coverage_sweep_bit_identical(self, width):
+        baseline = None
+        for name in FAST_BACKENDS:
+            stats = evaluate_operator(
+                "add", width, method="gate", workers=1, backend=name
+            )
+            key = {
+                tech: (s.situations, s.covered, s.detected_while_correct)
+                for tech, s in stats.items()
+            }
+            if baseline is None:
+                baseline = key
+            else:
+                assert key == baseline, name
+
+
+# ----------------------------------------------------------------------
+# Sharding invariance under a non-default backend
+# ----------------------------------------------------------------------
+class TestShardingInvariance:
+    def test_sharded_campaign_matches_unsharded(self):
+        netlist = builders.ripple_carry_adder(4)
+        non_default = next(
+            n for n in FAST_BACKENDS if n != resolve_backend_name()
+        )
+        lone = run_sharded_stuck_at_campaign(
+            netlist, workers=1, backend=non_default
+        )
+        sharded = run_sharded_stuck_at_campaign(
+            netlist, workers=3, backend=non_default
+        )
+        assert np.array_equal(lone.detected, sharded.detected)
+        assert np.array_equal(lone.first_detected, sharded.first_detected)
+
+    def test_sharded_dictionary_matches_unsharded(self):
+        netlist = unit_netlist("add", 4)
+        space = unit_space("add", 4)
+        non_default = next(
+            n for n in FAST_BACKENDS if n != resolve_backend_name()
+        )
+        lone = build_fault_dictionary(
+            netlist, space, workers=1, backend=non_default
+        )
+        sharded = build_fault_dictionary(
+            netlist, space, workers=3, backend=non_default
+        )
+        assert np.array_equal(lone.words, sharded.words)
+        assert lone.backend == sharded.backend == non_default
+
+
+# ----------------------------------------------------------------------
+# Dictionary provenance
+# ----------------------------------------------------------------------
+class TestDictionaryBackendRecording:
+    def test_builder_backend_recorded_and_persisted(self, tmp_path):
+        netlist = unit_netlist("add", 3)
+        dictionary = build_fault_dictionary(
+            netlist, unit_space("add", 3), backend="python_loop"
+        )
+        assert dictionary.backend == "python_loop"
+        path = tmp_path / "add3.npz"
+        dictionary.save(path)
+        loaded = FaultDictionary.load(path)
+        assert loaded.backend == "python_loop"
+        assert np.array_equal(loaded.words, dictionary.words)
+
+    def test_dictionaries_bit_identical_across_backends(self):
+        netlist = unit_netlist("div", 3)
+        space = unit_space("div", 3)
+        words = {
+            name: build_fault_dictionary(netlist, space, backend=name).words
+            for name in FAST_BACKENDS
+        }
+        base = words["python_loop"]
+        for name, got in words.items():
+            assert np.array_equal(got, base), name
+
+
+# ----------------------------------------------------------------------
+# The exhaustive-set cache guard
+# ----------------------------------------------------------------------
+class TestExhaustiveCacheGuard:
+    def test_small_sets_are_cached(self):
+        engine = BitParallelEngine(compile_netlist(builders.full_adder()))
+        first = engine.exhaustive()
+        assert engine.exhaustive() is first
+
+    def test_oversized_sets_are_not_cached(self, monkeypatch):
+        netlist = builders.ripple_carry_adder(8)
+        compiled = compile_netlist(netlist)
+        packed_bytes = exhaustive_words(compiled.n_inputs).words.nbytes
+        monkeypatch.setenv("REPRO_GATE_MATRIX_BUDGET", str(packed_bytes - 1))
+        assert resolve_matrix_budget(compiled.n_nets) < packed_bytes
+        engine = BitParallelEngine(compiled)
+        first = engine.exhaustive()
+        second = engine.exhaustive()
+        assert first is not second  # rebuilt, not pinned
+        assert np.array_equal(first.words, second.words)
+
+    def test_guard_preserves_results(self, monkeypatch):
+        netlist = builders.ripple_carry_adder(4)
+        want = run_stuck_at_campaign(netlist)
+        monkeypatch.setenv("REPRO_GATE_MATRIX_BUDGET", "1")
+        engine = BitParallelEngine(compile_netlist(netlist))
+        got = engine.campaign()
+        assert np.array_equal(got.detected, want.detected)
+        assert np.array_equal(got.first_detected, want.first_detected)
+
+
+# ----------------------------------------------------------------------
+# Optional numba backend (runs only where numba is installed)
+# ----------------------------------------------------------------------
+class TestNumbaBackend:
+    def test_numba_campaign_bit_identical(self):
+        pytest.importorskip("numba")
+        assert "numba" in ALL_BACKENDS
+        netlist = builders.ripple_carry_adder(4)
+        got = run_stuck_at_campaign(netlist, backend="numba")
+        want = run_stuck_at_campaign(netlist, backend="python_loop")
+        assert np.array_equal(got.detected, want.detected)
+        assert np.array_equal(got.first_detected, want.first_detected)
+
+    def test_numba_fault_groups_bit_identical(self):
+        pytest.importorskip("numba")
+        netlist = unit_netlist("mul", 3)
+        faults = default_fault_universe(netlist)
+        groups = [faults[0], (faults[1], faults[5])]
+        packed = engine_for(netlist).exhaustive()
+        want = engine_for(netlist, "python_loop").run_fault_groups(
+            packed.words, groups
+        )
+        got = engine_for(netlist, "numba").run_fault_groups(packed.words, groups)
+        assert np.array_equal(got, want)
+
+
+# ----------------------------------------------------------------------
+# Single-fault simulation across backends
+# ----------------------------------------------------------------------
+class TestSimulatorEquivalence:
+    def test_per_fault_truth_tables(self):
+        netlist = builders.full_adder()
+        faults = default_fault_universe(netlist)
+        tables = {}
+        for name in ALL_BACKENDS:
+            engine = engine_for(netlist, name)
+            tables[name] = engine.truth_tables(list(faults))
+        base = tables["python_loop"]
+        for name, got in tables.items():
+            assert np.array_equal(got, base), name
+
+    def test_backend_instances_run_words_agree(self):
+        netlist = builders.ripple_carry_adder(3)
+        compiled = compile_netlist(netlist)
+        packed = engine_for(netlist).exhaustive()
+        outs = {}
+        for name in ALL_BACKENDS:
+            backend = create_backend(name, compiled)
+            outs[name] = np.array(backend.run_words(packed.words))
+        base = outs["python_loop"]
+        for name, got in outs.items():
+            assert np.array_equal(got, base), name
+
+    def test_inplace_word_mutation_invalidates_golden_cache(self):
+        # The fused backend caches the golden run per words buffer; a
+        # caller mutating its buffer in place must get fresh results.
+        netlist = builders.ripple_carry_adder(4)
+        faults = default_fault_universe(netlist)
+        reps = list(faults[:8])
+        packed = engine_for(netlist).exhaustive()
+        words = packed.words.copy()
+        fused = engine_for(netlist, "fused")
+        loop = engine_for(netlist, "python_loop")
+        first = fused.detect_words(words, reps)
+        assert np.array_equal(first, loop.detect_words(words, reps))
+        words[:] = np.roll(words, 3, axis=1)
+        assert np.array_equal(
+            fused.detect_words(words, reps), loop.detect_words(words, reps)
+        )
+
+    def test_workspace_reuse_does_not_corrupt(self):
+        # Two consecutive fused matrix calls may share a workspace; the
+        # second must not corrupt results derived from the first.
+        netlist = builders.ripple_carry_adder(3)
+        compiled = compile_netlist(netlist)
+        backend = create_backend("fused", compiled)
+        packed = engine_for(netlist).exhaustive()
+        faults = default_fault_universe(netlist)
+        plan_a = OverridePlan(compiled, [faults[0]])
+        plan_b = OverridePlan(compiled, [faults[3]])
+        first = np.array(backend.run_matrix(packed.words, plan_a, 2))
+        second = np.array(backend.run_matrix(packed.words, plan_b, 2))
+        again = np.array(backend.run_matrix(packed.words, plan_a, 2))
+        assert np.array_equal(first, again)
+        assert not np.array_equal(first, second)
