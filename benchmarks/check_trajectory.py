@@ -1,0 +1,127 @@
+"""Gate measured benchmark trajectories against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_trajectory.py MEASURED_DIR \
+        [--baseline benchmarks/baseline] [--tolerance 0.20]
+
+``MEASURED_DIR`` holds the ``BENCH_<suite>.json`` files a bench run
+wrote via ``pytest benchmarks/ --json MEASURED_DIR``; the baseline
+directory holds the committed reference trajectories.
+
+Only *ratio* metrics are compared -- ``speedup``, ``speedup_vs_*`` --
+because raw seconds do not transfer between machines while relative
+speedups largely do.  A measured ratio more than ``--tolerance`` (20%
+by default, env ``BENCH_TRAJECTORY_TOLERANCE``) below the committed
+value is a regression: the script prints a readable per-case diff and
+exits non-zero.  Cases present only in the baseline (e.g. optional
+backends not installed on this runner) are reported but do not fail,
+so one committed baseline serves heterogeneous runners; cases that are
+faster than baseline are never penalised.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def _ratio_metrics(case):
+    return {
+        key: value
+        for key, value in case.items()
+        if (key == "speedup" or key.startswith("speedup_vs_"))
+        and isinstance(value, (int, float))
+    }
+
+
+def _load_suites(directory):
+    suites = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        suites[data.get("suite", os.path.basename(path))] = data
+    return suites
+
+
+def compare(baseline_dir, measured_dir, tolerance):
+    """Returns (rows, regressions); each row is a printable tuple."""
+    baselines = _load_suites(baseline_dir)
+    measured = _load_suites(measured_dir)
+    rows = []
+    regressions = []
+    for suite, base in sorted(baselines.items()):
+        got = measured.get(suite)
+        if got is None:
+            regressions.append(f"suite {suite!r}: no measured BENCH_{suite}.json")
+            continue
+        got_cases = {case["case"]: case for case in got.get("cases", [])}
+        for case in base.get("cases", []):
+            name = case["case"]
+            metrics = _ratio_metrics(case)
+            if not metrics:
+                continue
+            here = got_cases.get(name)
+            if here is None:
+                rows.append((suite, name, "-", "-", "-", "missing (skipped)"))
+                continue
+            for metric, ref in metrics.items():
+                value = here.get(metric)
+                if not isinstance(value, (int, float)):
+                    rows.append((suite, name, metric, f"{ref:.2f}", "-",
+                                 "missing metric"))
+                    regressions.append(
+                        f"{suite}/{name}: metric {metric!r} not recorded"
+                    )
+                    continue
+                floor = ref * (1.0 - tolerance)
+                status = "ok" if value >= floor else "REGRESSED"
+                rows.append((suite, name, metric, f"{ref:.2f}",
+                             f"{value:.2f}", status))
+                if value < floor:
+                    regressions.append(
+                        f"{suite}/{name}: {metric} {value:.2f} is "
+                        f"{(1 - value / ref) * 100:.0f}% below committed "
+                        f"{ref:.2f} (tolerance {tolerance * 100:.0f}%)"
+                    )
+    return rows, regressions
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("measured", help="directory of measured BENCH_*.json")
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(os.path.dirname(__file__), "baseline"),
+        help="directory of committed baseline BENCH_*.json",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("BENCH_TRAJECTORY_TOLERANCE", "0.20")),
+        help="allowed fractional ratio regression (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    rows, regressions = compare(args.baseline, args.measured, args.tolerance)
+    if rows:
+        widths = [max(len(str(row[i])) for row in rows + [
+            ("suite", "case", "metric", "baseline", "measured", "status")
+        ]) for i in range(6)]
+        header = ("suite", "case", "metric", "baseline", "measured", "status")
+        for row in [header] + rows:
+            print("  ".join(str(col).ljust(w) for col, w in zip(row, widths)))
+    if regressions:
+        print()
+        print(f"{len(regressions)} trajectory regression(s):", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print()
+    print("trajectory within tolerance of committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

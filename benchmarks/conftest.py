@@ -65,14 +65,22 @@ class BenchRecorder:
         if not self.suites:
             return
         from repro.gates.backends import list_backends, resolve_backend_name
+        from repro.gates.tune import plan_log
 
         os.makedirs(self.directory, exist_ok=True)
         meta = {
-            "backend": resolve_backend_name(),
+            # allow_auto: REPRO_BACKEND=auto is a valid way to run the
+            # bench suite; record the sentinel itself as the session
+            # backend, the per-plan records below carry the resolution.
+            "backend": resolve_backend_name(allow_auto=True),
             "available_backends": list(list_backends()),
             "python": platform.python_version(),
             "machine": platform.machine(),
+            "cpus": os.cpu_count() or 1,
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            # Every autotuner resolution made during the session:
+            # backend choice + chunking + the reason, per shape.
+            "tuning_plans": [plan.to_dict() for plan in plan_log()],
         }
         for suite, cases in self.suites.items():
             path = os.path.join(self.directory, f"BENCH_{suite}.json")

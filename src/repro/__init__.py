@@ -27,11 +27,13 @@ The package provides:
 
 from repro.core import SCK, SCKContext, current_context
 from repro.gates.backends import (
+    AUTO_BACKEND,
     BACKEND_ENV,
     DEFAULT_BACKEND,
     list_backends,
     resolve_backend_name,
 )
+from repro.gates.tune import TuningPlan, resolve_chunking, resolve_plan
 from repro.tpg import (
     CompactTestSet,
     FaultDictionary,
@@ -62,10 +64,14 @@ __all__ = [
     "SCK",
     "SCKContext",
     "current_context",
+    "AUTO_BACKEND",
     "BACKEND_ENV",
     "DEFAULT_BACKEND",
     "list_backends",
     "resolve_backend_name",
+    "TuningPlan",
+    "resolve_chunking",
+    "resolve_plan",
     "CompactTestSet",
     "FaultDictionary",
     "TestSpace",

@@ -98,7 +98,8 @@ from repro.faults.universe import (
     divider_fault_cases,
     multiplier_fault_cases,
 )
-from repro.gates.backends import resolve_backend_name
+from repro.gates.backends import AUTO_BACKEND, resolve_backend_name
+from repro.gates.compile import compile_netlist
 from repro.gates.engine import (
     StuckAtCampaignResult,
     engine_for,
@@ -106,6 +107,7 @@ from repro.gates.engine import (
     popcount_words,
 )
 from repro.gates.netlist import Netlist
+from repro.gates.tune import resolve_chunking, resolve_plan
 
 #: Widths up to this operand-space size are enumerated exhaustively.
 DEFAULT_EXHAUSTIVE_LIMIT = 1 << 20
@@ -122,7 +124,11 @@ DEFAULT_SEED = 20050307  # DATE'05 conference date
 
 #: Streaming chunk sizes of the gate-level sweep: vectors move through
 #: the fault matrix ``GATE_WORD_CHUNK`` words (x64 vectors) at a time,
-#: fault groups ``GATE_FAULT_CHUNK`` rows at a time.
+#: fault groups ``GATE_FAULT_CHUNK`` rows at a time.  These are the
+#: *defaults* of the shared resolution rule
+#: (:func:`repro.gates.tune.resolve_chunking`): an explicit keyword or
+#: the ``REPRO_WORD_CHUNK``/``REPRO_FAULT_CHUNK`` environment variables
+#: override them.
 GATE_WORD_CHUNK = 256
 GATE_FAULT_CHUNK = 64
 
@@ -585,8 +591,8 @@ def _run_gate(
     width: int,
     cell_netlist: str,
     workers: Optional[int],
-    word_chunk: int,
-    fault_chunk: int,
+    word_chunk: Optional[int],
+    fault_chunk: Optional[int],
     matrix_budget: Optional[int] = None,
     backend: Optional[str] = None,
 ) -> Dict[str, CoverageStats]:
@@ -594,9 +600,27 @@ def _run_gate(
         raise SimulationError(
             f"the gate-level sweep covers {GATE_OPERATORS}, not {operator!r}"
         )
-    backend = resolve_backend_name(backend)
     arch = table2_architecture(operator, width, cell_netlist)
     n_cases = len(collapsed_cell_library(cell_netlist)) * len(arch.positions)
+    word_chunk, fault_chunk = resolve_chunking(
+        word_chunk,
+        fault_chunk,
+        default_word_chunk=GATE_WORD_CHUNK,
+        default_fault_chunk=GATE_FAULT_CHUNK,
+    )
+    backend = resolve_backend_name(backend, allow_auto=True)
+    if backend == AUTO_BACKEND:
+        # The sweep's universe sizes are known exactly here, so the
+        # autotuner plans on them; workers get the concrete name.
+        backend = resolve_plan(
+            compile_netlist(arch.netlist),
+            backend=AUTO_BACKEND,
+            n_groups=n_cases,
+            n_words=arch.n_words,
+            word_chunk=word_chunk,
+            fault_chunk=fault_chunk,
+            matrix_budget=matrix_budget,
+        ).backend
     n_workers = resolve_workers(workers, n_cases, cost=n_cases * arch.n_vectors)
     grid = shard_grid(
         n_cases,
@@ -659,8 +683,8 @@ def _evaluate(
     seed: int,
     method: str,
     workers: Optional[int],
-    word_chunk: int,
-    fault_chunk: int,
+    word_chunk: Optional[int],
+    fault_chunk: Optional[int],
     matrix_budget: Optional[int] = None,
     backend: Optional[str] = None,
 ) -> Dict[str, CoverageStats]:
@@ -708,8 +732,8 @@ def evaluate_adder(
     seed: int = DEFAULT_SEED,
     method: str = "auto",
     workers: Optional[int] = None,
-    word_chunk: int = GATE_WORD_CHUNK,
-    fault_chunk: int = GATE_FAULT_CHUNK,
+    word_chunk: Optional[int] = None,
+    fault_chunk: Optional[int] = None,
     matrix_budget: Optional[int] = None,
     backend: Optional[str] = None,
 ) -> Dict[str, CoverageStats]:
@@ -740,8 +764,8 @@ def evaluate_subtractor(
     seed: int = DEFAULT_SEED,
     method: str = "auto",
     workers: Optional[int] = None,
-    word_chunk: int = GATE_WORD_CHUNK,
-    fault_chunk: int = GATE_FAULT_CHUNK,
+    word_chunk: Optional[int] = None,
+    fault_chunk: Optional[int] = None,
     matrix_budget: Optional[int] = None,
     backend: Optional[str] = None,
 ) -> Dict[str, CoverageStats]:
@@ -768,8 +792,8 @@ def evaluate_multiplier(
     seed: int = DEFAULT_SEED,
     method: str = "auto",
     workers: Optional[int] = None,
-    word_chunk: int = GATE_WORD_CHUNK,
-    fault_chunk: int = GATE_FAULT_CHUNK,
+    word_chunk: Optional[int] = None,
+    fault_chunk: Optional[int] = None,
     matrix_budget: Optional[int] = None,
     backend: Optional[str] = None,
 ) -> Dict[str, CoverageStats]:
@@ -801,8 +825,8 @@ def evaluate_divider(
     seed: int = DEFAULT_SEED,
     method: str = "auto",
     workers: Optional[int] = None,
-    word_chunk: int = GATE_WORD_CHUNK,
-    fault_chunk: int = GATE_FAULT_CHUNK,
+    word_chunk: Optional[int] = None,
+    fault_chunk: Optional[int] = None,
     matrix_budget: Optional[int] = None,
     backend: Optional[str] = None,
 ) -> Dict[str, CoverageStats]:

@@ -36,7 +36,8 @@ from repro.arch.alu import FaultableALU
 from repro.errors import CheckError, ReproError
 from repro.faults.model import FaultDescriptor
 from repro.faults.sharding import resolve_workers, run_sharded, shard_bounds
-from repro.gates.backends import resolve_backend_name
+from repro.gates.backends import AUTO_BACKEND, resolve_backend_name
+from repro.gates.compile import compile_netlist
 from repro.gates.engine import StuckAtCampaignResult, run_stuck_at_campaign
 from repro.gates.faults import StuckAtFault, default_fault_universe
 from repro.gates.netlist import Netlist
@@ -198,9 +199,10 @@ def run_sharded_stuck_at_campaign(
     collapsing actually performed.  ``workers=None`` auto-selects by
     universe size (faults x vectors) and machine parallelism.
     ``backend`` selects the execution backend; it is resolved once here
-    and the resolved name is handed to every worker.
+    (including the ``"auto"`` sentinel, tuned on the campaign's real
+    fault/vector universe) and the resolved name is handed to every
+    worker.
     """
-    backend = resolve_backend_name(backend)
     fault_seq: Tuple[StuckAtFault, ...] = (
         tuple(faults) if faults is not None else default_fault_universe(netlist)
     )
@@ -213,6 +215,16 @@ def run_sharded_stuck_at_campaign(
             if np.asarray(v).ndim == 1
         ]
         n_vectors = lengths[0] if lengths else 1
+    backend = resolve_backend_name(backend, allow_auto=True)
+    if backend == AUTO_BACKEND:
+        from repro.gates.tune import resolve_plan
+
+        backend = resolve_plan(
+            compile_netlist(netlist),
+            backend=AUTO_BACKEND,
+            n_groups=len(fault_seq),
+            n_words=max(1, -(-n_vectors // 64)),
+        ).backend
     n_workers = resolve_workers(
         workers, len(fault_seq), cost=len(fault_seq) * n_vectors
     )

@@ -26,9 +26,14 @@ This package models combinational circuits at the structural gate level:
   that let exhaustive sweeps run in O(chunk) memory;
 * :mod:`repro.gates.backends` -- the pluggable execution layer under
   the engine: the ``python_loop`` reference loop, the levelized
-  ``fused`` default, the optional ``numba`` JIT and the ``reference``
+  ``fused`` default, the ``threaded`` tile-parallel tier, the optional
+  ``numba`` JIT and ``cupy`` GPU walks and the ``reference``
   interpreter, selected per call via ``backend=`` or the
   ``REPRO_BACKEND`` environment variable, all bit-identical;
+* :mod:`repro.gates.tune` -- the shape-aware autotuner behind
+  ``backend="auto"``: a deterministic cost model (optionally micro-probe
+  calibrated) resolving backend, chunk sizes and thread count from the
+  campaign shape, with every resolved plan logged for benchmarks;
 * :mod:`repro.gates.simulate` -- the public simulation surface:
   :class:`NetlistSimulator` (thin adapter over the compiled engine),
   cached one-shot :func:`simulate` / :func:`simulate_vector`, and the
@@ -45,6 +50,7 @@ fault list of the standard five-gate full adder built here.
 
 from repro.gates.netlist import Gate, Net, Netlist
 from repro.gates.backends import (
+    AUTO_BACKEND,
     BACKEND_ENV,
     DEFAULT_BACKEND,
     Backend,
@@ -78,12 +84,20 @@ from repro.gates.simulate import (
     simulate,
     simulate_vector,
 )
+from repro.gates.tune import (
+    NetlistShape,
+    TuningPlan,
+    plan_log,
+    resolve_chunking,
+    resolve_plan,
+)
 from repro.gates import builders
 
 __all__ = [
     "Gate",
     "Net",
     "Netlist",
+    "AUTO_BACKEND",
     "BACKEND_ENV",
     "DEFAULT_BACKEND",
     "Backend",
@@ -113,5 +127,10 @@ __all__ = [
     "get_simulator",
     "simulate",
     "simulate_vector",
+    "NetlistShape",
+    "TuningPlan",
+    "plan_log",
+    "resolve_chunking",
+    "resolve_plan",
     "builders",
 ]

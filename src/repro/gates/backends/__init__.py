@@ -16,10 +16,19 @@ Registered backends:
     Levelized batched evaluation with tainted-prefix fault walks and a
     persistent workspace -- the default and the fast path
     (:mod:`.fused`).
+``threaded``
+    Fused kernels tiled over a (fault-row x word-range) grid across a
+    thread pool -- numpy's bitwise ufuncs release the GIL, so the tiles
+    genuinely overlap; degrades to the plain fused path on single-core
+    hosts (:mod:`.threaded`).
 ``numba``
-    Optional JIT CSR walk; registered only when numba is importable,
-    otherwise reported unavailable with a clear reason
-    (:mod:`.numba_backend`).
+    Optional JIT CSR walk (serial and ``prange`` row-parallel
+    kernels); registered only when numba is importable, otherwise
+    reported unavailable with a clear reason (:mod:`.numba_backend`).
+``cupy``
+    Optional GPU walk over the same compiled arrays and override
+    plans; registered unavailable with a clear reason when CuPy or a
+    CUDA device is missing (:mod:`.cupy_backend`).
 ``reference``
     The cell-library interpreter under the backend protocol, so
     differential tests can enumerate the registry instead of
@@ -29,7 +38,10 @@ Selection precedence: an explicit ``backend=`` keyword anywhere in the
 stack beats the ``REPRO_BACKEND`` environment variable, which beats
 :data:`DEFAULT_BACKEND`.  Worker processes of sharded campaigns receive
 the already-resolved name, so one flag switches the whole stack
-bit-identically.
+bit-identically.  The sentinel :data:`AUTO_BACKEND` (``"auto"``) is not
+a backend: entry points that accept it resolve it to a concrete name
+through the shape-aware autotuner (:mod:`repro.gates.tune`) before any
+evaluation happens.
 """
 
 from __future__ import annotations
@@ -43,6 +55,8 @@ from repro.gates.backends.plan import FaultGroup, OverridePlan
 from repro.gates.backends.fused import FusedBackend
 from repro.gates.backends.python_loop import PythonLoopBackend
 from repro.gates.backends.reference import ReferenceBackend
+from repro.gates.backends.threaded import ThreadedBackend
+from repro.gates.backends import cupy_backend as _cupy_module
 from repro.gates.backends import numba_backend as _numba_module
 from repro.gates.compile import CompiledNetlist
 
@@ -51,6 +65,9 @@ BACKEND_ENV = "REPRO_BACKEND"
 
 #: Built-in default when neither a keyword nor the env var selects one.
 DEFAULT_BACKEND = "fused"
+
+#: Sentinel selection resolved by the autotuner, never a registry entry.
+AUTO_BACKEND = "auto"
 
 #: name -> factory for available backends (insertion order = listing order).
 _REGISTRY: Dict[str, Callable[[CompiledNetlist], Backend]] = {}
@@ -90,13 +107,21 @@ def backend_unavailable_reason(name: str) -> Optional[str]:
     return _UNAVAILABLE.get(name)
 
 
-def resolve_backend_name(backend: Optional[str] = None) -> str:
+def resolve_backend_name(
+    backend: Optional[str] = None, allow_auto: bool = False
+) -> str:
     """Resolve a backend selection to a registered name.
 
     Precedence: the explicit ``backend`` argument, then the
     ``REPRO_BACKEND`` environment variable, then
     :data:`DEFAULT_BACKEND`.  Unknown or unavailable selections raise
     :class:`~repro.errors.SimulationError` naming the alternatives.
+
+    With ``allow_auto`` the sentinel :data:`AUTO_BACKEND` passes
+    through unresolved -- entry points that understand it hand it to
+    :func:`repro.gates.tune.resolve_plan` for a concrete choice;
+    without it, ``"auto"`` reaching a layer that needs a real backend
+    is an error naming the registry.
     """
     source = "backend="
     if backend is None:
@@ -105,6 +130,14 @@ def resolve_backend_name(backend: Optional[str] = None) -> str:
             backend, source = env, f"{BACKEND_ENV}="
         else:
             return DEFAULT_BACKEND
+    if backend == AUTO_BACKEND:
+        if allow_auto:
+            return AUTO_BACKEND
+        raise SimulationError(
+            f"backend {source}{AUTO_BACKEND!r} is a tuning sentinel, not an "
+            f"execution backend; this entry point needs a concrete name "
+            f"from: {list(list_backends())}"
+        )
     if backend in _REGISTRY:
         return backend
     reason = _UNAVAILABLE.get(backend)
@@ -126,10 +159,15 @@ def create_backend(backend: Optional[str], compiled: CompiledNetlist) -> Backend
 
 register_backend(PythonLoopBackend.name, PythonLoopBackend)
 register_backend(FusedBackend.name, FusedBackend)
+register_backend(ThreadedBackend.name, ThreadedBackend)
 if _numba_module.NumbaBackend is not None:
     register_backend(_numba_module.NumbaBackend.name, _numba_module.NumbaBackend)
 else:
     register_backend("numba", None, _numba_module.UNAVAILABLE_REASON)
+if _cupy_module.CupyBackend is not None:
+    register_backend(_cupy_module.CupyBackend.name, _cupy_module.CupyBackend)
+else:
+    register_backend("cupy", None, _cupy_module.UNAVAILABLE_REASON)
 register_backend(ReferenceBackend.name, ReferenceBackend)
 
 __all__ = [
@@ -138,6 +176,7 @@ __all__ = [
     "FaultGroup",
     "BACKEND_ENV",
     "DEFAULT_BACKEND",
+    "AUTO_BACKEND",
     "register_backend",
     "list_backends",
     "backend_unavailable_reason",

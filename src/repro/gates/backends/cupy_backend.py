@@ -1,0 +1,207 @@
+"""Optional CuPy (GPU) execution backend.
+
+The fault-major matrix walk maps directly onto a GPU: every
+``(row, word)`` cell is independent, uint64 bitwise ops are native, and
+the per-gate dispatch is the same program the NumPy backends run --
+CuPy's ``bitwise_and``/``or``/``xor`` ufuncs evaluate one whole
+``(n_rows, n_words)`` slab per gate on device.  The backend consumes
+exactly the arrays the rest of the tier consumes: the flat
+:class:`~repro.gates.compile.CompiledNetlist` gate program and the
+:class:`~repro.gates.backends.plan.OverridePlan` row maps (uploaded
+once per plan and cached, so a campaign's repeated fault batches pay a
+single host-to-device transfer each).
+
+Per the usual GPU discipline, data stays resident: the input words are
+uploaded once per chunk (cached on identity like the fused golden
+cache), the entire gate walk runs on device, and the derived
+:meth:`CupyBackend.run_detect` reduces to detection words *on device*
+so only the ``(n_rows, n_words)`` result crosses the bus -- never the
+``(n_nets, n_rows, n_words)`` matrix.
+
+CuPy is an *optional* dependency: when it is not importable, or
+importable but without a usable CUDA device, this module still imports
+cleanly, exposes ``CupyBackend = None`` plus
+:data:`UNAVAILABLE_REASON`, and the registry reports the backend
+unavailable with that reason (mirroring
+:mod:`repro.gates.backends.numba_backend`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.gates.backends.base import Backend, gate_program
+from repro.gates.backends.plan import OverridePlan
+from repro.gates.compile import OP_AND, OP_OR, OP_XOR, CompiledNetlist
+
+try:  # pragma: no cover - exercised only where cupy is installed
+    import cupy
+
+    try:
+        if cupy.cuda.runtime.getDeviceCount() < 1:
+            cupy = None
+            UNAVAILABLE_REASON: Optional[str] = (
+                "cupy is installed but no CUDA device is present"
+            )
+        else:
+            UNAVAILABLE_REASON = None
+    except Exception as exc:  # CUDARuntimeError and driver-load failures
+        cupy = None
+        UNAVAILABLE_REASON = f"cupy is installed but CUDA is unusable: {exc}"
+except ImportError:  # pragma: no cover - the common CI case
+    cupy = None
+    UNAVAILABLE_REASON = "cupy is not installed"
+
+
+if cupy is None:
+    CupyBackend = None
+else:  # pragma: no cover - exercised only on a GPU host
+
+    _UFUNCS = {
+        OP_AND: cupy.bitwise_and,
+        OP_OR: cupy.bitwise_or,
+        OP_XOR: cupy.bitwise_xor,
+    }
+
+    #: host ufunc -> base opcode, to re-key the shared gate program.
+    _HOST_OPS = {
+        np.bitwise_and: OP_AND,
+        np.bitwise_or: OP_OR,
+        np.bitwise_xor: OP_XOR,
+    }
+
+    class CupyBackend(Backend):
+        """Device-resident gate walk; bit-identical to the CPU backends."""
+
+        name = "cupy"
+
+        def __init__(self, compiled: CompiledNetlist) -> None:
+            super().__init__(compiled)
+            # Re-key the host gate program onto cupy ufuncs once.
+            self._program = [
+                (
+                    None if ufunc is None else _UFUNCS[_HOST_OPS[ufunc]],
+                    invert,
+                    operand_ids,
+                    out_id,
+                )
+                for ufunc, invert, operand_ids, out_id in gate_program(compiled)
+            ]
+            self._words_cache = None  # (host ref, host snapshot, device copy)
+            self._plan_cache = None  # (plan ref, device stem/branch maps)
+
+        # ----------------------------------------------------------
+        def _device_words(self, words: np.ndarray):
+            cached = self._words_cache
+            if (
+                cached is not None
+                and cached[0] is words
+                and np.array_equal(words, cached[1])
+            ):
+                return cached[2]
+            dev = cupy.asarray(words)
+            self._words_cache = (words, words.copy(), dev)
+            return dev
+
+        def _device_plan(self, plan: OverridePlan):
+            cached = self._plan_cache
+            if cached is not None and cached[0] is plan:
+                return cached[1], cached[2]
+            stem = {
+                nid: (cupy.asarray(rows, dtype=cupy.intp), cupy.asarray(consts))
+                for nid, (rows, consts) in plan.stem.items()
+            }
+            branch = {
+                gate: {
+                    pin: (cupy.asarray(rows, dtype=cupy.intp), cupy.asarray(consts))
+                    for pin, (rows, consts) in pins.items()
+                }
+                for gate, pins in plan.branch_by_gate.items()
+            }
+            self._plan_cache = (plan, stem, branch)
+            return stem, branch
+
+        # ----------------------------------------------------------
+        def _walk(self, dev_words, stems, branches, n_rows: int):
+            """The python_loop matrix walk, on device."""
+            c = self.compiled
+            n_words = dev_words.shape[1]
+            vals = cupy.empty((c.n_nets, n_rows, n_words), dtype=cupy.uint64)
+            for k, nid in enumerate(self._input_ids):
+                vals[nid] = dev_words[k]
+                entry = stems.get(nid)
+                if entry is not None:
+                    vals[nid][entry[0]] = entry[1]
+            for g, (ufunc, invert, operand_ids, out_id) in enumerate(
+                self._program
+            ):
+                gate_branches = branches.get(g)
+                if gate_branches is None:
+                    pins = [vals[nid] for nid in operand_ids]
+                else:
+                    pins = []
+                    for pin, nid in enumerate(operand_ids):
+                        entry = gate_branches.get(pin)
+                        if entry is None:
+                            pins.append(vals[nid])
+                        else:
+                            faulted = vals[nid].copy()
+                            faulted[entry[0]] = entry[1]
+                            pins.append(faulted)
+                out = vals[out_id]
+                if ufunc is None:  # BUF / NOT
+                    if invert:
+                        cupy.invert(pins[0], out=out)
+                    else:
+                        cupy.copyto(out, pins[0])
+                else:
+                    ufunc(pins[0], pins[1], out=out)
+                    for pv in pins[2:]:
+                        ufunc(out, pv, out=out)
+                    if invert:
+                        cupy.invert(out, out=out)
+                entry = stems.get(out_id)
+                if entry is not None:
+                    out[entry[0]] = entry[1]
+            return vals
+
+        # ----------------------------------------------------------
+        # Primitive kernels
+        # ----------------------------------------------------------
+        def run_words(self, words: np.ndarray) -> np.ndarray:
+            dev = self._walk(self._device_words(words), {}, {}, 1)
+            return cupy.asnumpy(dev[:, 0, :])
+
+        def run_matrix(
+            self, words: np.ndarray, plan: OverridePlan, n_rows: int
+        ) -> np.ndarray:
+            stems, branches = self._device_plan(plan)
+            dev = self._walk(self._device_words(words), stems, branches, n_rows)
+            return cupy.asnumpy(dev)
+
+        # ----------------------------------------------------------
+        # Derived kernels -- reduce on device, transfer only the result
+        # ----------------------------------------------------------
+        def run_outputs(
+            self, words: np.ndarray, plan: OverridePlan, n_rows: int
+        ) -> np.ndarray:
+            stems, branches = self._device_plan(plan)
+            dev = self._walk(self._device_words(words), stems, branches, n_rows)
+            return cupy.asnumpy(dev[cupy.asarray(self._output_ids, dtype=cupy.intp)])
+
+        def run_detect(
+            self, words: np.ndarray, plan: OverridePlan, n_rows: int
+        ) -> np.ndarray:
+            stems, branches = self._device_plan(plan)
+            # Ride one golden row along, as the base implementation does,
+            # but OR-reduce the output diffs before leaving the device.
+            dev = self._walk(
+                self._device_words(words), stems, branches, n_rows + 1
+            )
+            diff = cupy.zeros((n_rows, words.shape[1]), dtype=cupy.uint64)
+            for out_id in self._output_ids:
+                out = dev[out_id]
+                diff |= out[:-1] ^ out[-1]
+            return cupy.asnumpy(diff)

@@ -33,6 +33,10 @@ except ImportError:  # pragma: no cover - the common CI case
     numba = None
     UNAVAILABLE_REASON = "numba is not installed"
 
+#: Below this many (row x word) cells the serial kernel wins: the
+#: prange fork/join overhead outweighs the loop body.
+PARALLEL_MIN_CELLS = 1 << 13
+
 
 def _stem_csr(plan: OverridePlan, n_nets: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Per-net CSR of (row, stuck word) stem entries."""
@@ -172,6 +176,108 @@ if numba is not None:  # pragma: no cover - exercised only with numba
                     vals[out, r, w] = v
 
 
+if numba is not None:  # pragma: no cover - exercised only with numba
+
+    @numba.njit(parallel=True, cache=True)
+    def _matrix_kernel_parallel(
+        base_ops,
+        inverts,
+        op_offsets,
+        operands,
+        gate_out_ids,
+        input_ids,
+        words,
+        stem_ptr,
+        stem_rows,
+        stem_vals,
+        br_ptr,
+        br_pins,
+        br_rows,
+        br_vals,
+        vals,
+    ):
+        """Row-parallel variant of :func:`_matrix_kernel`.
+
+        Fault rows are mutually independent, so the row loop moves
+        outermost and runs under ``prange``; each row walks the whole
+        gate program sequentially with arithmetic identical to the
+        serial kernel, so results are bit-identical for any thread
+        count.  Stem overrides are folded into the per-row walk (a row
+        applies a stem entry iff the entry targets it), keeping every
+        write inside the owning row.
+        """
+        n_rows = vals.shape[1]
+        n_words = vals.shape[2]
+        all_ones = np.uint64(0xFFFFFFFFFFFFFFFF)
+        n_gates = base_ops.shape[0]
+        for f in numba.prange(n_rows):
+            for k in range(input_ids.shape[0]):
+                nid = input_ids[k]
+                for w in range(n_words):
+                    vals[nid, f, w] = words[k, w]
+                for s in range(stem_ptr[nid], stem_ptr[nid + 1]):
+                    if stem_rows[s] == f:
+                        v = stem_vals[s]
+                        for w in range(n_words):
+                            vals[nid, f, w] = v
+            for g in range(n_gates):
+                lo = op_offsets[g]
+                arity = op_offsets[g + 1] - lo
+                out = gate_out_ids[g]
+                base = base_ops[g]
+                blo, bhi = br_ptr[g], br_ptr[g + 1]
+                nid0 = operands[lo]
+                ov0 = False
+                c0 = np.uint64(0)
+                for s in range(blo, bhi):
+                    if br_pins[s] == 0 and br_rows[s] == f:
+                        ov0 = True
+                        c0 = br_vals[s]
+                if ov0:
+                    for w in range(n_words):
+                        vals[out, f, w] = c0
+                else:
+                    for w in range(n_words):
+                        vals[out, f, w] = vals[nid0, f, w]
+                for p in range(1, arity):
+                    nid = operands[lo + p]
+                    ovp = False
+                    cp = np.uint64(0)
+                    for s in range(blo, bhi):
+                        if br_pins[s] == p and br_rows[s] == f:
+                            ovp = True
+                            cp = br_vals[s]
+                    if base == OP_AND:
+                        if ovp:
+                            for w in range(n_words):
+                                vals[out, f, w] &= cp
+                        else:
+                            for w in range(n_words):
+                                vals[out, f, w] &= vals[nid, f, w]
+                    elif base == OP_OR:
+                        if ovp:
+                            for w in range(n_words):
+                                vals[out, f, w] |= cp
+                        else:
+                            for w in range(n_words):
+                                vals[out, f, w] |= vals[nid, f, w]
+                    elif base == OP_XOR:
+                        if ovp:
+                            for w in range(n_words):
+                                vals[out, f, w] ^= cp
+                        else:
+                            for w in range(n_words):
+                                vals[out, f, w] ^= vals[nid, f, w]
+                if inverts[g]:
+                    for w in range(n_words):
+                        vals[out, f, w] = vals[out, f, w] ^ all_ones
+                for s in range(stem_ptr[out], stem_ptr[out + 1]):
+                    if stem_rows[s] == f:
+                        v = stem_vals[s]
+                        for w in range(n_words):
+                            vals[out, f, w] = v
+
+
 if numba is None:
     NumbaBackend = None
 else:  # pragma: no cover - exercised only where numba is installed
@@ -203,7 +309,15 @@ else:  # pragma: no cover - exercised only where numba is installed
             vals = np.empty((c.n_nets, n_rows, words.shape[1]), dtype=np.uint64)
             stem_ptr, stem_rows, stem_vals = _stem_csr(plan, c.n_nets)
             br_ptr, br_pins, br_rows, br_vals = _branch_csr(plan, c.n_gates)
-            _matrix_kernel(
+            # Rows are independent, so batches big enough to amortise the
+            # fork/join overhead take the prange kernel (bit-identical to
+            # the serial walk -- same arithmetic, row-private writes).
+            wide = (
+                n_rows >= 2 * numba.get_num_threads()
+                and n_rows * words.shape[1] >= PARALLEL_MIN_CELLS
+            )
+            kernel = _matrix_kernel_parallel if wide else _matrix_kernel
+            kernel(
                 *self._args,
                 np.ascontiguousarray(words, dtype=np.uint64),
                 stem_ptr,

@@ -1,0 +1,274 @@
+"""Thread-parallel execution backend.
+
+The fault-major matrix is an embarrassingly-parallel rectangle: cell
+``(row, word)`` of every kernel result depends only on its own fault
+group and its own 64-vector word column.  NumPy's bitwise ufuncs
+release the GIL while they run, so the rectangle tiles across a plain
+:class:`~concurrent.futures.ThreadPoolExecutor` without any process
+forking or array pickling -- each tile is evaluated by a private
+:class:`~repro.gates.backends.fused.FusedBackend` (workspaces are not
+thread-safe, so one inner backend per worker slot) and written into a
+disjoint region of the shared result array.
+
+Tiling prefers the word axis (uniform per-word cost; the campaign's
+streaming chunks keep it long); when fault rows outnumber words the
+grid also splits rows, slicing the :class:`OverridePlan` per tile
+(:func:`slice_plan`).  Either way every cell is computed by exactly the
+same fused kernel as the single-threaded backend, so results are
+bit-identical for *any* thread count -- the invariance
+``tests/test_tune.py`` pins down.
+
+Thread count resolves ``threads=`` keyword > ``REPRO_THREADS`` env >
+``os.cpu_count()``; on a single-core host the backend degrades to the
+plain fused path (no pool is ever created), so ``threaded`` is always
+safe to register.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.gates.backends.base import Backend
+from repro.gates.backends.fused import FusedBackend
+from repro.gates.backends.plan import OverridePlan
+from repro.gates.compile import CompiledNetlist
+
+#: Environment override of the worker-thread count.
+THREADS_ENV = "REPRO_THREADS"
+
+#: Tiles below this many (row x word) cells are not worth dispatching
+#: to the pool: the fused kernel finishes faster than a pool handoff.
+PARALLEL_MIN_CELLS = 1 << 13
+
+#: Upper bound on auto-resolved threads (mirrors the process-sharding
+#: cap; explicit ``threads=`` / ``REPRO_THREADS`` may exceed it).
+MAX_AUTO_THREADS = 8
+
+
+def resolve_threads(threads: Optional[int] = None) -> int:
+    """Worker-thread count: keyword > ``REPRO_THREADS`` env > cpu count."""
+    if threads is not None:
+        return max(1, int(threads))
+    env = os.environ.get(THREADS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise SimulationError(
+                f"{THREADS_ENV}={env!r} is not a thread count"
+            ) from None
+    return max(1, min(os.cpu_count() or 1, MAX_AUTO_THREADS))
+
+
+def _bounds(n_items: int, n_parts: int) -> List[Tuple[int, int]]:
+    """Contiguous balanced ``[lo, hi)`` ranges (sizes differ by <= 1)."""
+    n_parts = max(1, min(n_parts, n_items)) if n_items else 1
+    base, extra = divmod(n_items, n_parts)
+    out: List[Tuple[int, int]] = []
+    lo = 0
+    for part in range(n_parts):
+        hi = lo + base + (1 if part < extra else 0)
+        if hi > lo:
+            out.append((lo, hi))
+        lo = hi
+    return out
+
+
+def slice_plan(plan: OverridePlan, lo: int, hi: int) -> OverridePlan:
+    """Sub-plan covering override rows ``[lo, hi)``, row indices rebased.
+
+    Rows at or beyond ``plan.n_rows`` carry no overrides (ride-along
+    golden rows), so the slice only filters and rebases the entries
+    that exist; the result drives a tile evaluation whose rows
+    concatenate back bit-identically.
+    """
+    sub = OverridePlan.__new__(OverridePlan)
+    sub.n_rows = max(0, min(hi, plan.n_rows) - lo)
+    sub.row_levels = plan.row_levels[lo : max(lo, min(hi, plan.n_rows))]
+
+    def cut(entry):
+        rows, consts = entry
+        keep = [i for i, r in enumerate(rows) if lo <= r < hi]
+        if not keep:
+            return None
+        return ([rows[i] - lo for i in keep], consts[keep])
+
+    sub.stem = {}
+    for nid, entry in plan.stem.items():
+        part = cut(entry)
+        if part is not None:
+            sub.stem[nid] = part
+    sub.branch_by_gate = {}
+    for gate, pins in plan.branch_by_gate.items():
+        cut_pins = {}
+        for pin, entry in pins.items():
+            part = cut(entry)
+            if part is not None:
+                cut_pins[pin] = part
+        if cut_pins:
+            sub.branch_by_gate[gate] = cut_pins
+    return sub
+
+
+class ThreadedBackend(Backend):
+    """Fused kernels tiled over a (fault-row x word-range) thread grid."""
+
+    name = "threaded"
+
+    def __init__(
+        self, compiled: CompiledNetlist, threads: Optional[int] = None
+    ) -> None:
+        super().__init__(compiled)
+        # ``None`` re-resolves per call, so one cached engine follows
+        # ``REPRO_THREADS`` changes; an explicit count is pinned.
+        self._threads = None if threads is None else max(1, int(threads))
+        self._inners: List[FusedBackend] = [FusedBackend(compiled)]
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_size = 0
+
+    # ------------------------------------------------------------------
+    def _inner(self, index: int) -> FusedBackend:
+        while len(self._inners) <= index:
+            self._inners.append(FusedBackend(self.compiled))
+        return self._inners[index]
+
+    def _executor(self, n_workers: int) -> ThreadPoolExecutor:
+        if self._pool is None or self._pool_size < n_workers:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+            self._pool = ThreadPoolExecutor(
+                max_workers=n_workers, thread_name_prefix="repro-threaded"
+            )
+            self._pool_size = n_workers
+        return self._pool
+
+    def _grid(
+        self, n_rows: int, n_words: int
+    ) -> Optional[List[Tuple[int, int, int, int]]]:
+        """(row_lo, row_hi, word_lo, word_hi) tiles, or ``None`` to run
+        the plain fused path (single thread / too little work)."""
+        n_threads = resolve_threads(self._threads)
+        if n_threads <= 1 or n_rows * n_words < PARALLEL_MIN_CELLS:
+            return None
+        if n_words >= n_threads:
+            # Word-axis tiles: uniform cost, no plan slicing needed.
+            return [
+                (0, n_rows, lo, hi) for lo, hi in _bounds(n_words, n_threads)
+            ]
+        row_parts = max(1, n_threads // max(1, n_words))
+        return [
+            (rlo, rhi, wlo, whi)
+            for rlo, rhi in _bounds(n_rows, row_parts)
+            for wlo, whi in _bounds(n_words, n_words)
+        ]
+
+    def _run_tiles(self, tiles, task) -> None:
+        pool = self._executor(len(tiles))
+        futures = [
+            pool.submit(task, i, tile) for i, tile in enumerate(tiles)
+        ]
+        for future in futures:
+            future.result()
+
+    def _tile_words(self, words: np.ndarray, tiles) -> List[np.ndarray]:
+        """Per-tile word views, cached per (words identity, grid).
+
+        Handing the *same* view objects to the inner backends on every
+        call lets their per-chunk golden caches hit across the fault
+        batches of one campaign word chunk (the fused cache keys on
+        array identity plus a content snapshot, so in-place mutation by
+        the caller still invalidates correctly).
+        """
+        key = tuple((wlo, whi) for _, _, wlo, whi in tiles)
+        cached = getattr(self, "_view_cache", None)
+        if cached is not None and cached[0] is words and cached[1] == key:
+            return cached[2]
+        views = [words[:, wlo:whi] for _, _, wlo, whi in tiles]
+        self._view_cache = (words, key, views)
+        return views
+
+    # ------------------------------------------------------------------
+    # Primitive kernels
+    # ------------------------------------------------------------------
+    def run_words(self, words: np.ndarray) -> np.ndarray:
+        tiles = self._grid(1, words.shape[1])
+        if tiles is None or len(tiles) <= 1:
+            return self._inner(0).run_words(words)
+        out = np.empty((self.compiled.n_nets, words.shape[1]), dtype=np.uint64)
+        views = self._tile_words(words, tiles)
+
+        def task(i, tile):
+            _, _, wlo, whi = tile
+            out[:, wlo:whi] = self._inner(i).run_words(views[i])
+
+        self._run_tiles(tiles, task)
+        return out
+
+    def run_matrix(
+        self, words: np.ndarray, plan: OverridePlan, n_rows: int
+    ) -> np.ndarray:
+        tiles = self._grid(n_rows, words.shape[1])
+        if tiles is None or len(tiles) <= 1:
+            return self._inner(0).run_matrix(words, plan, n_rows)
+        out = np.empty(
+            (self.compiled.n_nets, n_rows, words.shape[1]), dtype=np.uint64
+        )
+        views = self._tile_words(words, tiles)
+
+        def task(i, tile):
+            rlo, rhi, wlo, whi = tile
+            sub = plan if (rlo, rhi) == (0, n_rows) else slice_plan(plan, rlo, rhi)
+            out[:, rlo:rhi, wlo:whi] = self._inner(i).run_matrix(
+                views[i], sub, rhi - rlo
+            )
+
+        self._run_tiles(tiles, task)
+        return out
+
+    # ------------------------------------------------------------------
+    # Derived kernels
+    # ------------------------------------------------------------------
+    def run_detect(
+        self, words: np.ndarray, plan: OverridePlan, n_rows: int
+    ) -> np.ndarray:
+        tiles = self._grid(n_rows, words.shape[1])
+        if tiles is None or len(tiles) <= 1:
+            return self._inner(0).run_detect(words, plan, n_rows)
+        out = np.empty((n_rows, words.shape[1]), dtype=np.uint64)
+        views = self._tile_words(words, tiles)
+
+        def task(i, tile):
+            rlo, rhi, wlo, whi = tile
+            sub = plan if (rlo, rhi) == (0, n_rows) else slice_plan(plan, rlo, rhi)
+            out[rlo:rhi, wlo:whi] = self._inner(i).run_detect(
+                views[i], sub, rhi - rlo
+            )
+
+        self._run_tiles(tiles, task)
+        return out
+
+    def run_outputs(
+        self, words: np.ndarray, plan: OverridePlan, n_rows: int
+    ) -> np.ndarray:
+        tiles = self._grid(n_rows, words.shape[1])
+        if tiles is None or len(tiles) <= 1:
+            return self._inner(0).run_outputs(words, plan, n_rows)
+        out = np.empty(
+            (len(self._output_ids), n_rows, words.shape[1]), dtype=np.uint64
+        )
+        views = self._tile_words(words, tiles)
+
+        def task(i, tile):
+            rlo, rhi, wlo, whi = tile
+            sub = plan if (rlo, rhi) == (0, n_rows) else slice_plan(plan, rlo, rhi)
+            out[:, rlo:rhi, wlo:whi] = self._inner(i).run_outputs(
+                views[i], sub, rhi - rlo
+            )
+
+        self._run_tiles(tiles, task)
+        return out

@@ -54,6 +54,7 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.gates.backends import (
+    AUTO_BACKEND,
     Backend,
     FaultGroup,
     OverridePlan,
@@ -351,7 +352,12 @@ class BitParallelEngine:
         self, compiled: CompiledNetlist, backend: Optional[str] = None
     ) -> None:
         self.compiled = compiled
-        self.backend_name = resolve_backend_name(backend)
+        resolved = resolve_backend_name(backend, allow_auto=True)
+        if resolved == AUTO_BACKEND:
+            from repro.gates.tune import resolve_plan
+
+            resolved = resolve_plan(compiled).backend
+        self.backend_name = resolved
         self.backend: Backend = create_backend(self.backend_name, compiled)
         self._input_ids = [int(i) for i in compiled.input_ids]
         self._output_ids = [int(i) for i in compiled.output_ids]
@@ -520,8 +526,8 @@ class BitParallelEngine:
         faults: Optional[Sequence[StuckAtFault]] = None,
         collapse: bool = True,
         fault_dropping: bool = True,
-        word_chunk: int = 512,
-        fault_chunk: int = 64,
+        word_chunk: Optional[int] = None,
+        fault_chunk: Optional[int] = None,
     ) -> StuckAtCampaignResult:
         """Simulate a stuck-at universe against one shared golden run.
 
@@ -530,9 +536,15 @@ class BitParallelEngine:
         one representative per structural equivalence class is
         simulated and its verdict is broadcast to the class.  With
         ``fault_dropping`` (default) faults detected in an earlier
-        vector chunk drop out of later chunks.  Classifications are
-        bit-identical to per-fault reference simulation in all modes.
+        vector chunk drop out of later chunks.  Chunk sizes resolve
+        through :func:`repro.gates.tune.resolve_chunking` (keyword >
+        ``REPRO_WORD_CHUNK``/``REPRO_FAULT_CHUNK`` env > 512/64) and
+        never change any classification -- all modes are bit-identical
+        to per-fault reference simulation.
         """
+        from repro.gates.tune import resolve_chunking
+
+        word_chunk, fault_chunk = resolve_chunking(word_chunk, fault_chunk)
         c = self.compiled
         netlist = c.source
         if packed is None:
@@ -664,9 +676,16 @@ def engine_for(netlist: Netlist, backend: Optional[str] = None) -> BitParallelEn
     :class:`CompiledNetlist` *per backend*, so repeated campaigns share
     the resolved backend schedule and the packed exhaustive vector set.
     ``backend`` resolves through the standard precedence (keyword >
-    ``REPRO_BACKEND`` env > default).
+    ``REPRO_BACKEND`` env > default); the ``"auto"`` sentinel resolves
+    through the shape-aware autotuner to a concrete name first, so the
+    cache is always keyed on real backends.
     """
-    return _engine_cache(resolve_backend_name(backend))(compile_netlist(netlist))
+    name = resolve_backend_name(backend, allow_auto=True)
+    if name == AUTO_BACKEND:
+        from repro.gates.tune import resolve_plan
+
+        name = resolve_plan(compile_netlist(netlist)).backend
+    return _engine_cache(name)(compile_netlist(netlist))
 
 
 def run_stuck_at_campaign(
@@ -675,16 +694,17 @@ def run_stuck_at_campaign(
     faults: Optional[Iterable[StuckAtFault]] = None,
     collapse: bool = True,
     fault_dropping: bool = True,
-    word_chunk: int = 512,
-    fault_chunk: int = 64,
+    word_chunk: Optional[int] = None,
+    fault_chunk: Optional[int] = None,
     backend: Optional[str] = None,
 ) -> StuckAtCampaignResult:
     """One-call batched campaign over ``netlist``'s stuck-at universe.
 
     ``inputs`` maps primary inputs to 0/1 vectors (all the same length);
     omitted, the exhaustive vector set is used.  ``backend`` selects the
-    execution backend (classifications are bit-identical across all of
-    them).  See :meth:`BitParallelEngine.campaign` for the knobs.
+    execution backend -- ``"auto"`` engages the shape-aware autotuner
+    (:mod:`repro.gates.tune`); classifications are bit-identical across
+    all of them.  See :meth:`BitParallelEngine.campaign` for the knobs.
     """
     engine = engine_for(netlist, backend)
     packed: Optional[PackedVectors] = None

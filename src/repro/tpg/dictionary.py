@@ -35,7 +35,8 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.faults.sharding import resolve_workers, run_sharded, shard_bounds
-from repro.gates.backends import resolve_backend_name
+from repro.gates.backends import AUTO_BACKEND, resolve_backend_name
+from repro.gates.compile import compile_netlist
 from repro.gates.engine import (
     ALL_ONES,
     LANES,
@@ -54,12 +55,52 @@ from repro.gates.faults import (
     structural_equivalence_groups,
 )
 from repro.gates.netlist import Netlist
+from repro.gates.tune import resolve_chunking, resolve_plan
 
 #: Streaming chunk sizes of the dictionary builder: vectors move through
 #: the fault matrix ``DICT_WORD_CHUNK`` words (x64 vectors) at a time,
 #: equivalence-class representatives ``DICT_FAULT_CHUNK`` rows at a time.
+#: Defaults of the shared resolution rule
+#: (:func:`repro.gates.tune.resolve_chunking`); explicit keywords and
+#: the ``REPRO_WORD_CHUNK``/``REPRO_FAULT_CHUNK`` env vars override.
 DICT_WORD_CHUNK = 256
 DICT_FAULT_CHUNK = 64
+
+
+def _resolve_dict_backend(
+    netlist: Netlist,
+    backend: Optional[str],
+    n_groups: int,
+    n_words: int,
+    word_chunk: Optional[int],
+    fault_chunk: Optional[int],
+    matrix_budget: Optional[int],
+) -> Tuple[str, int, int]:
+    """Shared backend + chunk resolution of the dictionary builders.
+
+    Returns ``(concrete backend name, word_chunk, fault_chunk)``; the
+    ``"auto"`` sentinel goes through the shape-aware autotuner with the
+    builder's real universe sizes, so sharded workers always receive a
+    concrete name.
+    """
+    word_chunk, fault_chunk = resolve_chunking(
+        word_chunk,
+        fault_chunk,
+        default_word_chunk=DICT_WORD_CHUNK,
+        default_fault_chunk=DICT_FAULT_CHUNK,
+    )
+    backend = resolve_backend_name(backend, allow_auto=True)
+    if backend == AUTO_BACKEND:
+        backend = resolve_plan(
+            compile_netlist(netlist),
+            backend=AUTO_BACKEND,
+            n_groups=n_groups,
+            n_words=n_words,
+            word_chunk=word_chunk,
+            fault_chunk=fault_chunk,
+            matrix_budget=matrix_budget,
+        ).backend
+    return backend, word_chunk, fault_chunk
 
 
 @dataclass(frozen=True)
@@ -542,8 +583,8 @@ def build_fault_dictionary(
     faults: Optional[Iterable[StuckAtFault]] = None,
     collapse: bool = True,
     workers: Optional[int] = None,
-    word_chunk: int = DICT_WORD_CHUNK,
-    fault_chunk: int = DICT_FAULT_CHUNK,
+    word_chunk: Optional[int] = None,
+    fault_chunk: Optional[int] = None,
     matrix_budget: Optional[int] = None,
     backend: Optional[str] = None,
 ) -> FaultDictionary:
@@ -564,10 +605,13 @@ def build_fault_dictionary(
         space = TestSpace.full(netlist)
     elif space.netlist is not netlist:
         raise SimulationError("test space was built for a different netlist")
-    backend = resolve_backend_name(backend)
     fault_tuple = tuple(faults) if faults is not None else None
     fault_seq, groups = _resolve_universe(netlist, fault_tuple, collapse)
     n_words = space.n_words
+    backend, word_chunk, fault_chunk = _resolve_dict_backend(
+        netlist, backend, len(groups), n_words,
+        word_chunk, fault_chunk, matrix_budget,
+    )
     n_workers = resolve_workers(
         workers, n_words, cost=len(groups) * space.n_vectors
     )
@@ -596,8 +640,8 @@ def dictionary_for_vectors(
     bits: np.ndarray,
     faults: Optional[Iterable[StuckAtFault]] = None,
     collapse: bool = True,
-    word_chunk: int = DICT_WORD_CHUNK,
-    fault_chunk: int = DICT_FAULT_CHUNK,
+    word_chunk: Optional[int] = None,
+    fault_chunk: Optional[int] = None,
     matrix_budget: Optional[int] = None,
     backend: Optional[str] = None,
 ) -> FaultDictionary:
@@ -609,11 +653,14 @@ def dictionary_for_vectors(
     building it for a compact set and comparing ``detected`` against the
     set's claim is the end-to-end validation the tests pin down.
     """
-    backend = resolve_backend_name(backend)
     fault_tuple = tuple(faults) if faults is not None else None
     fault_seq, groups = _resolve_universe(netlist, fault_tuple, collapse)
     bits = np.asarray(bits, dtype=np.uint8)
     n_tests = bits.shape[0]
+    backend, word_chunk, fault_chunk = _resolve_dict_backend(
+        netlist, backend, len(groups), max(1, -(-n_tests // LANES)),
+        word_chunk, fault_chunk, matrix_budget,
+    )
     if n_tests and bits.shape[1] != len(netlist.primary_inputs):
         raise SimulationError(
             f"test table has {bits.shape[1]} input columns, netlist has "

@@ -35,7 +35,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import SimulationError
-from repro.gates.backends import resolve_backend_name
+from repro.gates.backends import AUTO_BACKEND, resolve_backend_name
+from repro.gates.compile import compile_netlist
 from repro.gates.builders import (
     restoring_divider,
     ripple_borrow_subtractor,
@@ -51,6 +52,7 @@ from repro.gates.engine import (
 )
 from repro.gates.faults import StuckAtFault
 from repro.gates.netlist import Netlist
+from repro.gates.tune import resolve_chunking, resolve_plan
 from repro.tpg.compaction import CompactTestSet, compact_from_dictionary, greedy_cover
 from repro.tpg.dictionary import (
     FaultDictionary,
@@ -188,7 +190,8 @@ def generate_tests(
     stale_phases: int = STALE_PHASES,
     faults: Optional[Tuple[StuckAtFault, ...]] = None,
     collapse: bool = True,
-    fault_chunk: int = 64,
+    word_chunk: Optional[int] = None,
+    fault_chunk: Optional[int] = None,
     backend: Optional[str] = None,
 ) -> TPGResult:
     """Run the two-phase ATPG loop over ``netlist``.
@@ -196,8 +199,9 @@ def generate_tests(
     Deterministic for a given ``seed``: the RNG stream, class iteration
     order and first-detect tie-breaks are all fixed, so two runs return
     identical test tables and compact sets -- under any execution
-    backend (``backend`` resolves keyword > ``REPRO_BACKEND`` > default
-    and is recorded on the resulting dictionary).  When the free-input count
+    backend (``backend`` resolves keyword > ``REPRO_BACKEND`` > default,
+    with ``"auto"`` resolved to a concrete name by the shape-aware
+    autotuner, and is recorded on the resulting dictionary).  When the free-input count
     exceeds the exhaustive-packing cap the residual sweep is skipped and
     surviving faults stay ``unresolved`` instead of proven redundant
     (``TPGResult.exhausted`` records which).
@@ -206,8 +210,20 @@ def generate_tests(
         space = TestSpace.full(netlist)
     elif space.netlist is not netlist:
         raise SimulationError("test space was built for a different netlist")
-    backend = resolve_backend_name(backend)
     fault_seq, groups = _resolve_universe(netlist, faults, collapse)
+    word_chunk, fault_chunk = resolve_chunking(
+        word_chunk, fault_chunk, default_word_chunk=256, default_fault_chunk=64
+    )
+    backend = resolve_backend_name(backend, allow_auto=True)
+    if backend == AUTO_BACKEND:
+        backend = resolve_plan(
+            compile_netlist(netlist),
+            backend=AUTO_BACKEND,
+            n_groups=len(groups),
+            n_words=space.n_words,
+            word_chunk=word_chunk,
+            fault_chunk=fault_chunk,
+        ).backend
     engine = engine_for(netlist, backend)
     reps = [fault_seq[g[0]] for g in groups]
     rng = np.random.default_rng(seed)
@@ -258,11 +274,11 @@ def generate_tests(
         row_cells = engine.compiled.n_nets * (
             min(fault_chunk, max(1, len(active))) + 1
         )
-        word_chunk = matrix_word_chunk(row_cells, 256)
-        for lo in range(0, space.n_words, word_chunk):
+        sweep_chunk = matrix_word_chunk(row_cells, word_chunk)
+        for lo in range(0, space.n_words, sweep_chunk):
             if not active:
                 break
-            hi = min(lo + word_chunk, space.n_words)
+            hi = min(lo + sweep_chunk, space.n_words)
             rows = space.input_rows(lo, hi)
             valid = space.valid_words(lo, hi, rows=rows)
             vectors_tried += (
