@@ -26,6 +26,7 @@ DEFAULT_DOCS = (
     "docs/architecture.md",
     "docs/api.md",
     "examples/compact_test_sets.py",
+    "examples/cached_campaigns.py",
 )
 
 

@@ -22,6 +22,8 @@ The package provides:
   (:mod:`repro.hdlgen`);
 * a test-generation subsystem: fault dictionaries, compact test sets
   and emitted self-test benches/programs (:mod:`repro.tpg`);
+* a content-addressed result store memoising campaign artifacts, with
+  checkpointed resumable sharded runs (:mod:`repro.store`);
 * benchmark applications, FIR first (:mod:`repro.apps`).
 """
 
@@ -34,6 +36,15 @@ from repro.gates.backends import (
     resolve_backend_name,
 )
 from repro.gates.tune import TuningPlan, resolve_chunking, resolve_plan
+from repro.store import (
+    CacheKey,
+    ResultStore,
+    STORE_DIR_ENV,
+    STORE_ENV,
+    StoreCorruptionWarning,
+    open_store,
+    resolve_store,
+)
 from repro.tpg import (
     CompactTestSet,
     FaultDictionary,
@@ -72,6 +83,13 @@ __all__ = [
     "TuningPlan",
     "resolve_chunking",
     "resolve_plan",
+    "CacheKey",
+    "ResultStore",
+    "STORE_DIR_ENV",
+    "STORE_ENV",
+    "StoreCorruptionWarning",
+    "open_store",
+    "resolve_store",
     "CompactTestSet",
     "FaultDictionary",
     "TestSpace",

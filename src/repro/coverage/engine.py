@@ -108,6 +108,15 @@ from repro.gates.engine import (
 )
 from repro.gates.netlist import Netlist
 from repro.gates.tune import resolve_chunking, resolve_plan
+from repro.store import (
+    CacheKey,
+    ResultStore,
+    digest_cell_library,
+    digest_netlist,
+    digest_params,
+    resolve_store,
+    run_checkpointed,
+)
 
 #: Widths up to this operand-space size are enumerated exhaustively.
 DEFAULT_EXHAUSTIVE_LIMIT = 1 << 20
@@ -421,15 +430,34 @@ def _run_functional(
     seed: int,
     workers: Optional[int],
     force_sampled: bool,
+    store: Optional[ResultStore] = None,
 ) -> Dict[str, CoverageStats]:
     spec = _SPECS[operator]
     n_cases = len(spec.case_list(width, cell_netlist))
     space = 1 << (2 * width)
+    exhaustive = space <= exhaustive_limit and not force_sampled
     per_case = (
-        space
-        if space <= exhaustive_limit and not force_sampled
+        space if exhaustive
         else (samples if samples is not None else DEFAULT_SAMPLES)
     )
+    method = "functional" if exhaustive else "sampled"
+    key = None
+    if store is not None:
+        key = CacheKey(
+            kind="coverage",
+            netlist=digest_params(operator=operator, width=width),
+            universe=digest_cell_library(cell_netlist),
+            space=(
+                digest_params(exhaustive=True)
+                if exhaustive
+                else digest_params(samples=per_case, seed=seed)
+            ),
+            method=method,
+            backend="numpy",
+        )
+        cached = store.get(key)
+        if cached is not None:
+            return cached
     n_workers = resolve_workers(workers, n_cases, cost=n_cases * per_case)
     shards = run_sharded(
         _functional_case_counts,
@@ -440,12 +468,13 @@ def _run_functional(
         ],
     )
     acc = _Accumulator(spec.names)
-    exhaustive = shards[0][0]
     for _, chunk in shards:
         for repeat, count, n_correct, per in chunk:
             acc.update_counts(count, n_correct, per, repeat=repeat)
-    method = "functional" if exhaustive else "sampled"
-    return acc.stats(operator, width, exhaustive, method)
+    result = acc.stats(operator, width, exhaustive, method)
+    if store is not None:
+        store.put(key, result, {"n_cases": n_cases, "workers": n_workers})
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -595,6 +624,7 @@ def _run_gate(
     fault_chunk: Optional[int],
     matrix_budget: Optional[int] = None,
     backend: Optional[str] = None,
+    store: Optional[ResultStore] = None,
 ) -> Dict[str, CoverageStats]:
     if operator not in GATE_OPERATORS:
         raise SimulationError(
@@ -621,6 +651,27 @@ def _run_gate(
             fault_chunk=fault_chunk,
             matrix_budget=matrix_budget,
         ).backend
+    key = None
+    if store is not None:
+        # The final key covers everything that determines the numbers
+        # plus the hashed campaign parameters -- but *not* the worker
+        # count or grid shape, so any sharding reuses the same entry.
+        key = CacheKey(
+            kind="coverage",
+            netlist=digest_netlist(arch.netlist),
+            universe=digest_cell_library(cell_netlist),
+            space=digest_params(exhaustive=True),
+            method="gate",
+            backend=backend,
+            params=digest_params(
+                word_chunk=word_chunk,
+                fault_chunk=fault_chunk,
+                matrix_budget=matrix_budget,
+            ),
+        )
+        cached = store.get(key)
+        if cached is not None:
+            return cached
     n_workers = resolve_workers(workers, n_cases, cost=n_cases * arch.n_vectors)
     grid = shard_grid(
         n_cases,
@@ -628,30 +679,53 @@ def _run_gate(
         n_workers,
         word_first=arch.n_words >= GATE_GRID_WORD_FIRST,
     )
-    shards = run_sharded(
-        _gate_case_counts,
-        [
-            (operator, width, cell_netlist, word_chunk, fault_chunk,
-             case_lo, case_hi, word_lo, word_hi, matrix_budget, backend)
-            for case_lo, case_hi, word_lo, word_hi in grid
-        ],
-    )
+    arg_tuples = [
+        (operator, width, cell_netlist, word_chunk, fault_chunk,
+         case_lo, case_hi, word_lo, word_hi, matrix_budget, backend)
+        for case_lo, case_hi, word_lo, word_hi in grid
+    ]
+    if store is not None:
+        shards = run_checkpointed(
+            _gate_case_counts,
+            arg_tuples,
+            [key.with_shard(*span) for span in grid],
+            store,
+        )
+    else:
+        shards = run_sharded(_gate_case_counts, arg_tuples)
     acc = _Accumulator(_SPECS[operator].names)
     for repeat, count, n_correct, per in _merge_gate_shards(grid, shards):
         acc.update_counts(count, n_correct, per, repeat=repeat)
-    return acc.stats(operator, width, True, "gate")
+    result = acc.stats(operator, width, True, "gate")
+    if store is not None:
+        store.put(key, result, {"grid": len(grid), "workers": n_workers})
+    return result
 
 
 # ----------------------------------------------------------------------
 # Transfer-matrix exact wide widths (chain operators)
 # ----------------------------------------------------------------------
 def _run_transfer(
-    operator: str, width: int, cell_netlist: str
+    operator: str, width: int, cell_netlist: str,
+    store: Optional[ResultStore] = None,
 ) -> Dict[str, CoverageStats]:
     if operator not in CHAIN_OPERATORS:
         raise SimulationError(
             f"transfer evaluation covers {CHAIN_OPERATORS}, not {operator!r}"
         )
+    key = None
+    if store is not None:
+        key = CacheKey(
+            kind="coverage",
+            netlist=digest_params(operator=operator, width=width),
+            universe=digest_cell_library(cell_netlist),
+            space=digest_params(exhaustive=True),
+            method="transfer",
+            backend="numpy",
+        )
+        cached = store.get(key)
+        if cached is not None:
+            return cached
     acc = _Accumulator(_SPECS[operator].names)
     space = 1 << (2 * width)
     for group in collapsed_cell_library(cell_netlist):
@@ -668,7 +742,10 @@ def _run_transfer(
                 "both": (space - int(flags[0]), int(flags[3] + flags[5] + flags[7])),
             }
             acc.update_counts(space, n_correct, per, repeat=group.multiplicity)
-    return acc.stats(operator, width, True, "transfer")
+    result = acc.stats(operator, width, True, "transfer")
+    if store is not None:
+        store.put(key, result)
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -687,11 +764,13 @@ def _evaluate(
     fault_chunk: Optional[int],
     matrix_budget: Optional[int] = None,
     backend: Optional[str] = None,
+    store=None,
 ) -> Dict[str, CoverageStats]:
     if method not in EVALUATION_METHODS:
         raise SimulationError(
             f"unknown method {method!r}; choose from {EVALUATION_METHODS}"
         )
+    store = resolve_store(store)
     space = 1 << (2 * width)
     if method == "auto":
         if operator in CHAIN_OPERATORS:
@@ -708,10 +787,10 @@ def _evaluate(
     if method == "gate":
         return _run_gate(
             operator, width, cell_netlist, workers, word_chunk, fault_chunk,
-            matrix_budget, backend,
+            matrix_budget, backend, store,
         )
     if method == "transfer":
-        return _run_transfer(operator, width, cell_netlist)
+        return _run_transfer(operator, width, cell_netlist, store)
     return _run_functional(
         operator,
         width,
@@ -721,6 +800,7 @@ def _evaluate(
         seed,
         workers,
         force_sampled=method == "sampled",
+        store=store,
     )
 
 
@@ -736,6 +816,7 @@ def evaluate_adder(
     fault_chunk: Optional[int] = None,
     matrix_budget: Optional[int] = None,
     backend: Optional[str] = None,
+    store=None,
 ) -> Dict[str, CoverageStats]:
     """Worst-case coverage of the overloaded ``+`` (Table 2).
 
@@ -753,6 +834,7 @@ def evaluate_adder(
     return _evaluate(
         "add", width, cell_netlist, exhaustive_limit, samples, seed,
         method, workers, word_chunk, fault_chunk, matrix_budget, backend,
+        store,
     )
 
 
@@ -768,6 +850,7 @@ def evaluate_subtractor(
     fault_chunk: Optional[int] = None,
     matrix_budget: Optional[int] = None,
     backend: Optional[str] = None,
+    store=None,
 ) -> Dict[str, CoverageStats]:
     """Worst-case coverage of the overloaded ``-``.
 
@@ -781,6 +864,7 @@ def evaluate_subtractor(
     return _evaluate(
         "sub", width, cell_netlist, exhaustive_limit, samples, seed,
         method, workers, word_chunk, fault_chunk, matrix_budget, backend,
+        store,
     )
 
 
@@ -796,6 +880,7 @@ def evaluate_multiplier(
     fault_chunk: Optional[int] = None,
     matrix_budget: Optional[int] = None,
     backend: Optional[str] = None,
+    store=None,
 ) -> Dict[str, CoverageStats]:
     """Worst-case coverage of the overloaded ``*``.
 
@@ -814,6 +899,7 @@ def evaluate_multiplier(
     return _evaluate(
         "mul", width, cell_netlist, exhaustive_limit, samples, seed,
         method, workers, word_chunk, fault_chunk, matrix_budget, backend,
+        store,
     )
 
 
@@ -829,6 +915,7 @@ def evaluate_divider(
     fault_chunk: Optional[int] = None,
     matrix_budget: Optional[int] = None,
     backend: Optional[str] = None,
+    store=None,
 ) -> Dict[str, CoverageStats]:
     """Worst-case coverage of the overloaded ``/``.
 
@@ -845,6 +932,7 @@ def evaluate_divider(
     return _evaluate(
         "div", width, cell_netlist, exhaustive_limit, samples, seed,
         method, workers, word_chunk, fault_chunk, matrix_budget, backend,
+        store,
     )
 
 
@@ -889,6 +977,7 @@ def evaluate_gate_level(
     fault_dropping: bool = True,
     workers: Optional[int] = None,
     backend: Optional[str] = None,
+    store=None,
 ) -> Tuple[GateLevelCoverage, StuckAtCampaignResult]:
     """Batched stuck-at coverage of a gate-level netlist.
 
@@ -909,6 +998,7 @@ def evaluate_gate_level(
         fault_dropping=fault_dropping,
         workers=workers,
         backend=backend,
+        store=store,
     )
     stats = GateLevelCoverage(
         netlist=netlist.name,
@@ -941,6 +1031,7 @@ def evaluate_operator(
     workers: Optional[int] = None,
     matrix_budget: Optional[int] = None,
     backend: Optional[str] = None,
+    store=None,
 ) -> Dict[str, CoverageStats]:
     """Dispatch to the per-operator evaluator by name.
 
@@ -963,6 +1054,7 @@ def evaluate_operator(
         workers=workers,
         matrix_budget=matrix_budget,
         backend=backend,
+        store=store,
     )
 
 

@@ -41,6 +41,15 @@ from repro.gates.compile import compile_netlist
 from repro.gates.engine import StuckAtCampaignResult, run_stuck_at_campaign
 from repro.gates.faults import StuckAtFault, default_fault_universe
 from repro.gates.netlist import Netlist
+from repro.store import (
+    CacheKey,
+    digest_faults,
+    digest_input_vectors,
+    digest_netlist,
+    digest_params,
+    resolve_store,
+    run_checkpointed,
+)
 
 Workload = Callable[[FaultableALU], Tuple[Sequence[int], bool]]
 
@@ -187,6 +196,7 @@ def run_sharded_stuck_at_campaign(
     fault_dropping: bool = True,
     workers: Optional[int] = None,
     backend: Optional[str] = None,
+    store=None,
 ) -> StuckAtCampaignResult:
     """:func:`~repro.gates.engine.run_stuck_at_campaign` with fault sharding.
 
@@ -202,6 +212,12 @@ def run_sharded_stuck_at_campaign(
     (including the ``"auto"`` sentinel, tuned on the campaign's real
     fault/vector universe) and the resolved name is handed to every
     worker.
+
+    With a result store active (``store=`` or ``REPRO_STORE``), the
+    merged result memoises under a content key and every shard
+    checkpoints as it completes (:mod:`repro.store.checkpoint`): a
+    killed campaign re-run with the same ``workers`` loads its finished
+    shards and executes only the missing ones, merging bit-identically.
     """
     fault_seq: Tuple[StuckAtFault, ...] = (
         tuple(faults) if faults is not None else default_fault_universe(netlist)
@@ -225,6 +241,25 @@ def run_sharded_stuck_at_campaign(
             n_groups=len(fault_seq),
             n_words=max(1, -(-n_vectors // 64)),
         ).backend
+    store = resolve_store(store)
+    key = None
+    if store is not None:
+        # The final key is shard-free: any worker count hits the same
+        # entry.  Only the per-shard checkpoint keys below carry spans.
+        key = CacheKey(
+            kind="campaign",
+            netlist=digest_netlist(netlist),
+            universe=digest_faults(fault_seq),
+            space=digest_input_vectors(netlist, vectors),
+            method="stuck_at",
+            backend=backend,
+            params=digest_params(
+                collapse=collapse, fault_dropping=fault_dropping
+            ),
+        )
+        cached = store.get(key)
+        if cached is not None:
+            return cached
     n_workers = resolve_workers(
         workers, len(fault_seq), cost=len(fault_seq) * n_vectors
     )
@@ -232,7 +267,7 @@ def run_sharded_stuck_at_campaign(
         # Pass None through untouched (keeps the memoised default-universe
         # fast path); otherwise use the materialised tuple -- the original
         # ``faults`` may be a one-shot iterator already consumed above.
-        return run_stuck_at_campaign(
+        result = run_stuck_at_campaign(
             netlist,
             inputs=vectors,
             faults=fault_seq if faults is not None else None,
@@ -240,19 +275,28 @@ def run_sharded_stuck_at_campaign(
             fault_dropping=fault_dropping,
             backend=backend,
         )
+        if store is not None:
+            store.put(key, result, {"workers": 1})
+        return result
     bounds = shard_bounds(len(fault_seq), n_workers)
-    parts = run_sharded(
-        _campaign_shard,
-        [
-            (netlist, vectors, list(fault_seq[lo:hi]), collapse, fault_dropping,
-             backend)
-            for lo, hi in bounds
-        ],
-    )
+    arg_tuples = [
+        (netlist, vectors, list(fault_seq[lo:hi]), collapse, fault_dropping,
+         backend)
+        for lo, hi in bounds
+    ]
+    if store is not None:
+        parts = run_checkpointed(
+            _campaign_shard,
+            arg_tuples,
+            [key.with_shard(lo, hi) for lo, hi in bounds],
+            store,
+        )
+    else:
+        parts = run_sharded(_campaign_shard, arg_tuples)
     groups: List[Tuple[int, ...]] = []
     for part, (lo, _) in zip(parts, bounds):
         groups.extend(tuple(i + lo for i in g) for g in part.groups)
-    return StuckAtCampaignResult(
+    result = StuckAtCampaignResult(
         netlist_name=netlist.name,
         faults=fault_seq,
         detected=np.concatenate([p.detected for p in parts]),
@@ -261,6 +305,9 @@ def run_sharded_stuck_at_campaign(
         n_simulated_runs=sum(p.n_simulated_runs for p in parts),
         groups=tuple(groups),
     )
+    if store is not None:
+        store.put(key, result, {"workers": n_workers})
+    return result
 
 
 def run_gate_level_campaign(
@@ -271,6 +318,7 @@ def run_gate_level_campaign(
     fault_dropping: bool = True,
     workers: Optional[int] = None,
     backend: Optional[str] = None,
+    store=None,
 ) -> Tuple[CampaignResult, StuckAtCampaignResult]:
     """Batched stuck-at campaign over a gate-level netlist.
 
@@ -299,6 +347,7 @@ def run_gate_level_campaign(
         fault_dropping=fault_dropping,
         workers=workers,
         backend=backend,
+        store=store,
     )
     result = CampaignResult()
     for fault, hit in zip(raw.faults, raw.detected):

@@ -112,7 +112,9 @@ def shard_grid(
 
 
 def run_sharded(
-    worker: Callable[..., Any], arg_tuples: Sequence[Tuple[Any, ...]]
+    worker: Callable[..., Any],
+    arg_tuples: Sequence[Tuple[Any, ...]],
+    on_result: Optional[Callable[[int, Any], None]] = None,
 ) -> List[Any]:
     """Run ``worker(*args)`` for each tuple, in order, across processes.
 
@@ -120,11 +122,33 @@ def run_sharded(
     :func:`shard_bounds`); results are returned in submission order so
     merges are deterministic.  A single tuple short-circuits to an
     in-process call -- no pool, no pickling.
+
+    ``on_result(index, result)``, when given, fires in the *parent*
+    process as each shard completes -- in completion order, not
+    submission order.  The checkpoint runtime uses it to land partial
+    results in the store the moment they exist, so a campaign killed
+    mid-pool keeps every finished shard.
     """
     if len(arg_tuples) <= 1:
-        return [worker(*args) for args in arg_tuples]
-    from concurrent.futures import ProcessPoolExecutor
+        results = []
+        for index, args in enumerate(arg_tuples):
+            result = worker(*args)
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+        return results
+    from concurrent.futures import ProcessPoolExecutor, as_completed
 
     with ProcessPoolExecutor(max_workers=len(arg_tuples)) as pool:
-        futures = [pool.submit(worker, *args) for args in arg_tuples]
-        return [f.result() for f in futures]
+        futures = {
+            pool.submit(worker, *args): index
+            for index, args in enumerate(arg_tuples)
+        }
+        results: List[Any] = [None] * len(arg_tuples)
+        for future in as_completed(futures):
+            index = futures[future]
+            result = future.result()
+            if on_result is not None:
+                on_result(index, result)
+            results[index] = result
+        return results

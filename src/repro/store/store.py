@@ -1,0 +1,323 @@
+"""The content-addressed result store.
+
+A :class:`ResultStore` memoises campaign artifacts on the filesystem
+under a root directory, fronted by an in-process LRU.  Every entry is
+addressed by its :class:`~repro.store.hashing.CacheKey` digest and
+materialises as two files::
+
+    <root>/objects/<kind>/<digest>.json   # provenance + metadata
+    <root>/objects/<kind>/<digest>.npz    # array payload (when any)
+
+The JSON sidecar is written *last* and atomically (temp file +
+``os.replace``), so its presence marks a complete entry: a crash
+mid-write leaves at worst an orphan payload that is never consulted.
+It records the full key fields, the schema version, a checksum of the
+payload bytes and the creation context -- the provenance trail that
+makes a stored number auditable.
+
+Corruption is handled by *detect, discard, recompute*: an unreadable
+sidecar, a missing or tampered payload (checksum mismatch) or a
+schema-version mismatch makes :meth:`ResultStore.get` warn
+(:class:`StoreCorruptionWarning`), delete the entry and report a miss,
+so the caller transparently recomputes.
+
+The store is **opt-in and off by default**: every wired entry point
+takes ``store=`` (a :class:`ResultStore`, a directory path, or ``None``
+to consult the environment), and :func:`resolve_store` turns the
+``REPRO_STORE`` environment variable into a process-wide shared store
+(``REPRO_STORE=<dir>`` or ``REPRO_STORE=1`` + ``REPRO_STORE_DIR``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+import warnings
+import zipfile
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.store import codecs
+from repro.store.hashing import SCHEMA_VERSION, CacheKey
+
+#: Enables the store process-wide: a directory path, or a truthy flag
+#: (``1``/``true``/``on``/``yes``) combined with :data:`STORE_DIR_ENV`.
+STORE_ENV = "REPRO_STORE"
+#: Store directory used when :data:`STORE_ENV` is a bare flag.
+STORE_DIR_ENV = "REPRO_STORE_DIR"
+#: Fallback directory of a bare ``REPRO_STORE=1`` with no explicit dir.
+DEFAULT_STORE_DIR = ".repro-store"
+
+_TRUTHY = ("1", "true", "on", "yes")
+_FALSY = ("", "0", "false", "off", "no")
+
+#: Default size of the in-process LRU fronting the filesystem.
+DEFAULT_LRU_SIZE = 128
+
+
+class StoreCorruptionWarning(UserWarning):
+    """A stored entry failed validation and was discarded."""
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss counters of one store instance.
+
+    ``hits`` counts both LRU and disk hits (``lru_hits`` the fast
+    subset); ``misses`` counts absent entries; ``corrupt`` counts
+    entries discarded by validation (each also counted as a miss).
+    """
+
+    hits: int = 0
+    lru_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    corrupt: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "lru_hits": self.lru_hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "corrupt": self.corrupt,
+        }
+
+
+def _file_checksum(path: str) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+class ResultStore:
+    """Filesystem-backed, content-addressed artifact store with an LRU.
+
+    Values returned by :meth:`get` (and retained after :meth:`put`) are
+    shared objects: callers must treat them as immutable, the same
+    contract the gate layer's memo caches already impose.
+    """
+
+    def __init__(self, root: Union[str, os.PathLike], lru_size: int = DEFAULT_LRU_SIZE) -> None:
+        self.root = os.path.abspath(os.fspath(root))
+        self.lru_size = max(0, int(lru_size))
+        self.stats = StoreStats()
+        self._lru: Dict[str, object] = {}
+        os.makedirs(os.path.join(self.root, "objects"), exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def paths(self, key: CacheKey) -> Tuple[str, str]:
+        """``(payload .npz path, sidecar .json path)`` of ``key``."""
+        directory = os.path.join(self.root, "objects", key.kind)
+        digest = key.digest
+        return (
+            os.path.join(directory, f"{digest}.npz"),
+            os.path.join(directory, f"{digest}.json"),
+        )
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key.digest in self._lru or os.path.exists(self.paths(key)[1])
+
+    def __len__(self) -> int:
+        count = 0
+        objects = os.path.join(self.root, "objects")
+        for _, _, files in os.walk(objects):
+            count += sum(1 for f in files if f.endswith(".json"))
+        return count
+
+    # ------------------------------------------------------------------
+    def put(self, key: CacheKey, value: object, provenance: Optional[dict] = None) -> None:
+        """Store ``value`` under ``key`` (atomic; overwrites silently).
+
+        ``provenance`` extends the sidecar's provenance record (e.g.
+        wall-clock build time, worker count).
+        """
+        tag, arrays, meta = codecs.encode(value)
+        npz_path, json_path = self.paths(key)
+        os.makedirs(os.path.dirname(json_path), exist_ok=True)
+        checksum = ""
+        if arrays:
+            checksum = self._write_atomic_npz(npz_path, arrays)
+        elif os.path.exists(npz_path):
+            os.unlink(npz_path)
+        sidecar = {
+            "schema": SCHEMA_VERSION,
+            "tag": tag,
+            "key": key.to_dict(),
+            "payload_checksum": checksum,
+            "meta": meta,
+            "provenance": {
+                "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+                **(provenance or {}),
+            },
+        }
+        self._write_atomic_text(json_path, json.dumps(sidecar, indent=1, sort_keys=True))
+        self._lru_insert(key.digest, value)
+        self.stats.puts += 1
+
+    def get(self, key: CacheKey) -> Optional[object]:
+        """The stored artifact, or ``None`` (miss / discarded entry)."""
+        digest = key.digest
+        if digest in self._lru:
+            value = self._lru.pop(digest)
+            self._lru[digest] = value  # re-insert = most recently used
+            self.stats.hits += 1
+            self.stats.lru_hits += 1
+            return value
+        npz_path, json_path = self.paths(key)
+        if not os.path.exists(json_path):
+            self.stats.misses += 1
+            return None
+        try:
+            with open(json_path, "r", encoding="utf-8") as handle:
+                sidecar = json.load(handle)
+            if sidecar.get("schema") != SCHEMA_VERSION:
+                raise ValueError(
+                    f"schema {sidecar.get('schema')!r} != {SCHEMA_VERSION}"
+                )
+            checksum = sidecar.get("payload_checksum", "")
+            arrays: Dict[str, np.ndarray] = {}
+            if checksum:
+                if _file_checksum(npz_path) != checksum:
+                    raise ValueError("payload checksum mismatch")
+                with np.load(npz_path) as data:
+                    arrays = {name: data[name] for name in data.files}
+            value = codecs.decode(sidecar["tag"], arrays, sidecar["meta"])
+        except (OSError, ValueError, KeyError, json.JSONDecodeError,
+                zipfile.BadZipFile) as exc:
+            self._discard(key, json_path, npz_path, exc)
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            return None
+        self._lru_insert(digest, value)
+        self.stats.hits += 1
+        return value
+
+    def provenance(self, key: CacheKey) -> Optional[dict]:
+        """The sidecar record of ``key`` (``None`` when absent)."""
+        _, json_path = self.paths(key)
+        try:
+            with open(json_path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def clear_lru(self) -> None:
+        """Drop the in-process front cache (the filesystem stays)."""
+        self._lru.clear()
+
+    # ------------------------------------------------------------------
+    def _discard(self, key: CacheKey, json_path: str, npz_path: str, exc: Exception) -> None:
+        warnings.warn(
+            f"discarding corrupt store entry {key.kind}/{key.digest[:12]} "
+            f"({exc}); it will be recomputed",
+            StoreCorruptionWarning,
+            stacklevel=3,
+        )
+        for path in (json_path, npz_path):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def _lru_insert(self, digest: str, value: object) -> None:
+        if self.lru_size == 0:
+            return
+        self._lru.pop(digest, None)
+        self._lru[digest] = value
+        while len(self._lru) > self.lru_size:
+            self._lru.pop(next(iter(self._lru)))
+
+    def _write_atomic_npz(self, path: str, arrays: Dict[str, np.ndarray]) -> str:
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".npz.tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez_compressed(handle, **arrays)
+            checksum = _file_checksum(tmp)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return checksum
+
+    def _write_atomic_text(self, path: str, text: str) -> None:
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".json.tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+# ----------------------------------------------------------------------
+# Resolution: keyword > environment > off
+# ----------------------------------------------------------------------
+_OPEN_STORES: Dict[str, ResultStore] = {}
+
+
+def open_store(path: Union[str, os.PathLike]) -> ResultStore:
+    """A process-shared :class:`ResultStore` for ``path`` (memoised per
+    absolute path, so env-driven callers share one LRU and one set of
+    hit/miss counters)."""
+    root = os.path.abspath(os.fspath(path))
+    store = _OPEN_STORES.get(root)
+    if store is None:
+        store = ResultStore(root)
+        _OPEN_STORES[root] = store
+    return store
+
+
+def resolve_store(
+    store: Union[ResultStore, str, os.PathLike, None, bool] = None,
+) -> Optional[ResultStore]:
+    """Resolve a ``store=`` keyword to an active store or ``None``.
+
+    Precedence: an explicit :class:`ResultStore` or path wins;
+    ``store=False`` forces the store off regardless of environment;
+    ``store=None`` (the default everywhere) consults ``REPRO_STORE``.
+    """
+    if isinstance(store, ResultStore):
+        return store
+    if store is False:
+        return None
+    if store is not None and store is not True:
+        return open_store(store)
+    env = os.environ.get(STORE_ENV, "").strip()
+    if env.lower() in _FALSY:
+        return None if store is None else open_store(DEFAULT_STORE_DIR)
+    if env.lower() in _TRUTHY:
+        return open_store(os.environ.get(STORE_DIR_ENV) or DEFAULT_STORE_DIR)
+    return open_store(env)
+
+
+__all__ = [
+    "DEFAULT_LRU_SIZE",
+    "DEFAULT_STORE_DIR",
+    "ResultStore",
+    "STORE_DIR_ENV",
+    "STORE_ENV",
+    "StoreCorruptionWarning",
+    "StoreStats",
+    "open_store",
+    "resolve_store",
+]

@@ -56,6 +56,16 @@ from repro.gates.faults import (
 )
 from repro.gates.netlist import Netlist
 from repro.gates.tune import resolve_chunking, resolve_plan
+from repro.store import (
+    CacheKey,
+    digest_faults,
+    digest_netlist,
+    digest_params,
+    digest_test_space,
+    digest_vector_table,
+    resolve_store,
+    run_checkpointed,
+)
 
 #: Streaming chunk sizes of the dictionary builder: vectors move through
 #: the fault matrix ``DICT_WORD_CHUNK`` words (x64 vectors) at a time,
@@ -386,9 +396,26 @@ class FaultDictionary:
             raise SimulationError("cannot merge zero dictionary shards")
         head = parts[0]
         base = head.vector_base + head.n_vectors
+        backends = {p.backend for p in parts if p.backend}
         for part in parts[1:]:
+            # Parts may arrive from anywhere -- live builds, ``.npz``
+            # files, the result store -- so identity, not freshness, is
+            # what the merge validates: same netlist, same fault list
+            # (tuple equality over the frozen fault dataclasses), same
+            # collapsing.  Backends may legitimately differ (rows are
+            # bit-identical across the registry); a mixed merge records
+            # ``"mixed"`` instead of silently claiming the head's.
+            if part.netlist_name != head.netlist_name:
+                raise SimulationError(
+                    f"dictionary shards disagree on the netlist: "
+                    f"{head.netlist_name!r} vs {part.netlist_name!r}"
+                )
             if part.faults != head.faults:
                 raise SimulationError("dictionary shards disagree on the fault list")
+            if part.groups != head.groups:
+                raise SimulationError(
+                    "dictionary shards disagree on the equivalence groups"
+                )
             if part.vector_base != base:
                 raise SimulationError(
                     f"dictionary shards are not contiguous: expected vector "
@@ -403,10 +430,11 @@ class FaultDictionary:
             netlist_name=head.netlist_name,
             faults=head.faults,
             groups=head.groups,
-            words=np.hstack([p.words for p in parts]),
+            words=np.hstack([np.ascontiguousarray(p.words) for p in parts]),
             n_vectors=base - head.vector_base,
             vector_base=head.vector_base,
-            backend=head.backend,
+            backend=(backends.pop() if len(backends) == 1 else
+                     "mixed" if backends else head.backend),
         )
 
     # ------------------------------------------------------------------
@@ -587,6 +615,7 @@ def build_fault_dictionary(
     fault_chunk: Optional[int] = None,
     matrix_budget: Optional[int] = None,
     backend: Optional[str] = None,
+    store=None,
 ) -> FaultDictionary:
     """Exhaustive fault dictionary of ``netlist`` over ``space``.
 
@@ -599,7 +628,10 @@ def build_fault_dictionary(
     ``backend`` selects the execution backend, recorded on the
     dictionary (and in its ``.npz`` persistence) for provenance.
     Masked lanes (a non-zero field, the tail of a sub-word universe)
-    are never counted as detecting.
+    are never counted as detecting.  With a result store active
+    (``store=``/``REPRO_STORE``) the finished dictionary memoises under
+    a content key and every word-range shard checkpoints as it
+    completes, so a killed build resumes from its surviving shards.
     """
     if space is None:
         space = TestSpace.full(netlist)
@@ -612,19 +644,45 @@ def build_fault_dictionary(
         netlist, backend, len(groups), n_words,
         word_chunk, fault_chunk, matrix_budget,
     )
+    store = resolve_store(store)
+    key = None
+    if store is not None:
+        key = CacheKey(
+            kind="dictionary",
+            netlist=digest_netlist(netlist),
+            universe=digest_faults(fault_seq),
+            space=digest_test_space(space),
+            method="dictionary",
+            backend=backend,
+            params=digest_params(
+                collapse=collapse,
+                word_chunk=word_chunk,
+                fault_chunk=fault_chunk,
+                matrix_budget=matrix_budget,
+            ),
+        )
+        cached = store.get(key)
+        if cached is not None:
+            return cached
     n_workers = resolve_workers(
         workers, n_words, cost=len(groups) * space.n_vectors
     )
     bounds = shard_bounds(n_words, n_workers)
-    slices = run_sharded(
-        _dictionary_shard,
-        [
-            (netlist, space, fault_tuple, collapse, lo, hi,
-             word_chunk, fault_chunk, matrix_budget, backend)
-            for lo, hi in bounds
-        ],
-    )
-    return FaultDictionary(
+    arg_tuples = [
+        (netlist, space, fault_tuple, collapse, lo, hi,
+         word_chunk, fault_chunk, matrix_budget, backend)
+        for lo, hi in bounds
+    ]
+    if store is not None:
+        slices = run_checkpointed(
+            _dictionary_shard,
+            arg_tuples,
+            [key.with_shard(lo, hi) for lo, hi in bounds],
+            store,
+        )
+    else:
+        slices = run_sharded(_dictionary_shard, arg_tuples)
+    result = FaultDictionary(
         netlist_name=netlist.name,
         faults=fault_seq,
         groups=groups,
@@ -633,6 +691,9 @@ def build_fault_dictionary(
         vector_base=0,
         backend=backend,
     )
+    if store is not None:
+        store.put(key, result, {"workers": n_workers, "shards": len(bounds)})
+    return result
 
 
 def dictionary_for_vectors(
@@ -644,6 +705,7 @@ def dictionary_for_vectors(
     fault_chunk: Optional[int] = None,
     matrix_budget: Optional[int] = None,
     backend: Optional[str] = None,
+    store=None,
 ) -> FaultDictionary:
     """Fault dictionary over an explicit test table.
 
@@ -661,6 +723,26 @@ def dictionary_for_vectors(
         netlist, backend, len(groups), max(1, -(-n_tests // LANES)),
         word_chunk, fault_chunk, matrix_budget,
     )
+    store = resolve_store(store)
+    key = None
+    if store is not None:
+        key = CacheKey(
+            kind="dictionary",
+            netlist=digest_netlist(netlist),
+            universe=digest_faults(fault_seq),
+            space=digest_vector_table(bits),
+            method="table",
+            backend=backend,
+            params=digest_params(
+                collapse=collapse,
+                word_chunk=word_chunk,
+                fault_chunk=fault_chunk,
+                matrix_budget=matrix_budget,
+            ),
+        )
+        cached = store.get(key)
+        if cached is not None:
+            return cached
     if n_tests and bits.shape[1] != len(netlist.primary_inputs):
         raise SimulationError(
             f"test table has {bits.shape[1]} input columns, netlist has "
@@ -692,7 +774,7 @@ def dictionary_for_vectors(
         netlist, groups, fault_seq, rows_of,
         n_words, 0, word_chunk, fault_chunk, matrix_budget, backend,
     )
-    return FaultDictionary(
+    result = FaultDictionary(
         netlist_name=netlist.name,
         faults=fault_seq,
         groups=groups,
@@ -700,6 +782,9 @@ def dictionary_for_vectors(
         n_vectors=n_tests,
         backend=backend,
     )
+    if store is not None:
+        store.put(key, result)
+    return result
 
 
 def replay_detected(

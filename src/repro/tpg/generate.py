@@ -53,10 +53,19 @@ from repro.gates.engine import (
 from repro.gates.faults import StuckAtFault
 from repro.gates.netlist import Netlist
 from repro.gates.tune import resolve_chunking, resolve_plan
+from repro.store import (
+    CacheKey,
+    digest_faults,
+    digest_netlist,
+    digest_params,
+    digest_test_space,
+    resolve_store,
+)
 from repro.tpg.compaction import CompactTestSet, compact_from_dictionary, greedy_cover
 from repro.tpg.dictionary import (
     FaultDictionary,
     TestSpace,
+    _resolve_dict_backend,
     _resolve_universe,
     build_fault_dictionary,
     dictionary_for_vectors,
@@ -193,6 +202,7 @@ def generate_tests(
     word_chunk: Optional[int] = None,
     fault_chunk: Optional[int] = None,
     backend: Optional[str] = None,
+    store=None,
 ) -> TPGResult:
     """Run the two-phase ATPG loop over ``netlist``.
 
@@ -224,76 +234,117 @@ def generate_tests(
             word_chunk=word_chunk,
             fault_chunk=fault_chunk,
         ).backend
-    engine = engine_for(netlist, backend)
-    reps = [fault_seq[g[0]] for g in groups]
-    rng = np.random.default_rng(seed)
-
-    active = list(range(len(groups)))
-    tests: List[np.ndarray] = []
-    seen: set = set()
-    vectors_tried = 0
-    phases = 0
-    stale = 0
     fault_chunk = max(1, fault_chunk)
-
-    def record_vector(rows: np.ndarray, word: int, lane: int) -> None:
-        bits = ((rows[:, word] >> np.uint64(lane)) & np.uint64(1)).astype(np.uint8)
-        key = bits.tobytes()
-        if key not in seen:
-            seen.add(key)
-            tests.append(bits)
-
-    def run_round(rows: np.ndarray, valid: Optional[np.ndarray]) -> int:
-        """Simulate the active classes over one packed batch; returns
-        how many classes the batch newly detected."""
-        newly = 0
-        batch = list(active)
-        for lo in range(0, len(batch), fault_chunk):
-            block = batch[lo : lo + fault_chunk]
-            diff = engine.detect_words(rows, [reps[g] for g in block])
-            if valid is not None:
-                diff &= valid
-            for row, word, lane in _first_hits(diff):
-                record_vector(rows, word, lane)
-                active.remove(block[row])
-                newly += 1
-        return newly
-
-    # Phase 1: seeded random batches with fault dropping.
-    while active and phases < max_phases and stale < stale_phases:
-        rows, valid = space.random_rows(rng, max(1, phase_words))
-        phases += 1
-        vectors_tried += (
-            rows.shape[1] * LANES if valid is None else int(popcount_words(valid))
+    store = resolve_store(store)
+    cache_key = None
+    table: Optional[np.ndarray] = None
+    if store is not None:
+        # The raw discovery table memoises here; the dictionary and the
+        # compact set rebuild from it through their own memoised layers.
+        cache_key = CacheKey(
+            kind="atpg",
+            netlist=digest_netlist(netlist),
+            universe=digest_faults(fault_seq),
+            space=digest_test_space(space),
+            method="atpg",
+            backend=backend,
+            params=digest_params(
+                seed=seed,
+                phase_words=phase_words,
+                max_phases=max_phases,
+                stale_phases=stale_phases,
+                collapse=collapse,
+                word_chunk=word_chunk,
+                fault_chunk=fault_chunk,
+            ),
         )
-        stale = 0 if run_round(rows, valid) else stale + 1
+        cached = store.get(cache_key)
+        if cached is not None:
+            table = np.asarray(cached["arrays"]["tests"], dtype=np.uint8)
+            vectors_tried = int(cached["vectors_tried"])
+            phases = int(cached["random_phases"])
+            exhausted = bool(cached["exhausted"])
 
-    # Phase 2: exhaustive word-range sweep over the residue.
-    exhausted = space.n_free <= MAX_EXHAUSTIVE_INPUTS
-    if active and exhausted:
-        row_cells = engine.compiled.n_nets * (
-            min(fault_chunk, max(1, len(active))) + 1
-        )
-        sweep_chunk = matrix_word_chunk(row_cells, word_chunk)
-        for lo in range(0, space.n_words, sweep_chunk):
-            if not active:
-                break
-            hi = min(lo + sweep_chunk, space.n_words)
-            rows = space.input_rows(lo, hi)
-            valid = space.valid_words(lo, hi, rows=rows)
+    if table is None:
+        engine = engine_for(netlist, backend)
+        reps = [fault_seq[g[0]] for g in groups]
+        rng = np.random.default_rng(seed)
+
+        active = list(range(len(groups)))
+        tests: List[np.ndarray] = []
+        seen: set = set()
+        vectors_tried = 0
+        phases = 0
+        stale = 0
+
+        def record_vector(rows: np.ndarray, word: int, lane: int) -> None:
+            bits = ((rows[:, word] >> np.uint64(lane)) & np.uint64(1)).astype(np.uint8)
+            key = bits.tobytes()
+            if key not in seen:
+                seen.add(key)
+                tests.append(bits)
+
+        def run_round(rows: np.ndarray, valid: Optional[np.ndarray]) -> int:
+            """Simulate the active classes over one packed batch; returns
+            how many classes the batch newly detected."""
+            newly = 0
+            batch = list(active)
+            for lo in range(0, len(batch), fault_chunk):
+                block = batch[lo : lo + fault_chunk]
+                diff = engine.detect_words(rows, [reps[g] for g in block])
+                if valid is not None:
+                    diff &= valid
+                for row, word, lane in _first_hits(diff):
+                    record_vector(rows, word, lane)
+                    active.remove(block[row])
+                    newly += 1
+            return newly
+
+        # Phase 1: seeded random batches with fault dropping.
+        while active and phases < max_phases and stale < stale_phases:
+            rows, valid = space.random_rows(rng, max(1, phase_words))
+            phases += 1
             vectors_tried += (
-                (hi - lo) * LANES if valid is None else int(popcount_words(valid))
+                rows.shape[1] * LANES if valid is None else int(popcount_words(valid))
             )
-            run_round(rows, valid)
+            stale = 0 if run_round(rows, valid) else stale + 1
 
-    table = (
-        np.stack(tests)
-        if tests
-        else np.zeros((0, len(netlist.primary_inputs)), dtype=np.uint8)
-    )
+        # Phase 2: exhaustive word-range sweep over the residue.
+        exhausted = space.n_free <= MAX_EXHAUSTIVE_INPUTS
+        if active and exhausted:
+            row_cells = engine.compiled.n_nets * (
+                min(fault_chunk, max(1, len(active))) + 1
+            )
+            sweep_chunk = matrix_word_chunk(row_cells, word_chunk)
+            for lo in range(0, space.n_words, sweep_chunk):
+                if not active:
+                    break
+                hi = min(lo + sweep_chunk, space.n_words)
+                rows = space.input_rows(lo, hi)
+                valid = space.valid_words(lo, hi, rows=rows)
+                vectors_tried += (
+                    (hi - lo) * LANES if valid is None else int(popcount_words(valid))
+                )
+                run_round(rows, valid)
+
+        table = (
+            np.stack(tests)
+            if tests
+            else np.zeros((0, len(netlist.primary_inputs)), dtype=np.uint8)
+        )
+        if store is not None:
+            store.put(
+                cache_key,
+                {
+                    "arrays": {"tests": table},
+                    "vectors_tried": vectors_tried,
+                    "random_phases": phases,
+                    "exhausted": exhausted,
+                },
+            )
     dictionary = dictionary_for_vectors(
         netlist, table, faults=faults, collapse=collapse,
-        fault_chunk=fault_chunk, backend=backend,
+        fault_chunk=fault_chunk, backend=backend, store=store,
     )
     cover = greedy_cover(dictionary)
     compact = CompactTestSet(
@@ -328,6 +379,7 @@ def compact_test_set(
     dictionary_limit: int = DEFAULT_DICTIONARY_LIMIT,
     collapse: bool = True,
     backend: Optional[str] = None,
+    store=None,
 ) -> CompactTestSet:
     """One-call compact test set for a netlist.
 
@@ -337,24 +389,53 @@ def compact_test_set(
     runs the two-phase generation loop and compacts its discoveries;
     ``"auto"`` picks the dictionary up to ``dictionary_limit`` vectors
     and ATPG beyond.  Both paths end in the same greedy cover, and both
-    claims replay bit-identically through the campaign engine.
+    claims replay bit-identically through the campaign engine.  With a
+    result store active the finished set memoises directly and the
+    underlying dictionary/ATPG work memoises in its own layers.
     """
     if space is None:
         space = TestSpace.full(netlist)
     if method == "auto":
         method = "dictionary" if space.n_vectors <= dictionary_limit else "atpg"
+    store = resolve_store(store)
+    key = None
+    if store is not None:
+        fault_seq, groups = _resolve_universe(netlist, None, collapse)
+        resolved_backend, _, _ = _resolve_dict_backend(
+            netlist, backend, len(groups), space.n_words, None, None, None
+        )
+        key = CacheKey(
+            kind="compact",
+            netlist=digest_netlist(netlist),
+            universe=digest_faults(fault_seq),
+            space=digest_test_space(space),
+            method=method,
+            backend=resolved_backend,
+            params=digest_params(
+                seed=seed if method == "atpg" else None, collapse=collapse
+            ),
+        )
+        cached = store.get(key)
+        if cached is not None:
+            return cached
     if method == "dictionary":
         dictionary = build_fault_dictionary(
-            netlist, space, collapse=collapse, workers=workers, backend=backend
+            netlist, space, collapse=collapse, workers=workers, backend=backend,
+            store=store,
         )
-        return compact_from_dictionary(dictionary, space)
-    if method == "atpg":
-        return generate_tests(
-            netlist, space, seed=seed, collapse=collapse, backend=backend
+        result = compact_from_dictionary(dictionary, space)
+    elif method == "atpg":
+        result = generate_tests(
+            netlist, space, seed=seed, collapse=collapse, backend=backend,
+            store=store,
         ).compact
-    raise SimulationError(
-        f"unknown method {method!r}; choose from ('auto', 'dictionary', 'atpg')"
-    )
+    else:
+        raise SimulationError(
+            f"unknown method {method!r}; choose from ('auto', 'dictionary', 'atpg')"
+        )
+    if store is not None:
+        store.put(key, result)
+    return result
 
 
 def unit_test_set(
@@ -364,6 +445,7 @@ def unit_test_set(
     seed: int = TPG_SEED,
     workers: Optional[int] = None,
     backend: Optional[str] = None,
+    store=None,
 ) -> CompactTestSet:
     """Compact test set of one :mod:`repro.arch` unit class.
 
@@ -378,6 +460,7 @@ def unit_test_set(
         seed=seed,
         workers=workers,
         backend=backend,
+        store=store,
     )
 
 

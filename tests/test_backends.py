@@ -402,3 +402,99 @@ class TestSimulatorEquivalence:
         again = np.array(backend.run_matrix(packed.words, plan_a, 2))
         assert np.array_equal(first, again)
         assert not np.array_equal(first, second)
+
+
+# ----------------------------------------------------------------------
+# Differential cache: cold vs warm store runs across the registry
+# ----------------------------------------------------------------------
+class TestStoreDifferential:
+    """The result store must be invisible in the numbers: a warm run
+    (every artifact served from the store) returns results bit-identical
+    to the cold run that populated it, and to a store-free run, for all
+    four units -- whose gate sweeps simulate the Table 2 test
+    architectures -- on every available backend."""
+
+    WIDTHS = (3, 4)
+
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_cold_vs_warm_bit_identical(self, tmp_path, backend):
+        from repro.store import ResultStore
+
+        reason = backend_unavailable_reason(backend)
+        if reason:
+            pytest.skip(reason)
+        store = ResultStore(tmp_path)
+        cold = {
+            (unit, width): evaluate_operator(
+                unit, width, workers=1, backend=backend, store=store
+            )
+            for unit in UNITS
+            for width in self.WIDTHS
+        }
+        after_cold = store.stats.snapshot()
+        assert after_cold["puts"] > 0
+
+        warm = {
+            (unit, width): evaluate_operator(
+                unit, width, workers=1, backend=backend, store=store
+            )
+            for unit in UNITS
+            for width in self.WIDTHS
+        }
+        after_warm = store.stats.snapshot()
+        # The second run is all hits: no new puts, no new misses.
+        assert after_warm["puts"] == after_cold["puts"]
+        assert after_warm["misses"] == after_cold["misses"]
+        assert after_warm["hits"] > after_cold["hits"]
+        assert warm == cold
+
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_warm_matches_store_free_run(self, tmp_path, backend):
+        from repro.store import ResultStore
+
+        reason = backend_unavailable_reason(backend)
+        if reason:
+            pytest.skip(reason)
+        store = ResultStore(tmp_path)
+        for unit in UNITS:
+            plain = evaluate_operator(
+                unit, 3, workers=1, backend=backend, store=False
+            )
+            evaluate_operator(unit, 3, workers=1, backend=backend, store=store)
+            warm = evaluate_operator(unit, 3, workers=1, backend=backend, store=store)
+            assert warm == plain
+
+    def test_backends_do_not_share_cache_entries(self, tmp_path):
+        from repro.store import ResultStore
+
+        first, second = FAST_BACKENDS[0], FAST_BACKENDS[1 % len(FAST_BACKENDS)]
+        if first == second:
+            pytest.skip("registry has a single fast backend")
+        for name in (first, second):
+            reason = backend_unavailable_reason(name)
+            if reason:
+                pytest.skip(reason)
+        store = ResultStore(tmp_path)
+        a = run_sharded_stuck_at_campaign(
+            builders.ripple_carry_adder(3), workers=1, backend=first, store=store
+        )
+        puts = store.stats.puts
+        # A different backend must key -- and compute -- its own entry.
+        b = run_sharded_stuck_at_campaign(
+            builders.ripple_carry_adder(3), workers=1, backend=second, store=store
+        )
+        assert store.stats.puts > puts
+        assert np.array_equal(np.asarray(a.detected), np.asarray(b.detected))
+
+    def test_warm_dictionary_round_trip_via_store(self, tmp_path):
+        from repro.store import ResultStore
+
+        arch = table2_architecture("add", 3)
+        netlist, space = arch.netlist, table2_space(arch)
+        store = ResultStore(tmp_path)
+        cold = build_fault_dictionary(netlist, space=space, store=store)
+        store.clear_lru()  # force the warm run through the filesystem
+        warm = build_fault_dictionary(netlist, space=space, store=store)
+        assert warm.words.tobytes() == cold.words.tobytes()
+        assert warm.faults == cold.faults
+        assert warm.groups == cold.groups

@@ -1,0 +1,405 @@
+"""Property tests of the content-addressed result store.
+
+Key discipline: every input that changes a campaign's numbers --
+netlist structure, fault-universe order, backend, test space, method,
+parameters -- must produce a distinct key, while semantically identical
+inputs (the same netlist rebuilt from scratch, the same campaign under
+any shard grid) must produce identical keys.  Artifacts round-trip
+through the filesystem bit-identically, and a store-loaded dictionary
+merges bit-identically with a live-built one (the regression guarding
+:meth:`FaultDictionary.merge` against fresh-in-memory assumptions).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.coverage.engine import evaluate_adder
+from repro.errors import SimulationError
+from repro.faults.injector import run_sharded_stuck_at_campaign
+from repro.gates import builders
+from repro.gates.faults import default_fault_universe
+from repro.store import (
+    SCHEMA_VERSION,
+    CacheKey,
+    ResultStore,
+    StoreCorruptionWarning,
+    digest_faults,
+    digest_netlist,
+    digest_params,
+    digest_test_space,
+    open_store,
+    resolve_store,
+)
+from repro.store.store import STORE_DIR_ENV, STORE_ENV
+from repro.tpg.dictionary import FaultDictionary, TestSpace, build_fault_dictionary
+from repro.tpg.generate import unit_netlist, unit_space, unit_test_set
+
+
+def _key(**overrides):
+    fields = dict(
+        kind="campaign",
+        netlist="n" * 8,
+        universe="u" * 8,
+        space="s" * 8,
+        method="stuck_at",
+        backend="fused",
+    )
+    fields.update(overrides)
+    return CacheKey(**fields)
+
+
+# ----------------------------------------------------------------------
+# Digest properties
+# ----------------------------------------------------------------------
+class TestDigests:
+    def test_rebuilt_netlist_digests_equal(self):
+        # Content, not identity: two independent builds hash the same.
+        a = builders.ripple_carry_adder(4)
+        b = builders.ripple_carry_adder(4)
+        assert a is not b
+        assert digest_netlist(a) == digest_netlist(b)
+
+    def test_netlist_mutation_changes_digest(self):
+        # Same declared name, different structure -> different digest.
+        rca = builders.ripple_carry_adder(3, name="same")
+        cla = builders.carry_lookahead_adder(3, name="same")
+        assert digest_netlist(rca) != digest_netlist(cla)
+
+    def test_netlist_width_changes_digest(self):
+        assert digest_netlist(builders.ripple_carry_adder(3)) != digest_netlist(
+            builders.ripple_carry_adder(4)
+        )
+
+    def test_fault_universe_reorder_changes_digest(self):
+        faults = default_fault_universe(builders.ripple_carry_adder(3))
+        reordered = faults[1:] + faults[:1]
+        assert digest_faults(faults) != digest_faults(reordered)
+        assert digest_faults(faults) == digest_faults(tuple(faults))
+
+    def test_fault_subset_and_value_change_digests(self):
+        faults = default_fault_universe(builders.ripple_carry_adder(3))
+        assert digest_faults(faults) != digest_faults(faults[:-1])
+        flipped = (faults[0].__class__(faults[0].site, 1 - faults[0].value),)
+        assert digest_faults(faults[:1]) != digest_faults(flipped)
+
+    def test_test_space_change_changes_digest(self):
+        netlist = unit_netlist("div", 3)
+        constrained = unit_space("div", 3)
+        full = TestSpace.full(netlist)
+        assert digest_test_space(constrained) != digest_test_space(full)
+        # Dropping the non-zero-divisor constraint alone changes the key.
+        relaxed = TestSpace(
+            netlist, constrained.free_inputs, constrained.constants, None
+        )
+        assert digest_test_space(constrained) != digest_test_space(relaxed)
+        # The same space rebuilt digests equal.
+        again = TestSpace(
+            netlist,
+            constrained.free_inputs,
+            constrained.constants,
+            constrained.nonzero_field,
+        )
+        assert digest_test_space(constrained) == digest_test_space(again)
+
+    def test_params_digest_is_order_insensitive(self):
+        assert digest_params(a=1, b=2) == digest_params(b=2, a=1)
+        assert digest_params(a=1) != digest_params(a=2)
+
+
+class TestCacheKey:
+    def test_backend_change_changes_key(self):
+        assert _key(backend="fused").digest != _key(backend="python_loop").digest
+
+    def test_every_field_is_load_bearing(self):
+        base = _key()
+        assert base.digest != _key(kind="dictionary").digest
+        assert base.digest != _key(netlist="m" * 8).digest
+        assert base.digest != _key(universe="v" * 8).digest
+        assert base.digest != _key(space="t" * 8).digest
+        assert base.digest != _key(method="other").digest
+        assert base.digest != _key(params="p" * 8).digest
+
+    def test_schema_version_invalidates(self):
+        assert _key().digest != _key(schema=SCHEMA_VERSION + 1).digest
+
+    def test_shard_scoping(self):
+        base = _key()
+        assert base.with_shard(0, 10).digest != base.digest
+        assert base.with_shard(0, 10).digest != base.with_shard(10, 20).digest
+        assert base.with_shard(0, 10) == base.with_shard(0, 10)
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(ValueError, match="netlist"):
+            _key(netlist="")
+
+
+# ----------------------------------------------------------------------
+# Save/load round-trips
+# ----------------------------------------------------------------------
+class TestRoundTrips:
+    def test_campaign_result_round_trip(self, tmp_path):
+        netlist = builders.ripple_carry_adder(4)
+        result = run_sharded_stuck_at_campaign(netlist, workers=1)
+        store = ResultStore(tmp_path)
+        key = _key()
+        store.put(key, result)
+        store.clear_lru()  # force the disk path
+        loaded = store.get(key)
+        assert loaded is not result
+        assert loaded.netlist_name == result.netlist_name
+        assert loaded.faults == tuple(result.faults)
+        assert loaded.groups == tuple(result.groups)
+        assert np.asarray(loaded.detected).tobytes() == np.asarray(
+            result.detected
+        ).tobytes()
+        assert np.asarray(loaded.first_detected).tobytes() == np.asarray(
+            result.first_detected
+        ).tobytes()
+        assert loaded.n_vectors == result.n_vectors
+        assert loaded.n_simulated_runs == result.n_simulated_runs
+
+    def test_dictionary_round_trip(self, tmp_path):
+        netlist = builders.ripple_carry_adder(3)
+        dictionary = build_fault_dictionary(netlist, workers=1)
+        store = ResultStore(tmp_path)
+        key = _key(kind="dictionary")
+        store.put(key, dictionary)
+        store.clear_lru()
+        loaded = store.get(key)
+        assert loaded.faults == dictionary.faults
+        assert loaded.groups == dictionary.groups
+        assert loaded.words.dtype == dictionary.words.dtype
+        assert loaded.words.tobytes() == dictionary.words.tobytes()
+        assert loaded.vector_base == dictionary.vector_base
+        assert loaded.backend == dictionary.backend
+
+    def test_compact_set_round_trip(self, tmp_path):
+        compact = unit_test_set("add", 3)
+        store = ResultStore(tmp_path)
+        key = _key(kind="compact")
+        store.put(key, compact)
+        store.clear_lru()
+        loaded = store.get(key)
+        assert loaded.netlist_name == compact.netlist_name
+        assert loaded.input_names == tuple(compact.input_names)
+        assert np.asarray(loaded.vectors).tobytes() == np.asarray(
+            compact.vectors
+        ).tobytes()
+        assert loaded.faults == tuple(compact.faults)
+        assert tuple(loaded.marginal) == tuple(compact.marginal)
+        assert loaded.source == compact.source
+
+    def test_coverage_stats_round_trip(self, tmp_path):
+        stats = evaluate_adder(3, workers=1)
+        store = ResultStore(tmp_path)
+        key = _key(kind="coverage")
+        store.put(key, stats)
+        store.clear_lru()
+        loaded = store.get(key)
+        assert loaded == stats
+        assert list(loaded) == list(stats)  # technique order preserved
+
+    def test_provenance_recorded(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = _key()
+        store.put(key, np.arange(4, dtype=np.uint64), {"workers": 3})
+        record = store.provenance(key)
+        assert record["schema"] == SCHEMA_VERSION
+        assert record["key"] == key.to_dict()
+        assert record["provenance"]["workers"] == 3
+        assert record["payload_checksum"]
+
+
+# ----------------------------------------------------------------------
+# Grid invariance: the final artifact key is shard-free
+# ----------------------------------------------------------------------
+class TestGridInvariance:
+    def test_campaign_final_key_invariant_to_worker_count(self, tmp_path):
+        netlist = builders.ripple_carry_adder(4)
+        first = ResultStore(tmp_path)
+        a = run_sharded_stuck_at_campaign(netlist, workers=3, store=first)
+        # A different shard grid on a fresh store handle must *hit* the
+        # same final entry -- never recompute, never re-put.
+        second = ResultStore(tmp_path)
+        b = run_sharded_stuck_at_campaign(netlist, workers=2, store=second)
+        assert second.stats.hits == 1
+        assert second.stats.puts == 0
+        assert np.asarray(a.detected).tobytes() == np.asarray(b.detected).tobytes()
+        assert np.asarray(a.first_detected).tobytes() == np.asarray(
+            b.first_detected
+        ).tobytes()
+
+    def test_dictionary_final_key_invariant_to_worker_count(self, tmp_path):
+        netlist = builders.ripple_carry_adder(4)
+        first = ResultStore(tmp_path)
+        a = build_fault_dictionary(netlist, workers=4, store=first)
+        second = ResultStore(tmp_path)
+        b = build_fault_dictionary(netlist, workers=2, store=second)
+        assert second.stats.hits == 1 and second.stats.puts == 0
+        assert a.words.tobytes() == b.words.tobytes()
+
+    def test_store_result_matches_plain_result(self, tmp_path):
+        netlist = builders.ripple_carry_adder(4)
+        # store=False keeps this reference run store-free even when an
+        # ambient REPRO_STORE is active (e.g. CI's warm tier-1 leg).
+        plain = run_sharded_stuck_at_campaign(netlist, workers=2, store=False)
+        stored = run_sharded_stuck_at_campaign(
+            netlist, workers=2, store=ResultStore(tmp_path)
+        )
+        assert np.asarray(plain.detected).tobytes() == np.asarray(
+            stored.detected
+        ).tobytes()
+        assert plain.groups == stored.groups
+        assert plain.n_simulated_runs == stored.n_simulated_runs
+
+
+# ----------------------------------------------------------------------
+# Merge regression: store-loaded and live-built shards interchange
+# ----------------------------------------------------------------------
+class TestStoreLoadedMerge:
+    def _split(self, dictionary, word_split):
+        head = FaultDictionary(
+            netlist_name=dictionary.netlist_name,
+            faults=dictionary.faults,
+            groups=dictionary.groups,
+            words=dictionary.words[:, :word_split],
+            n_vectors=word_split * 64,
+            vector_base=0,
+            backend=dictionary.backend,
+        )
+        tail = FaultDictionary(
+            netlist_name=dictionary.netlist_name,
+            faults=dictionary.faults,
+            groups=dictionary.groups,
+            words=dictionary.words[:, word_split:],
+            n_vectors=dictionary.n_vectors - word_split * 64,
+            vector_base=word_split * 64,
+            backend=dictionary.backend,
+        )
+        return head, tail
+
+    def test_store_loaded_part_merges_bit_identically(self, tmp_path):
+        netlist = builders.ripple_carry_adder(4)  # 9 inputs, 8 sweep words
+        full = build_fault_dictionary(netlist, workers=1)
+        head, tail = self._split(full, 4)
+        store = ResultStore(tmp_path)
+        store.put(_key(kind="dictionary"), tail)
+        store.clear_lru()
+        loaded_tail = store.get(_key(kind="dictionary"))
+        merged = FaultDictionary.merge([head, loaded_tail])
+        assert merged.words.tobytes() == full.words.tobytes()
+        assert merged.words.dtype == full.words.dtype
+        assert merged.faults == full.faults
+        assert merged.groups == full.groups
+        assert merged.n_vectors == full.n_vectors
+        assert merged.backend == full.backend
+
+    def test_merge_rejects_mismatched_netlist(self):
+        a = build_fault_dictionary(builders.ripple_carry_adder(4), workers=1)
+        head, tail = self._split(a, 4)
+        renamed = FaultDictionary(
+            netlist_name="other",
+            faults=tail.faults,
+            groups=tail.groups,
+            words=tail.words,
+            n_vectors=tail.n_vectors,
+            vector_base=tail.vector_base,
+            backend=tail.backend,
+        )
+        with pytest.raises(SimulationError, match="netlist"):
+            FaultDictionary.merge([head, renamed])
+
+    def test_merge_rejects_mismatched_groups(self):
+        a = build_fault_dictionary(builders.ripple_carry_adder(4), workers=1)
+        head, tail = self._split(a, 4)
+        regrouped = FaultDictionary(
+            netlist_name=tail.netlist_name,
+            faults=tail.faults,
+            groups=tuple((i,) for i in range(len(tail.faults))),
+            words=tail.words,
+            n_vectors=tail.n_vectors,
+            vector_base=tail.vector_base,
+            backend=tail.backend,
+        )
+        with pytest.raises(SimulationError, match="equivalence groups"):
+            FaultDictionary.merge([head, regrouped])
+
+    def test_merge_records_mixed_backends(self):
+        a = build_fault_dictionary(builders.ripple_carry_adder(4), workers=1)
+        head, tail = self._split(a, 4)
+        other = FaultDictionary(
+            netlist_name=tail.netlist_name,
+            faults=tail.faults,
+            groups=tail.groups,
+            words=tail.words,
+            n_vectors=tail.n_vectors,
+            vector_base=tail.vector_base,
+            backend="python_loop" if head.backend != "python_loop" else "fused",
+        )
+        merged = FaultDictionary.merge([head, other])
+        assert merged.backend == "mixed"
+        assert merged.words.tobytes() == a.words.tobytes()
+
+
+# ----------------------------------------------------------------------
+# Store mechanics
+# ----------------------------------------------------------------------
+class TestStoreMechanics:
+    def test_lru_eviction_falls_back_to_disk(self, tmp_path):
+        store = ResultStore(tmp_path, lru_size=2)
+        keys = [_key(netlist=f"n{i}" * 4) for i in range(3)]
+        for i, key in enumerate(keys):
+            store.put(key, np.full(3, i, dtype=np.int64))
+        assert len(store._lru) == 2
+        # The evicted entry still loads (disk hit, not an LRU hit).
+        lru_hits = store.stats.lru_hits
+        value = store.get(keys[0])
+        assert value is not None and int(value[0]) == 0
+        assert store.stats.lru_hits == lru_hits
+
+    def test_contains_and_len(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = _key()
+        assert key not in store
+        store.put(key, np.arange(2))
+        assert key in store
+        assert len(store) == 1
+
+    def test_corrupt_sidecar_is_discarded_with_warning(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = _key()
+        store.put(key, np.arange(8, dtype=np.uint64))
+        _, json_path = store.paths(key)
+        with open(json_path, "w", encoding="utf-8") as handle:
+            handle.write("{ not json")
+        store.clear_lru()
+        with pytest.warns(StoreCorruptionWarning):
+            assert store.get(key) is None
+        assert store.stats.corrupt == 1
+        assert not os.path.exists(json_path)
+
+    def test_resolve_store_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(STORE_ENV, raising=False)
+        monkeypatch.delenv(STORE_DIR_ENV, raising=False)
+        assert resolve_store(None) is None  # off by default
+        monkeypatch.setenv(STORE_ENV, "0")
+        assert resolve_store(None) is None
+        monkeypatch.setenv(STORE_ENV, str(tmp_path / "by-path"))
+        by_path = resolve_store(None)
+        assert by_path is not None
+        assert by_path.root == str(tmp_path / "by-path")
+        monkeypatch.setenv(STORE_ENV, "1")
+        monkeypatch.setenv(STORE_DIR_ENV, str(tmp_path / "by-flag"))
+        by_flag = resolve_store(None)
+        assert by_flag.root == str(tmp_path / "by-flag")
+        # An explicit store=False keeps the store off despite the env.
+        assert resolve_store(False) is None
+
+    def test_open_store_is_shared_per_path(self, tmp_path):
+        a = open_store(tmp_path / "shared")
+        b = open_store(tmp_path / "shared")
+        assert a is b
+        explicit = resolve_store(tmp_path / "shared")
+        assert explicit is a
