@@ -53,7 +53,6 @@ def test_ablation_coverage_vs_cost(coverage, once):
 def test_ablation_marginal_return_shrinks(coverage):
     """The second technique's coverage gain is smaller than the first's
     (diminishing returns, the premise of the per-operator trade-off)."""
-    base = 0.0
     t1 = coverage["tech1"].coverage
     t2 = coverage["tech2"].coverage
     both = coverage["both"].coverage

@@ -27,6 +27,7 @@ DEFAULT_DOCS = (
     "docs/api.md",
     "examples/compact_test_sets.py",
     "examples/cached_campaigns.py",
+    "examples/static_analysis.py",
 )
 
 

@@ -1,0 +1,82 @@
+"""Static analysis end to end: lint, cones, collapsing, SCOAP.
+
+The walk-through:
+
+1. lint a deliberately broken netlist (combinational loop + floating
+   net) and see each problem land on its named rule, then lint a
+   shipped builder clean;
+2. partition an 8-bit ripple-carry adder into support cones and read
+   off which inputs each sum bit actually depends on;
+3. run the exhaustive stuck-at campaign three ways -- uncollapsed,
+   equivalence- and dominance-collapsed -- and check the dominance run
+   simulates ~26% fewer faults while every detection verdict stays
+   bit-identical;
+4. rank the hardest-to-test faults by SCOAP effort and use that order
+   to steer ATPG.
+
+Run:  PYTHONPATH=src python examples/static_analysis.py
+"""
+
+import numpy as np
+
+from repro.analysis.collapse import collapse_faults
+from repro.analysis.cones import analyze_cones
+from repro.analysis.lint import lint_netlist
+from repro.analysis.testability import hardest_faults
+from repro.gates.builders import ripple_carry_adder
+from repro.gates.cells import CellType
+from repro.gates.engine import engine_for
+from repro.gates.netlist import Netlist
+from repro.tpg.generate import generate_tests
+
+WIDTH = 8
+
+
+def main() -> None:
+    # 1. Lint: a broken netlist reports every problem in one pass.
+    broken = Netlist("broken")
+    a = broken.add_input("a")
+    broken.add_gate(CellType.AND, [a, "loop_y"], "loop_x", name="g1")
+    broken.add_gate(CellType.OR, [a, "loop_x"], "loop_y", name="g2")
+    broken.add_gate(CellType.NOT, ["ghost"], "out", name="g3")
+    broken.mark_output("out")
+    report = lint_netlist(broken)
+    print(report.render())
+    assert not report.ok
+    assert report.by_rule("combinational-loop") and report.by_rule("undriven-net")
+
+    netlist = ripple_carry_adder(WIDTH)
+    assert lint_netlist(netlist).ok
+    print(f"\n{netlist.name}: lints clean")
+
+    # 2. Support cones: which inputs can affect which outputs.
+    cones = analyze_cones(netlist)
+    print(f"support of fa3_s: {', '.join(cones.support_of('fa3_s'))}")
+    print(f"a7 reaches: {', '.join(cones.outputs_reached('a7'))}")
+    print(f"output partitions: {len(cones.output_partitions())}")
+
+    # 3. Dominance collapsing: fewer simulated faults, identical verdicts.
+    cmap = collapse_faults(netlist, mode="dominance")
+    print(f"\n{cmap.summary()}")
+    engine = engine_for(netlist)
+    flat = engine.campaign(collapse=False, fault_dropping=False)
+    dom = engine.campaign(collapse="dominance", fault_dropping=False)
+    assert np.array_equal(flat.detected, dom.detected)
+    print(
+        f"exhaustive campaign: {flat.n_simulated_runs} flat runs vs "
+        f"{dom.n_simulated_runs} dominance runs, detection bit-identical"
+    )
+
+    # 4. SCOAP: the structurally hardest faults, and ATPG steered by them.
+    print("\nhardest faults by SCOAP effort:")
+    for fault, effort in hardest_faults(netlist, limit=3):
+        print(f"  effort {effort:>3}  {fault.describe()}")
+    result = generate_tests(
+        netlist, collapse="dominance", order="testability", store=False
+    )
+    print(result.summary())
+    assert result.dictionary.coverage == 1.0
+
+
+if __name__ == "__main__":
+    main()

@@ -24,9 +24,26 @@ The package provides:
   and emitted self-test benches/programs (:mod:`repro.tpg`);
 * a content-addressed result store memoising campaign artifacts, with
   checkpointed resumable sharded runs (:mod:`repro.store`);
+* a static-analysis subsystem: structural lint, support cones,
+  equivalence/dominance fault collapsing and SCOAP testability
+  (:mod:`repro.analysis`);
 * benchmark applications, FIR first (:mod:`repro.apps`).
 """
 
+from repro.analysis import (
+    CollapseMap,
+    ConeAnalysis,
+    LintIssue,
+    LintReport,
+    ScoapMeasures,
+    analyze_cones,
+    assert_clean,
+    collapse_faults,
+    fault_efforts,
+    hardest_faults,
+    lint_netlist,
+    scoap,
+)
 from repro.core import SCK, SCKContext, current_context
 from repro.gates.backends import (
     AUTO_BACKEND,
@@ -75,6 +92,18 @@ __all__ = [
     "SCK",
     "SCKContext",
     "current_context",
+    "CollapseMap",
+    "ConeAnalysis",
+    "LintIssue",
+    "LintReport",
+    "ScoapMeasures",
+    "analyze_cones",
+    "assert_clean",
+    "collapse_faults",
+    "fault_efforts",
+    "hardest_faults",
+    "lint_netlist",
+    "scoap",
     "AUTO_BACKEND",
     "BACKEND_ENV",
     "DEFAULT_BACKEND",

@@ -1,0 +1,431 @@
+"""Structural lint for gate-level netlists.
+
+A small rule engine over the *raw* :class:`~repro.gates.netlist.Netlist`
+graph -- deliberately tolerant of broken structure, unlike
+:meth:`Netlist.validate`, so a single pass reports every problem at
+once instead of raising on the first.  Two severities:
+
+========================  ========  ==========================================
+rule                      severity  meaning
+========================  ========  ==========================================
+``combinational-loop``    error     a cycle of gates (reported per cycle)
+``undriven-net``          error     a floating net read by a gate or declared
+                                    as a primary output with no driver
+``multiply-driven-net``   error     a net with two or more drivers (gates
+                                    and/or a primary-input declaration)
+``duplicate-gate-name``   error     two gate instances share a name
+``dangling-output``       warning   a gate output that nothing reads and that
+                                    is not a primary output (intentional for
+                                    truncated arithmetic, hence a warning)
+``unreachable-logic``     warning   a gate with readers but no path to any
+                                    primary output
+``unused-input``          warning   a declared primary input nothing reads
+``rail-misuse``           warning   a constant rail (``zero``/``one``)
+                                    declared as a primary output, or a gate
+                                    whose inputs are all constant rails (the
+                                    gate computes a constant)
+========================  ========  ==========================================
+
+Errors are structural corruption every downstream layer would choke on;
+warnings are legal-but-suspicious shapes (the seeded truncated
+multiplier and restoring divider dangle carries by design).
+
+``python -m repro.analysis.lint`` lints every registered unit netlist
+and Table 2 architecture; CI runs it as a build gate, and the
+architecture constructors call :func:`assert_clean` directly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import NetlistError
+from repro.gates.netlist import Gate, Netlist
+
+#: Primary-input names treated as constant rails by the builders.
+RAIL_NAMES = ("zero", "one")
+
+ERROR = "error"
+WARNING = "warning"
+
+#: Every rule name, in report order, mapped to its severity.
+RULES: Dict[str, str] = {
+    "combinational-loop": ERROR,
+    "undriven-net": ERROR,
+    "multiply-driven-net": ERROR,
+    "duplicate-gate-name": ERROR,
+    "dangling-output": WARNING,
+    "unreachable-logic": WARNING,
+    "unused-input": WARNING,
+    "rail-misuse": WARNING,
+}
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One diagnostic: a rule hit on a net and/or gate."""
+
+    rule: str
+    severity: str
+    message: str
+    net: Optional[str] = None
+    gate: Optional[str] = None
+
+    def render(self) -> str:
+        where = self.net if self.net is not None else self.gate
+        return f"[{self.severity}] {self.rule} @ {where}: {self.message}"
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """All diagnostics of one lint pass over one netlist."""
+
+    netlist_name: str
+    issues: Tuple[LintIssue, ...]
+
+    @property
+    def errors(self) -> Tuple[LintIssue, ...]:
+        return tuple(i for i in self.issues if i.severity == ERROR)
+
+    @property
+    def warnings(self) -> Tuple[LintIssue, ...]:
+        return tuple(i for i in self.issues if i.severity == WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """True when no *error*-severity issue was found."""
+        return not self.errors
+
+    def by_rule(self, rule: str) -> Tuple[LintIssue, ...]:
+        return tuple(i for i in self.issues if i.rule == rule)
+
+    def render(self) -> str:
+        lines = [
+            f"{self.netlist_name}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s)"
+        ]
+        lines.extend(issue.render() for issue in self.issues)
+        return "\n".join(lines)
+
+
+def _gate_drivers(netlist: Netlist) -> Dict[str, List[Gate]]:
+    drivers: Dict[str, List[Gate]] = {}
+    for gate in netlist.gates:
+        drivers.setdefault(gate.output, []).append(gate)
+    return drivers
+
+
+def _check_loops(netlist: Netlist, issues: List[LintIssue]) -> Set[str]:
+    """Kahn residue -> genuine cycles; returns the cyclic gate names."""
+    gates = netlist.gates
+    n = len(gates)
+    producer: Dict[str, int] = {}
+    for i, gate in enumerate(gates):
+        producer.setdefault(gate.output, i)
+    indegree = [0] * n
+    consumers: List[List[int]] = [[] for _ in range(n)]
+    for i, gate in enumerate(gates):
+        for net in gate.inputs:
+            j = producer.get(net)
+            if j is not None:
+                indegree[i] += 1
+                consumers[j].append(i)
+    ready = deque(i for i in range(n) if indegree[i] == 0)
+    done = 0
+    while ready:
+        i = ready.popleft()
+        done += 1
+        for c in consumers[i]:
+            indegree[c] -= 1
+            if indegree[c] == 0:
+                ready.append(c)
+    cyclic: Set[str] = set()
+    if done != n:
+        remaining = {i for i in range(n) if indegree[i] > 0}
+        while remaining:
+            # Walk backwards through unprocessed predecessors until a
+            # gate repeats: the walk from there on is a genuine cycle.
+            i = min(remaining)
+            trail: List[int] = []
+            seen: Dict[int, int] = {}
+            while i not in seen:
+                seen[i] = len(trail)
+                trail.append(i)
+                i = next(
+                    j
+                    for net in gates[i].inputs
+                    if (j := producer.get(net)) in remaining
+                )
+            cycle = trail[seen[i] :]
+            names = [gates[j].name for j in cycle]
+            cyclic.update(names)
+            issues.append(
+                LintIssue(
+                    rule="combinational-loop",
+                    severity=ERROR,
+                    message="cycle through " + " -> ".join(sorted(names)),
+                    gate=min(names),
+                )
+            )
+            # Remove the reported cycle, then prune (to fixpoint) gates
+            # that were only stuck downstream of it: every survivor
+            # still has an unprocessed predecessor, i.e. sits on or
+            # behind another genuine cycle.
+            remaining -= set(cycle)
+            while True:
+                pruned = {
+                    j
+                    for j in remaining
+                    if any(
+                        producer.get(net) in remaining for net in gates[j].inputs
+                    )
+                }
+                if pruned == remaining:
+                    break
+                remaining = pruned
+    return cyclic
+
+
+def _check_drivers(netlist: Netlist, issues: List[LintIssue]) -> None:
+    drivers = _gate_drivers(netlist)
+    inputs = set(netlist.primary_inputs)
+    driven = inputs | set(drivers)
+    reported: Set[str] = set()
+    for gate in netlist.gates:
+        for net in gate.inputs:
+            if net not in driven and net not in reported:
+                reported.add(net)
+                readers = [g.name for g, _pin in netlist.fanout(net)]
+                issues.append(
+                    LintIssue(
+                        rule="undriven-net",
+                        severity=ERROR,
+                        message=(
+                            f"floating net read by {', '.join(sorted(readers))}"
+                        ),
+                        net=net,
+                    )
+                )
+    for net in netlist.primary_outputs:
+        if net not in driven and net not in reported:
+            reported.add(net)
+            issues.append(
+                LintIssue(
+                    rule="undriven-net",
+                    severity=ERROR,
+                    message="primary output has no driver",
+                    net=net,
+                )
+            )
+    for net, gates in sorted(drivers.items()):
+        names = [g.name for g in gates]
+        if net in inputs:
+            names.append("<input>")
+        if len(names) > 1:
+            issues.append(
+                LintIssue(
+                    rule="multiply-driven-net",
+                    severity=ERROR,
+                    message="driven by " + ", ".join(sorted(names)),
+                    net=net,
+                )
+            )
+
+
+def _check_gate_names(netlist: Netlist, issues: List[LintIssue]) -> None:
+    seen: Dict[str, int] = {}
+    for gate in netlist.gates:
+        seen[gate.name] = seen.get(gate.name, 0) + 1
+    for name, count in sorted(seen.items()):
+        if count > 1:
+            issues.append(
+                LintIssue(
+                    rule="duplicate-gate-name",
+                    severity=ERROR,
+                    message=f"{count} gate instances share this name",
+                    gate=name,
+                )
+            )
+
+
+def _check_reachability(
+    netlist: Netlist, issues: List[LintIssue], cyclic: Set[str]
+) -> None:
+    outputs = set(netlist.primary_outputs)
+    drivers = {g.output: g for g in netlist.gates}
+    # Nets that can reach a primary output: BFS from the outputs back
+    # through each net's driving gate.
+    live: Set[str] = set()
+    frontier = deque(net for net in outputs if net in drivers or net in netlist.primary_inputs)
+    live.update(frontier)
+    while frontier:
+        net = frontier.popleft()
+        gate = drivers.get(net)
+        if gate is None:
+            continue
+        for src in gate.inputs:
+            if src not in live:
+                live.add(src)
+                frontier.append(src)
+    for gate in netlist.gates:
+        if gate.output in live or gate.name in cyclic:
+            continue
+        if netlist.fanout_count(gate.output) == 0 and gate.output not in outputs:
+            issues.append(
+                LintIssue(
+                    rule="dangling-output",
+                    severity=WARNING,
+                    message="output net has no readers and is not a primary output",
+                    net=gate.output,
+                    gate=gate.name,
+                )
+            )
+        else:
+            issues.append(
+                LintIssue(
+                    rule="unreachable-logic",
+                    severity=WARNING,
+                    message="no path from this gate to any primary output",
+                    net=gate.output,
+                    gate=gate.name,
+                )
+            )
+
+
+def _check_inputs(netlist: Netlist, issues: List[LintIssue]) -> None:
+    outputs = set(netlist.primary_outputs)
+    for net in netlist.primary_inputs:
+        if netlist.fanout_count(net) == 0 and net not in outputs:
+            issues.append(
+                LintIssue(
+                    rule="unused-input",
+                    severity=WARNING,
+                    message="primary input has no readers",
+                    net=net,
+                )
+            )
+
+
+def _check_rails(netlist: Netlist, issues: List[LintIssue]) -> None:
+    rails = {
+        net for net in RAIL_NAMES if net in netlist.primary_inputs
+    }
+    if not rails:
+        return
+    for net in netlist.primary_outputs:
+        if net in rails:
+            issues.append(
+                LintIssue(
+                    rule="rail-misuse",
+                    severity=WARNING,
+                    message="constant rail declared as a primary output",
+                    net=net,
+                )
+            )
+    for gate in netlist.gates:
+        if gate.inputs and all(net in rails for net in gate.inputs):
+            issues.append(
+                LintIssue(
+                    rule="rail-misuse",
+                    severity=WARNING,
+                    message="every input is a constant rail; the gate "
+                    "computes a constant",
+                    net=gate.output,
+                    gate=gate.name,
+                )
+            )
+
+
+def lint_netlist(
+    netlist: Netlist, ignore: Iterable[str] = ()
+) -> LintReport:
+    """Run every lint rule over ``netlist`` and collect the diagnostics.
+
+    Never raises on broken structure -- corruption comes back as
+    ``error``-severity issues.  ``ignore`` suppresses rules by name.
+    """
+    unknown = set(ignore) - set(RULES)
+    if unknown:
+        raise NetlistError(f"unknown lint rule(s): {sorted(unknown)}")
+    issues: List[LintIssue] = []
+    cyclic = _check_loops(netlist, issues)
+    _check_drivers(netlist, issues)
+    _check_gate_names(netlist, issues)
+    _check_reachability(netlist, issues, cyclic)
+    _check_inputs(netlist, issues)
+    _check_rails(netlist, issues)
+    ignored = set(ignore)
+    order = {rule: k for k, rule in enumerate(RULES)}
+    issues = [i for i in issues if i.rule not in ignored]
+    issues.sort(key=lambda i: (order[i.rule], i.net or "", i.gate or ""))
+    return LintReport(netlist_name=netlist.name, issues=tuple(issues))
+
+
+def assert_clean(netlist: Netlist, ignore: Iterable[str] = ()) -> LintReport:
+    """Lint ``netlist`` and raise :class:`NetlistError` on any error.
+
+    Warnings pass (the truncated units dangle carries by design).  The
+    architecture constructors call this as a build gate; the report is
+    returned so callers can inspect warnings too.
+    """
+    report = lint_netlist(netlist, ignore=ignore)
+    if not report.ok:
+        rendered = "; ".join(issue.render() for issue in report.errors)
+        raise NetlistError(
+            f"netlist {netlist.name!r} failed lint: {rendered}"
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _registered_netlists(width: int) -> List[Netlist]:
+    """Every shipped unit netlist and Table 2 architecture at ``width``."""
+    from repro.arch.testbench import GATE_OPERATORS, table2_architecture
+    from repro.tpg.generate import UNIT_OPERATORS, unit_netlist
+
+    netlists = [unit_netlist(unit, width) for unit in UNIT_OPERATORS]
+    netlists.extend(
+        table2_architecture(op, width).netlist for op in GATE_OPERATORS
+    )
+    return netlists
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Lint all registered netlists; exit 1 on any error-severity issue."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Structural lint over the shipped gate-level netlists.",
+    )
+    parser.add_argument(
+        "--width", type=int, default=4, help="operand width (default 4)"
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print every warning, not just the summary line",
+    )
+    args = parser.parse_args(argv)
+    failed = 0
+    for netlist in _registered_netlists(args.width):
+        report = lint_netlist(netlist)
+        status = "OK" if report.ok else "FAIL"
+        print(
+            f"{status:4s} {netlist.name}: {len(report.errors)} error(s), "
+            f"{len(report.warnings)} warning(s)"
+        )
+        shown = report.issues if args.verbose else report.errors
+        for issue in shown:
+            print("  " + issue.render())
+        if not report.ok:
+            failed += 1
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

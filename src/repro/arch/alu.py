@@ -12,12 +12,12 @@ specification-level operators see.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 
 from repro.arch.adders import RippleCarryAdderUnit
-from repro.arch.bitops import ArrayLike, check_width, mask_of, to_signed, to_unsigned
+from repro.arch.bitops import ArrayLike, check_width, to_signed, to_unsigned
 from repro.arch.cell import FullAdderCell
 from repro.arch.divider import RestoringDividerUnit
 from repro.arch.multiplier import ArrayMultiplierUnit

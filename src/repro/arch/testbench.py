@@ -44,6 +44,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.lint import assert_clean
 from repro.arch.cell import DEFAULT_CELL_NETLIST, cell_netlist
 from repro.arch.multiplier import ArrayMultiplierUnit
 from repro.errors import SimulationError
@@ -148,6 +149,10 @@ class _Table2ArchitectureBase:
         self._position_set = set(self.positions)
         self.netlist = self._build()
         self.netlist.validate()
+        # Every shipped architecture must be structurally lint-clean
+        # (no loops, floating or multiply-driven nets); catching a bad
+        # builder here is much cheaper than debugging its campaigns.
+        assert_clean(self.netlist)
 
     # ------------------------------------------------------------------
     # Construction helpers

@@ -18,7 +18,7 @@ limited to the worst-case same-unit figures of Table 2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.codesign.dfg import DataflowGraph, Node
 from repro.codesign.scheduling import Schedule, unit_class_of

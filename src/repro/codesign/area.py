@@ -29,12 +29,12 @@ All constants live in :class:`AreaModel` and are dumped into every
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 from repro.codesign.allocation import Allocation
 from repro.codesign.dfg import DataflowGraph
-from repro.codesign.scheduling import Schedule, unit_class_of
+from repro.codesign.scheduling import Schedule
 
 
 @dataclass(frozen=True)

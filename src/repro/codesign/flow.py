@@ -18,7 +18,7 @@ Two hardware design points per variant, as in the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.codesign.allocation import Allocation, bind

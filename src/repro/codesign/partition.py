@@ -14,7 +14,7 @@ from typing import Optional
 
 from repro.codesign.dfg import DataflowGraph
 from repro.codesign.scheduling import list_schedule
-from repro.codesign.swmodel import SoftwareEstimate, estimate_software
+from repro.codesign.swmodel import estimate_software
 from repro.errors import SpecificationError
 
 

@@ -19,8 +19,8 @@ prologue accounts for the first input transfer and controller start.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
 
 from repro.codesign.dfg import DataflowGraph, Node
 from repro.errors import SchedulingError

@@ -20,7 +20,7 @@ two reliable variants of Table 3:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.codesign.dfg import DataflowGraph, Node
 from repro.errors import SpecificationError

@@ -13,7 +13,7 @@ from typing import Dict, Optional
 
 from repro.codesign.dfg import DataflowGraph
 from repro.errors import CompilationError
-from repro.vm.compiler import MemoryMap, compile_dfg
+from repro.vm.compiler import compile_dfg
 from repro.vm.machine import DEFAULT_CLOCK_HZ, Machine
 from repro.vm.optimizer import optimize
 

@@ -24,7 +24,6 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.codesign.allocation import Allocation
-from repro.codesign.scheduling import unit_class_of
 
 
 @dataclass(frozen=True)

@@ -17,11 +17,11 @@ truncation semantics for division.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.arch.alu import FaultableALU
-from repro.arch.bitops import check_width, to_signed, to_unsigned
+from repro.arch.bitops import check_width
 from repro.errors import SimulationError
 
 

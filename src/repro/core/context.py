@@ -14,7 +14,7 @@ use so the SCK type works out of the box).
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.backends import HardwareBackend, IdealBackend

@@ -973,7 +973,7 @@ class GateLevelCoverage:
 def evaluate_gate_level(
     netlist: Netlist,
     vectors: Optional[Mapping[str, Union[int, np.ndarray]]] = None,
-    collapse: bool = True,
+    collapse: Union[bool, str] = True,
     fault_dropping: bool = True,
     workers: Optional[int] = None,
     backend: Optional[str] = None,
@@ -984,10 +984,15 @@ def evaluate_gate_level(
     The entire stem+branch fault universe is simulated in one
     bit-parallel pass against a shared golden run; by default the
     vector set is exhaustive over the primary inputs (the paper's
-    full-adder universe is 32 faults against 8 vectors).  ``workers``
-    shards the fault list across processes (auto by universe size) and
-    ``backend`` selects the execution backend, both bit-identically.
-    Returns the aggregate stats plus the raw campaign result.
+    full-adder universe is 32 faults against 8 vectors).  ``collapse``
+    accepts any mode of
+    :func:`~repro.gates.faults.resolve_collapse_mode` --
+    ``"dominance"`` simulates fewer representatives and expands
+    detection back bit-identically, so the coverage stats never change,
+    only ``simulated_runs``.  ``workers`` shards the fault list across
+    processes (auto by universe size) and ``backend`` selects the
+    execution backend, both bit-identically.  Returns the aggregate
+    stats plus the raw campaign result.
     """
     from repro.faults.injector import run_sharded_stuck_at_campaign
 

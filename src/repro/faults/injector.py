@@ -39,7 +39,11 @@ from repro.faults.sharding import resolve_workers, run_sharded, shard_bounds
 from repro.gates.backends import AUTO_BACKEND, resolve_backend_name
 from repro.gates.compile import compile_netlist
 from repro.gates.engine import StuckAtCampaignResult, run_stuck_at_campaign
-from repro.gates.faults import StuckAtFault, default_fault_universe
+from repro.gates.faults import (
+    StuckAtFault,
+    default_fault_universe,
+    resolve_collapse_mode,
+)
 from repro.gates.netlist import Netlist
 from repro.store import (
     CacheKey,
@@ -168,7 +172,7 @@ def _campaign_shard(
     netlist: Netlist,
     vectors: Optional[Mapping[str, Union[int, np.ndarray]]],
     faults: List[StuckAtFault],
-    collapse: bool,
+    collapse: Union[bool, str],
     fault_dropping: bool,
     backend: Optional[str] = None,
 ) -> StuckAtCampaignResult:
@@ -192,7 +196,7 @@ def run_sharded_stuck_at_campaign(
     netlist: Netlist,
     vectors: Optional[Mapping[str, Union[int, np.ndarray]]] = None,
     faults: Optional[Iterable[StuckAtFault]] = None,
-    collapse: bool = True,
+    collapse: Union[bool, str] = True,
     fault_dropping: bool = True,
     workers: Optional[int] = None,
     backend: Optional[str] = None,
@@ -202,7 +206,10 @@ def run_sharded_stuck_at_campaign(
 
     The fault list (default: the full stem+branch universe) is split
     into contiguous shards, each simulated by a worker process with its
-    own collapsing/dropping, and the per-fault verdicts are merged back
+    own collapsing/dropping (any mode of
+    :func:`~repro.gates.faults.resolve_collapse_mode`, including
+    ``"dominance"`` -- each shard collapses its own slice), and the
+    per-fault verdicts are merged back
     in order.  Detection is exact per fault, so the merged ``detected``
     and ``first_detected`` arrays are bit-identical for any worker
     count; ``n_simulated_runs``/``groups`` reflect the per-shard
@@ -254,7 +261,8 @@ def run_sharded_stuck_at_campaign(
             method="stuck_at",
             backend=backend,
             params=digest_params(
-                collapse=collapse, fault_dropping=fault_dropping
+                collapse=resolve_collapse_mode(collapse),
+                fault_dropping=fault_dropping,
             ),
         )
         cached = store.get(key)
@@ -314,7 +322,7 @@ def run_gate_level_campaign(
     netlist: Netlist,
     vectors: Optional[Mapping[str, Union[int, np.ndarray]]] = None,
     faults: Optional[Iterable[StuckAtFault]] = None,
-    collapse: bool = True,
+    collapse: Union[bool, str] = True,
     fault_dropping: bool = True,
     workers: Optional[int] = None,
     backend: Optional[str] = None,

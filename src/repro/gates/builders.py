@@ -227,8 +227,12 @@ def carry_select_adder(width: int, block: int = 2, name: str = "csa") -> Netlist
     a = [nl.add_input(f"a{i}") for i in range(width)]
     b = [nl.add_input(f"b{i}") for i in range(width)]
     carry = nl.add_input("cin")
-    zero = nl.add_input("zero")
-    one = nl.add_input("one")
+    # The zero/one rails only seed the speculative sections' carry-ins;
+    # a single-section adder would leave them floating (and trip the
+    # unused-input lint rule), so declare them only when needed.
+    if width > block:
+        zero = nl.add_input("zero")
+        one = nl.add_input("one")
 
     def mux(tag: str, sel: str, when0: str, when1: str) -> str:
         nsel = f"{tag}_ns"

@@ -66,6 +66,7 @@ from repro.gates.faults import (
     StuckAtFault,
     default_equivalence_groups,
     default_fault_universe,
+    resolve_collapse_mode,
     structural_equivalence_groups,
 )
 from repro.gates.memo import identity_memo
@@ -291,8 +292,11 @@ class StuckAtCampaignResult:
     ``detected[i]`` / ``first_detected[i]`` refer to ``faults[i]``;
     ``first_detected`` is the 0-based index of the earliest detecting
     vector, ``-1`` for undetected faults.  ``groups`` are the structural
-    equivalence classes (tuples of fault indices) that were each
-    simulated through a single representative.
+    equivalence classes (tuples of fault indices), each represented by
+    a single fault -- simulated directly, or (under dominance
+    collapsing) inferred from its dominated predecessors, in which case
+    ``first_detected`` is a valid detecting vector but not necessarily
+    the earliest one.
     """
 
     netlist_name: str
@@ -524,7 +528,7 @@ class BitParallelEngine:
         self,
         packed: Optional[PackedVectors] = None,
         faults: Optional[Sequence[StuckAtFault]] = None,
-        collapse: bool = True,
+        collapse: Union[bool, str] = True,
         fault_dropping: bool = True,
         word_chunk: Optional[int] = None,
         fault_chunk: Optional[int] = None,
@@ -532,112 +536,177 @@ class BitParallelEngine:
         """Simulate a stuck-at universe against one shared golden run.
 
         ``packed`` defaults to the exhaustive vector set; ``faults`` to
-        the full stem+branch universe.  With ``collapse`` (default) only
-        one representative per structural equivalence class is
-        simulated and its verdict is broadcast to the class.  With
-        ``fault_dropping`` (default) faults detected in an earlier
-        vector chunk drop out of later chunks.  Chunk sizes resolve
-        through :func:`repro.gates.tune.resolve_chunking` (keyword >
+        the full stem+branch universe.  ``collapse`` selects the static
+        collapsing mode (:func:`repro.gates.faults.resolve_collapse_mode`):
+        ``"equivalence"`` / ``True`` (default) simulates one
+        representative per structural equivalence class and broadcasts
+        its verdict; ``"dominance"`` further skips dominated gate-output
+        classes up front (:mod:`repro.analysis.collapse`), infers their
+        detection from their predecessors' verdicts and residually
+        simulates only those whose predecessors all came back
+        undetected; ``"none"`` / ``False`` simulates every fault.  The
+        ``detected`` array and every classification are bit-identical
+        across all three modes; dominance only weakens
+        ``first_detected`` for *inferred* classes to "a valid detecting
+        vector" rather than the earliest one.  With ``fault_dropping``
+        (default) faults detected in an earlier vector chunk drop out
+        of later chunks.  Chunk sizes resolve through
+        :func:`repro.gates.tune.resolve_chunking` (keyword >
         ``REPRO_WORD_CHUNK``/``REPRO_FAULT_CHUNK`` env > 512/64) and
-        never change any classification -- all modes are bit-identical
-        to per-fault reference simulation.
+        never change any classification.
         """
         from repro.gates.tune import resolve_chunking
 
+        mode = resolve_collapse_mode(collapse)
         word_chunk, fault_chunk = resolve_chunking(word_chunk, fault_chunk)
         c = self.compiled
         netlist = c.source
         if packed is None:
             packed = self.exhaustive()
+        cmap = None
         # Default universe/groups come back as memoised tuples, zero-copy.
         if faults is None:
             fault_seq: Sequence[StuckAtFault] = default_fault_universe(netlist)
-            groups: Sequence[Sequence[int]] = (
-                default_equivalence_groups(netlist)
-                if collapse
-                else tuple((i,) for i in range(len(fault_seq)))
-            )
         else:
             fault_seq = tuple(faults)
-            groups = (
-                structural_equivalence_groups(netlist, fault_seq)
-                if collapse
-                else tuple((i,) for i in range(len(fault_seq)))
+        if mode == "dominance":
+            from repro.analysis.collapse import collapse_faults
+
+            cmap = collapse_faults(
+                netlist, faults=None if faults is None else fault_seq, mode=mode
             )
+            groups: Sequence[Sequence[int]] = cmap.groups
+        elif mode == "equivalence":
+            groups = (
+                default_equivalence_groups(netlist)
+                if faults is None
+                else structural_equivalence_groups(netlist, fault_seq)
+            )
+        else:
+            groups = tuple((i,) for i in range(len(fault_seq)))
         n_faults = len(fault_seq)
 
         detected = np.zeros(n_faults, dtype=bool)
         first_detected = np.full(n_faults, -1, dtype=np.int64)
-        active = list(range(len(groups)))
         n_runs = 0
         out_ids = self._output_ids
 
         n_words = packed.n_words
         word_chunk = max(1, word_chunk)
         fault_chunk = max(1, fault_chunk)
-        whole_universe = faults is None and collapse
         plan_cache: Optional[Dict[Tuple[int, int], OverridePlan]] = None
-        if whole_universe:
+        if faults is None and mode == "equivalence":
             # Plans over the memoised universe are identical across
             # campaigns (and across word chunks until faults drop), so
             # cache them per contiguous batch on the engine.
             if self._round_plans is None or self._round_plans[0] != id(groups):
                 self._round_plans = (id(groups), {})
             plan_cache = self._round_plans[1]
-        for lo in range(0, max(n_words, 1), word_chunk):
-            if not active:
-                break
-            if lo == 0 and word_chunk >= n_words:
-                chunk = packed
-            else:
-                chunk = packed.word_slice(lo, lo + word_chunk)
-            if chunk.n_words == 0:
-                break
-            mask = chunk.tail_mask
-            base_vector = lo * LANES
-            for blo in range(0, len(active), fault_chunk):
-                batch = active[blo : blo + fault_chunk]
-                n_batch = len(batch)
-                plan: Optional[OverridePlan] = None
-                key: Optional[Tuple[int, int]] = None
-                if plan_cache is not None and batch[-1] - batch[0] + 1 == n_batch:
-                    # ``active`` is ascending, so equal span and length
-                    # mean the batch is exactly [batch[0], batch[-1]].
-                    key = (batch[0], n_batch)
-                    plan = plan_cache.get(key)
-                if plan is None:
-                    reps = [fault_seq[groups[g][0]] for g in batch]
-                    plan = OverridePlan(self.compiled, reps)
-                    if key is not None:
-                        if len(plan_cache) > 64:
-                            plan_cache.clear()
-                        plan_cache[key] = plan
-                # The backend folds a shared golden run into the
-                # detection words -- no separate fault-free pass needed.
-                diff = self.backend.run_detect(chunk.words, plan, n_batch)
-                n_runs += n_batch
-                if not out_ids:  # no primary outputs: nothing observable
-                    continue
-                if mask != ALL_ONES:
-                    diff[:, -1] &= mask
-                nonzero = diff != 0
-                hit_rows = np.nonzero(nonzero.any(axis=1))[0]
-                if hit_rows.size:
-                    word_idx = np.argmax(nonzero[hit_rows], axis=1)
-                    word = diff[hit_rows, word_idx]
-                    # Lowest set bit; exact via float64 log2 of a power of 2.
-                    low = word & (np.uint64(0) - word)
-                    bit = np.log2(low.astype(np.float64)).astype(np.int64)
-                    vectors = base_vector + word_idx * LANES + bit
-                    for row, vector in zip(hit_rows.tolist(), vectors.tolist()):
-                        for fi in groups[batch[row]]:
-                            # Without fault dropping a fault can re-detect
-                            # in later chunks; keep the earliest vector.
-                            if not detected[fi]:
-                                detected[fi] = True
-                                first_detected[fi] = vector
-            if fault_dropping:
-                active = [g for g in active if not detected[groups[g][0]]]
+
+        def sweep(class_ids: List[int], cache: Optional[Dict]) -> int:
+            """Run the word-chunk x fault-chunk loops over ``class_ids``
+            (ascending), updating ``detected``/``first_detected``;
+            returns the number of representative runs."""
+            nonlocal detected, first_detected
+            active = list(class_ids)
+            runs = 0
+            for lo in range(0, max(n_words, 1), word_chunk):
+                if not active:
+                    break
+                if lo == 0 and word_chunk >= n_words:
+                    chunk = packed
+                else:
+                    chunk = packed.word_slice(lo, lo + word_chunk)
+                if chunk.n_words == 0:
+                    break
+                mask = chunk.tail_mask
+                base_vector = lo * LANES
+                for blo in range(0, len(active), fault_chunk):
+                    batch = active[blo : blo + fault_chunk]
+                    n_batch = len(batch)
+                    plan: Optional[OverridePlan] = None
+                    key: Optional[Tuple[int, int]] = None
+                    if cache is not None and batch[-1] - batch[0] + 1 == n_batch:
+                        # ``active`` is ascending, so equal span and length
+                        # mean the batch is exactly [batch[0], batch[-1]].
+                        key = (batch[0], n_batch)
+                        plan = cache.get(key)
+                    if plan is None:
+                        reps = [fault_seq[groups[g][0]] for g in batch]
+                        plan = OverridePlan(self.compiled, reps)
+                        if key is not None:
+                            if len(cache) > 64:
+                                cache.clear()
+                            cache[key] = plan
+                    # The backend folds a shared golden run into the
+                    # detection words -- no separate fault-free pass needed.
+                    diff = self.backend.run_detect(chunk.words, plan, n_batch)
+                    runs += n_batch
+                    if not out_ids:  # no primary outputs: nothing observable
+                        continue
+                    if mask != ALL_ONES:
+                        diff[:, -1] &= mask
+                    nonzero = diff != 0
+                    hit_rows = np.nonzero(nonzero.any(axis=1))[0]
+                    if hit_rows.size:
+                        word_idx = np.argmax(nonzero[hit_rows], axis=1)
+                        word = diff[hit_rows, word_idx]
+                        # Lowest set bit; exact via float64 log2 of a power of 2.
+                        low = word & (np.uint64(0) - word)
+                        bit = np.log2(low.astype(np.float64)).astype(np.int64)
+                        vectors = base_vector + word_idx * LANES + bit
+                        for row, vector in zip(hit_rows.tolist(), vectors.tolist()):
+                            for fi in groups[batch[row]]:
+                                # Without fault dropping a fault can re-detect
+                                # in later chunks; keep the earliest vector.
+                                if not detected[fi]:
+                                    detected[fi] = True
+                                    first_detected[fi] = vector
+                if fault_dropping:
+                    active = [g for g in active if not detected[groups[g][0]]]
+            return runs
+
+        if cmap is None:
+            n_runs += sweep(list(range(len(groups))), plan_cache)
+        else:
+            n_runs += sweep(sorted(cmap.kept), None)
+            # Resolve the dominated-away classes in topological waves:
+            # detected as soon as any predecessor is (with the earliest
+            # predecessor witness as the detecting vector), residually
+            # simulated when every predecessor came back undetected.
+            status: Dict[int, bool] = {
+                ci: bool(detected[groups[ci][0]]) for ci in cmap.kept
+            }
+            pending = list(cmap.dropped)
+            while pending:
+                to_sim: List[int] = []
+                deferred: List[int] = []
+                for ci in pending:
+                    preds = cmap.implied_by[ci]
+                    if any(p not in status for p in preds):
+                        deferred.append(ci)
+                        continue
+                    witnesses = [
+                        int(first_detected[groups[p][0]])
+                        for p in preds
+                        if status[p]
+                    ]
+                    if witnesses:
+                        status[ci] = True
+                        vector = min(witnesses)
+                        for fi in groups[ci]:
+                            detected[fi] = True
+                            first_detected[fi] = vector
+                    else:
+                        to_sim.append(ci)
+                wave = sorted(to_sim) if to_sim else sorted(deferred)
+                if to_sim or (deferred and not to_sim):
+                    if not to_sim:
+                        deferred = []  # defensive: cannot happen on a DAG
+                    n_runs += sweep(wave, None)
+                    for ci in wave:
+                        status[ci] = bool(detected[groups[ci][0]])
+                pending = deferred
 
         return StuckAtCampaignResult(
             netlist_name=netlist.name,
@@ -692,7 +761,7 @@ def run_stuck_at_campaign(
     netlist: Netlist,
     inputs: Optional[Mapping[str, Value]] = None,
     faults: Optional[Iterable[StuckAtFault]] = None,
-    collapse: bool = True,
+    collapse: Union[bool, str] = True,
     fault_dropping: bool = True,
     word_chunk: Optional[int] = None,
     fault_chunk: Optional[int] = None,

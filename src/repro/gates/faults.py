@@ -20,7 +20,7 @@ primary outputs add 2 more -- hence 32 single stuck-at faults, exactly the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import FaultError
 from repro.gates.cells import CellType
@@ -115,6 +115,31 @@ def default_equivalence_groups(netlist: Netlist) -> Tuple[Tuple[int, ...], ...]:
     Index groups into :func:`default_fault_universe`, zero-copy.
     """
     return _default_equivalence_groups(netlist)
+
+
+#: Collapse modes accepted by every ``collapse=`` keyword.  ``True`` /
+#: ``False`` keep their historical meaning (equivalence / none).
+COLLAPSE_MODES = ("none", "equivalence", "dominance")
+
+
+def resolve_collapse_mode(collapse: Union[bool, str]) -> str:
+    """Normalise a ``collapse=`` argument to one of :data:`COLLAPSE_MODES`.
+
+    ``True`` means ``"equivalence"`` (the historical default), ``False``
+    means ``"none"``; the mode strings pass through unchanged.
+    ``"dominance"`` additionally applies the dominance collapsing of
+    :mod:`repro.analysis.collapse` where the caller supports it.
+    """
+    if collapse is True:
+        return "equivalence"
+    if collapse is False:
+        return "none"
+    if isinstance(collapse, str) and collapse in COLLAPSE_MODES:
+        return collapse
+    raise FaultError(
+        f"unknown collapse mode {collapse!r}; expected a bool or one of "
+        f"{COLLAPSE_MODES}"
+    )
 
 
 # Fault key: (net, branch-or-None, stuck value).  These key the

@@ -44,7 +44,7 @@ import platform
 import time
 import weakref
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple, Union
 
 import numpy as np

@@ -11,10 +11,9 @@ binding, fused checker comparators) inspectable.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.codesign.allocation import Allocation
-from repro.codesign.scheduling import unit_class_of
 
 _OP_VHDL = {
     "add": "+",

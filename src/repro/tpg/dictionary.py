@@ -29,7 +29,7 @@ masked-operand machinery the Table 2 sweeps use
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -52,6 +52,7 @@ from repro.gates.faults import (
     StuckAtFault,
     default_equivalence_groups,
     default_fault_universe,
+    resolve_collapse_mode,
     structural_equivalence_groups,
 )
 from repro.gates.netlist import Netlist
@@ -513,21 +514,35 @@ class FaultDictionary:
 def _resolve_universe(
     netlist: Netlist,
     faults: Optional[Sequence[StuckAtFault]],
-    collapse: bool,
+    collapse: Union[bool, str],
 ) -> Tuple[Tuple[StuckAtFault, ...], Tuple[Tuple[int, ...], ...]]:
-    """Fault list + equivalence groups, matching the campaign defaults."""
+    """Fault list + equivalence groups, matching the campaign defaults.
+
+    Dictionaries record every fault's *per-vector* detection words, so
+    only behaviour-preserving collapsing is legal here: ``"dominance"``
+    (which infers detection rather than reproducing detection words) is
+    rejected -- dominance-collapsed flows build their dictionaries with
+    ``"equivalence"`` instead (see :func:`repro.tpg.generate.generate_tests`).
+    """
+    mode = resolve_collapse_mode(collapse)
+    if mode == "dominance":
+        raise SimulationError(
+            "fault dictionaries need exact per-vector detection words; "
+            "collapse='dominance' only preserves detection verdicts -- "
+            "use collapse='equivalence' (or True) here"
+        )
     if faults is None:
         fault_seq = default_fault_universe(netlist)
         groups = (
             default_equivalence_groups(netlist)
-            if collapse
+            if mode == "equivalence"
             else tuple((i,) for i in range(len(fault_seq)))
         )
     else:
         fault_seq = tuple(faults)
         groups = (
             structural_equivalence_groups(netlist, fault_seq)
-            if collapse
+            if mode == "equivalence"
             else tuple((i,) for i in range(len(fault_seq)))
         )
     return fault_seq, groups
@@ -579,7 +594,7 @@ def _dictionary_shard(
     netlist: Netlist,
     space: TestSpace,
     faults: Optional[Tuple[StuckAtFault, ...]],
-    collapse: bool,
+    collapse: Union[bool, str],
     word_lo: int,
     word_hi: int,
     word_chunk: int,
@@ -609,7 +624,7 @@ def build_fault_dictionary(
     netlist: Netlist,
     space: Optional[TestSpace] = None,
     faults: Optional[Iterable[StuckAtFault]] = None,
-    collapse: bool = True,
+    collapse: Union[bool, str] = True,
     workers: Optional[int] = None,
     word_chunk: Optional[int] = None,
     fault_chunk: Optional[int] = None,
@@ -655,7 +670,7 @@ def build_fault_dictionary(
             method="dictionary",
             backend=backend,
             params=digest_params(
-                collapse=collapse,
+                collapse=resolve_collapse_mode(collapse),
                 word_chunk=word_chunk,
                 fault_chunk=fault_chunk,
                 matrix_budget=matrix_budget,
@@ -700,7 +715,7 @@ def dictionary_for_vectors(
     netlist: Netlist,
     bits: np.ndarray,
     faults: Optional[Iterable[StuckAtFault]] = None,
-    collapse: bool = True,
+    collapse: Union[bool, str] = True,
     word_chunk: Optional[int] = None,
     fault_chunk: Optional[int] = None,
     matrix_budget: Optional[int] = None,
@@ -734,7 +749,7 @@ def dictionary_for_vectors(
             method="table",
             backend=backend,
             params=digest_params(
-                collapse=collapse,
+                collapse=resolve_collapse_mode(collapse),
                 word_chunk=word_chunk,
                 fault_chunk=fault_chunk,
                 matrix_budget=matrix_budget,
@@ -791,7 +806,7 @@ def replay_detected(
     netlist: Netlist,
     bits: np.ndarray,
     faults: Optional[Iterable[StuckAtFault]] = None,
-    collapse: bool = True,
+    collapse: Union[bool, str] = True,
     workers: Optional[int] = None,
     backend: Optional[str] = None,
 ) -> np.ndarray:

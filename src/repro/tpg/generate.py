@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -50,7 +50,7 @@ from repro.gates.engine import (
     matrix_word_chunk,
     popcount_words,
 )
-from repro.gates.faults import StuckAtFault
+from repro.gates.faults import StuckAtFault, resolve_collapse_mode
 from repro.gates.netlist import Netlist
 from repro.gates.tune import resolve_chunking, resolve_plan
 from repro.store import (
@@ -85,6 +85,11 @@ STALE_PHASES = 2
 #: ``compact_test_set(method="auto")`` builds the full dictionary up to
 #: this many universe vectors and runs ATPG beyond.
 DEFAULT_DICTIONARY_LIMIT = 1 << 16
+
+#: Target orderings accepted by :func:`generate_tests`.  ``"index"`` is
+#: the historical universe order; ``"testability"`` targets the SCOAP
+#: hardest-to-test classes first (see :mod:`repro.analysis.testability`).
+TPG_ORDERS = ("index", "testability")
 
 #: Units with a gate-level netlist builder for per-unit test sets.
 UNIT_OPERATORS = ("add", "sub", "mul", "div")
@@ -198,7 +203,8 @@ def generate_tests(
     max_phases: int = MAX_PHASES,
     stale_phases: int = STALE_PHASES,
     faults: Optional[Tuple[StuckAtFault, ...]] = None,
-    collapse: bool = True,
+    collapse: Union[bool, str] = True,
+    order: str = "index",
     word_chunk: Optional[int] = None,
     fault_chunk: Optional[int] = None,
     backend: Optional[str] = None,
@@ -215,12 +221,57 @@ def generate_tests(
     exceeds the exhaustive-packing cap the residual sweep is skipped and
     surviving faults stay ``unresolved`` instead of proven redundant
     (``TPGResult.exhausted`` records which).
+
+    ``collapse="dominance"`` restricts the generation targets to the
+    dominance-kept classes (:func:`repro.analysis.collapse.collapse_faults`):
+    any test of a dominated pin fault also detects its dominating
+    output fault, so covering the kept classes covers the full universe
+    whenever every kept class is detectable.  The reported dictionary
+    and compact set are always built with equivalence collapsing, so
+    detection data stays exact per fault; the only caveat is a
+    dominated class whose dominators are all redundant -- its (possible)
+    test is never searched for and it is reported undetected.
+
+    ``order="testability"`` targets the SCOAP hardest-to-test classes
+    first (descending :func:`repro.analysis.testability.fault_efforts`
+    of the class representatives, universe order breaking ties), which
+    biases the recorded witnesses toward the hard-fault tail;
+    ``order="index"`` keeps the historical universe order.
     """
     if space is None:
         space = TestSpace.full(netlist)
     elif space.netlist is not netlist:
         raise SimulationError("test space was built for a different netlist")
-    fault_seq, groups = _resolve_universe(netlist, faults, collapse)
+    mode = resolve_collapse_mode(collapse)
+    if order not in TPG_ORDERS:
+        raise SimulationError(
+            f"unknown order {order!r}; choose from {TPG_ORDERS}"
+        )
+    if mode == "dominance":
+        from repro.analysis.collapse import collapse_faults
+
+        cmap = collapse_faults(
+            netlist,
+            faults=None if faults is None else tuple(faults),
+            mode="dominance",
+        )
+        fault_seq, _ = _resolve_universe(netlist, faults, "equivalence")
+        groups = [list(g) for g in cmap.groups]
+        targets = sorted(cmap.kept)
+    else:
+        fault_seq, groups = _resolve_universe(netlist, faults, mode)
+        targets = list(range(len(groups)))
+    if order == "testability":
+        from repro.analysis.testability import fault_efforts
+
+        efforts = fault_efforts(
+            netlist,
+            faults=[fault_seq[groups[g][0]] for g in targets],
+            constants=dict(space.constants) or None,
+        )
+        targets = [
+            g for _, g in sorted(zip(efforts.tolist(), targets), key=lambda p: (-p[0], p[1]))
+        ]
     word_chunk, fault_chunk = resolve_chunking(
         word_chunk, fault_chunk, default_word_chunk=256, default_fault_chunk=64
     )
@@ -253,7 +304,8 @@ def generate_tests(
                 phase_words=phase_words,
                 max_phases=max_phases,
                 stale_phases=stale_phases,
-                collapse=collapse,
+                collapse=mode,
+                order=order,
                 word_chunk=word_chunk,
                 fault_chunk=fault_chunk,
             ),
@@ -270,7 +322,7 @@ def generate_tests(
         reps = [fault_seq[g[0]] for g in groups]
         rng = np.random.default_rng(seed)
 
-        active = list(range(len(groups)))
+        active = list(targets)
         tests: List[np.ndarray] = []
         seen: set = set()
         vectors_tried = 0
@@ -343,7 +395,8 @@ def generate_tests(
                 },
             )
     dictionary = dictionary_for_vectors(
-        netlist, table, faults=faults, collapse=collapse,
+        netlist, table, faults=faults,
+        collapse="equivalence" if mode == "dominance" else mode,
         fault_chunk=fault_chunk, backend=backend, store=store,
     )
     cover = greedy_cover(dictionary)
@@ -377,7 +430,7 @@ def compact_test_set(
     seed: int = TPG_SEED,
     workers: Optional[int] = None,
     dictionary_limit: int = DEFAULT_DICTIONARY_LIMIT,
-    collapse: bool = True,
+    collapse: Union[bool, str] = True,
     backend: Optional[str] = None,
     store=None,
 ) -> CompactTestSet:
@@ -392,15 +445,33 @@ def compact_test_set(
     claims replay bit-identically through the campaign engine.  With a
     result store active the finished set memoises directly and the
     underlying dictionary/ATPG work memoises in its own layers.
+
+    ``collapse="dominance"`` forces the ATPG path (the dictionary
+    builder needs exact per-vector detection words, which dominance
+    does not preserve), where it prunes the generation targets to the
+    dominance-kept classes -- see :func:`generate_tests`.
     """
     if space is None:
         space = TestSpace.full(netlist)
+    mode = resolve_collapse_mode(collapse)
     if method == "auto":
-        method = "dictionary" if space.n_vectors <= dictionary_limit else "atpg"
+        method = (
+            "dictionary"
+            if mode != "dominance" and space.n_vectors <= dictionary_limit
+            else "atpg"
+        )
+    if method == "dictionary" and mode == "dominance":
+        raise SimulationError(
+            "method='dictionary' needs exact per-vector detection words; "
+            "collapse='dominance' only preserves detection verdicts -- use "
+            "method='atpg' (or 'auto') with dominance"
+        )
     store = resolve_store(store)
     key = None
     if store is not None:
-        fault_seq, groups = _resolve_universe(netlist, None, collapse)
+        fault_seq, groups = _resolve_universe(
+            netlist, None, "equivalence" if mode == "dominance" else mode
+        )
         resolved_backend, _, _ = _resolve_dict_backend(
             netlist, backend, len(groups), space.n_words, None, None, None
         )
@@ -412,7 +483,7 @@ def compact_test_set(
             method=method,
             backend=resolved_backend,
             params=digest_params(
-                seed=seed if method == "atpg" else None, collapse=collapse
+                seed=seed if method == "atpg" else None, collapse=mode
             ),
         )
         cached = store.get(key)

@@ -10,6 +10,12 @@ Run as a module for a command-line report::
 
     python -m repro.tpg.report --width 4
     python -m repro.tpg.report --units add div --width 3 --seed 7
+    python -m repro.tpg.report --width 4 --hardest 5
+
+``--hardest N`` appends, per unit, the N hardest-to-test faults by
+SCOAP detection effort (:mod:`repro.analysis.testability`) next to the
+proven-redundant residue, so the structurally awkward corners of each
+unit are visible even when coverage is 100%.
 """
 
 from __future__ import annotations
@@ -142,6 +148,52 @@ def render_tpg_report(
     return "\n".join(lines)
 
 
+def render_hardest_faults(
+    units: Iterable[str] = UNIT_OPERATORS,
+    width: int = 4,
+    limit: int = 5,
+    results: Optional[Dict[str, TPGResult]] = None,
+) -> str:
+    """Render the per-unit SCOAP hardest-to-test fault listing.
+
+    Each unit contributes its ``limit`` highest-effort stuck-at faults
+    (SCOAP controllability of the required value plus observability of
+    the site, rails pinned as in the unit's test space), annotated with
+    whether the ATPG run actually detected them.  ``results`` (from
+    :func:`tpg_unit_results`) is optional -- without it the detection
+    column is omitted.
+    """
+    from repro.analysis.testability import hardest_faults
+
+    units = list(units)
+    lines = [f"Hardest-to-test faults by SCOAP effort (width={width}, top {limit})"]
+    for unit in units:
+        netlist = unit_netlist(unit, width)
+        constants = dict(unit_space(unit, width).constants) or None
+        detected = None
+        if results is not None and unit in results:
+            dictionary = results[unit].dictionary
+            flags = dictionary.detected
+            detected = {
+                fault.describe(): bool(flags[index])
+                for index, fault in enumerate(dictionary.faults)
+            }
+        lines.append(f"{unit}:")
+        for fault, effort in hardest_faults(
+            netlist, limit=limit, constants=constants
+        ):
+            suffix = ""
+            if detected is not None:
+                status = detected.get(fault.describe())
+                suffix = (
+                    "  [undetected]"
+                    if status is False
+                    else "  [detected]" if status else ""
+                )
+            lines.append(f"  effort {effort:>6}  {fault.describe()}{suffix}")
+    return "\n".join(lines)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description="ATPG compact-test-set report")
     parser.add_argument(
@@ -149,8 +201,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--width", type=int, default=4)
     parser.add_argument("--seed", type=int, default=TPG_SEED)
+    parser.add_argument(
+        "--hardest",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also list the N hardest-to-test faults per unit (SCOAP effort)",
+    )
     args = parser.parse_args(argv)
-    print(render_tpg_report(units=args.units, width=args.width, seed=args.seed))
+    results = tpg_unit_results(args.units, width=args.width, seed=args.seed)
+    print(
+        render_tpg_report(
+            units=args.units, width=args.width, seed=args.seed, results=results
+        )
+    )
+    if args.hardest > 0:
+        print()
+        print(
+            render_hardest_faults(
+                units=args.units, width=args.width, limit=args.hardest,
+                results=results,
+            )
+        )
     return 0
 
 

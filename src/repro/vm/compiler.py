@@ -21,13 +21,13 @@ per-node frame slot, so arbitrarily large bodies compile.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 if TYPE_CHECKING:  # import-time cycle: codesign.swmodel imports this module
     from repro.codesign.dfg import DataflowGraph
 
 from repro.errors import CompilationError
-from repro.vm.isa import NUM_REGISTERS, Opcode
+from repro.vm.isa import NUM_REGISTERS
 from repro.vm.program import Program, ProgramBuilder
 
 #: Memory layout constants.

@@ -14,13 +14,13 @@ functional units.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.arch.alu import FaultableALU
 from repro.arch.bitops import to_signed
 from repro.errors import SimulationError
-from repro.vm.isa import NUM_REGISTERS, Instruction, Opcode
+from repro.vm.isa import NUM_REGISTERS, Opcode
 from repro.vm.program import Program
 
 #: Nominal core frequency used to convert cycles to seconds in the

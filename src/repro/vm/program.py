@@ -10,7 +10,7 @@ reliability-library overhead when SCK checks are compiled in).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.errors import CompilationError
 from repro.vm.isa import INSTRUCTION_BYTES, Instruction, Opcode

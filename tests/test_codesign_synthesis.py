@@ -5,7 +5,6 @@ import pytest
 from repro.apps.fir import fir_graph
 from repro.codesign.allocation import bind
 from repro.codesign.area import AreaModel, estimate_area
-from repro.codesign.dfg import DataflowGraph
 from repro.codesign.flow import MIN_AREA_RESOURCES, ReliableCoDesignFlow
 from repro.codesign.partition import partition
 from repro.codesign.scheduling import (
@@ -13,7 +12,7 @@ from repro.codesign.scheduling import (
     asap_schedule,
     list_schedule,
 )
-from repro.codesign.sck_transform import embed_output_checks, enrich_with_sck
+from repro.codesign.sck_transform import enrich_with_sck
 from repro.codesign.timing import estimate_clock
 from repro.errors import SchedulingError, SpecificationError
 

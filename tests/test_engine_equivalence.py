@@ -20,7 +20,6 @@ from repro.gates import builders
 from repro.gates.cells import CellType
 from repro.gates.compile import compile_netlist
 from repro.gates.engine import (
-    BitParallelEngine,
     exhaustive_words,
     pack_bits,
     run_stuck_at_campaign,
@@ -36,7 +35,6 @@ from repro.gates.simulate import (
     ReferenceSimulator,
     get_simulator,
     simulate,
-    simulate_vector,
 )
 
 _GATE_CHOICES = [

@@ -6,8 +6,8 @@ binding, costing, VM compilation, execution) holds for every app.
 
 import pytest
 
-from repro.apps.dct import dct_graph, dct_reference
-from repro.apps.iir import BiquadSpec, biquad_graph
+from repro.apps.dct import dct_graph
+from repro.apps.iir import biquad_graph
 from repro.apps.matmul import matmul_graph, matmul_reference
 from repro.codesign.flow import ReliableCoDesignFlow
 from repro.codesign.swmodel import estimate_software

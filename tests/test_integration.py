@@ -1,6 +1,5 @@
 """Cross-module integration tests: the paper's claims end to end."""
 
-import pytest
 
 from repro.apps.fir import FirSpec, fir_graph, fir_reference, fir_sck, make_input_streams
 from repro.arch.alu import FaultableALU
@@ -11,8 +10,6 @@ from repro.core.backends import HardwareBackend
 from repro.core.context import SCKContext
 from repro.core.value import SCK
 from repro.coverage.engine import evaluate_adder
-from repro.faults.injector import FaultInjector
-from repro.faults.model import FaultDescriptor
 from repro.vm.compiler import ERROR_FLAG_ADDR, compile_dfg
 from repro.vm.machine import Machine
 from repro.vm.optimizer import optimize

@@ -8,11 +8,9 @@ semantics.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.arch.adders import RippleCarryAdderUnit
-from repro.arch.alu import FaultableALU
 from repro.arch.bitops import to_signed, to_unsigned
 from repro.arch.divider import RestoringDividerUnit
 from repro.arch.multiplier import ArrayMultiplierUnit

@@ -39,7 +39,6 @@ from repro.tpg import (
     build_fault_dictionary,
     compact_from_dictionary,
     compact_test_set,
-    dictionary_for_vectors,
     emit_alu_self_test,
     emit_self_test_verilog,
     emit_self_test_vhdl,

@@ -11,7 +11,7 @@ from repro.vm.compiler import ERROR_FLAG_ADDR, compile_dfg
 from repro.vm.isa import CYCLE_COST, Instruction, Opcode
 from repro.vm.machine import Machine
 from repro.vm.optimizer import optimize
-from repro.vm.program import Program, ProgramBuilder
+from repro.vm.program import ProgramBuilder
 
 
 class TestIsaAndProgram:
