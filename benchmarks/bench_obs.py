@@ -1,0 +1,127 @@
+"""Overhead gate of the telemetry subsystem.
+
+The RCA-8 stuck-at campaign runs fully instrumented -- ``REPRO_TRACE``
+JSON-lines file, ``REPRO_METRICS`` dump path, kernel-profiling
+histograms on -- and uninstrumented, as adjacent A/B pairs over several
+repeats.  The overhead statistic is the **median of per-pair CPU-time
+ratios**: the two halves of a pair run back to back under the same
+machine conditions, so a preemption or frequency dip inflates one
+pair's ratio, which the median discards; CPU time (``process_time``)
+already excludes scheduler wait and noisy-neighbour steal entirely.
+The contract: instrumentation changes *nothing* about the results
+(bit-identical ``detected``/``first_detected``) and costs less than
+``BENCH_OBS_OVERHEAD`` (default 5%) of campaign CPU time.
+
+The recorded ``speedup`` ratio (uninstrumented over instrumented, so
+the floor sits just below 1.0) feeds the trajectory gate
+(`check_trajectory.py`); the committed baseline pins it at the
+acceptance floor rather than a machine-specific measurement.
+"""
+
+import gc
+import os
+import time
+
+import numpy as np
+
+from repro.gates import builders
+from repro.gates.engine import run_stuck_at_campaign
+from repro.obs import metrics, trace
+
+#: Maximum tolerated instrumented-over-uninstrumented overhead; the 5%
+#: acceptance criterion locally, env-relaxed on noisy shared runners.
+OBS_OVERHEAD_CEILING = float(os.environ.get("BENCH_OBS_OVERHEAD", "0.05"))
+
+WIDTH = 8
+REPEATS = 13
+#: Campaigns per timed sample; one ~7ms campaign is at the mercy of a
+#: single scheduler preemption, three amortise it.
+INNER = 3
+
+
+def _run_campaign(net):
+    # CPU time, not wall time: the bound is about the *work* telemetry
+    # adds, and process_time is immune to the scheduler preemptions and
+    # noisy-neighbour steal that dominate wall time on shared runners.
+    start = time.process_time()
+    result = None
+    for _ in range(INNER):
+        result = run_stuck_at_campaign(net)
+    return result, (time.process_time() - start) / INNER
+
+
+def test_telemetry_overhead_rca8(tmp_path, monkeypatch, record):
+    net = builders.ripple_carry_adder(WIDTH)
+
+    monkeypatch.delenv(trace.TRACE_ENV, raising=False)
+    monkeypatch.delenv(metrics.METRICS_ENV, raising=False)
+    baseline_result, _ = _run_campaign(net)  # warm every cache once
+
+    plain_s = []
+    traced_s = []
+    traced_result = None
+    gc.collect()
+    gc.disable()  # uneven collection pauses would bias a 5% bound
+    try:
+        for repeat in range(REPEATS):
+            # Interleaved A/B with the pair order alternating per repeat,
+            # so drift (thermal, cache pressure, periodic background
+            # load) cannot systematically land on one mode.
+            for mode in (("plain", "traced"), ("traced", "plain"))[repeat % 2]:
+                if mode == "plain":
+                    monkeypatch.delenv(trace.TRACE_ENV, raising=False)
+                    monkeypatch.delenv(metrics.METRICS_ENV, raising=False)
+                    plain_result, seconds = _run_campaign(net)
+                    plain_s.append(seconds)
+                else:
+                    monkeypatch.setenv(
+                        trace.TRACE_ENV, str(tmp_path / f"trace{repeat}.jsonl")
+                    )
+                    monkeypatch.setenv(
+                        metrics.METRICS_ENV, str(tmp_path / "metrics.jsonl")
+                    )
+                    traced_result, seconds = _run_campaign(net)
+                    traced_s.append(seconds)
+
+            assert np.array_equal(plain_result.detected, baseline_result.detected)
+    finally:
+        gc.enable()
+
+    monkeypatch.delenv(trace.TRACE_ENV, raising=False)
+    monkeypatch.delenv(metrics.METRICS_ENV, raising=False)
+
+    # Tracing must never change results.
+    assert np.array_equal(traced_result.detected, baseline_result.detected)
+    assert np.array_equal(
+        traced_result.first_detected, baseline_result.first_detected
+    )
+    assert traced_result.n_simulated_runs == baseline_result.n_simulated_runs
+
+    # The instrumented runs really were instrumented.
+    records = trace.read_trace(str(tmp_path / "trace0.jsonl"))
+    assert any(r.get("name") == "campaign" for r in records)
+
+    # Per-pair ratios, then the median: pair i's plain and traced halves
+    # ran adjacently, so machine drift cancels within the pair and a
+    # one-off stall only poisons its own pair.
+    ratios = sorted(t / p for t, p in zip(traced_s, plain_s))
+    median_ratio = ratios[len(ratios) // 2]
+    plain = min(plain_s)
+    traced = plain * median_ratio
+    overhead = median_ratio - 1.0
+    speedup = 1.0 / median_ratio
+    print(
+        f"\nRCA-{WIDTH} campaign: plain {plain * 1e3:.2f}ms, "
+        f"instrumented {traced * 1e3:.2f}ms, overhead {overhead * 100:+.2f}%"
+    )
+    record(
+        f"rca{WIDTH}_instrumented_vs_plain",
+        traced,
+        speedup=speedup,
+        plain_seconds=plain,
+        overhead_fraction=overhead,
+    )
+    assert overhead < OBS_OVERHEAD_CEILING, (
+        f"telemetry overhead {overhead * 100:.2f}% exceeds the "
+        f"{OBS_OVERHEAD_CEILING * 100:.0f}% ceiling"
+    )

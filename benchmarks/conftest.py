@@ -66,6 +66,7 @@ class BenchRecorder:
             return
         from repro.gates.backends import list_backends, resolve_backend_name
         from repro.gates.tune import plan_log
+        from repro.obs import registry
 
         os.makedirs(self.directory, exist_ok=True)
         meta = {
@@ -81,6 +82,9 @@ class BenchRecorder:
             # Every autotuner resolution made during the session:
             # backend choice + chunking + the reason, per shape.
             "tuning_plans": [plan.to_dict() for plan in plan_log()],
+            # End-of-session telemetry snapshot (store hit rates, event
+            # counts, per-backend kernel histograms when profiling on).
+            "metrics": registry().snapshot(),
         }
         for suite, cases in self.suites.items():
             path = os.path.join(self.directory, f"BENCH_{suite}.json")

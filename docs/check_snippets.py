@@ -28,6 +28,7 @@ DEFAULT_DOCS = (
     "examples/compact_test_sets.py",
     "examples/cached_campaigns.py",
     "examples/static_analysis.py",
+    "examples/traced_campaign.py",
 )
 
 

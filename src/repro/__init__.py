@@ -27,6 +27,9 @@ The package provides:
 * a static-analysis subsystem: structural lint, support cones,
   equivalence/dominance fault collapsing and SCOAP testability
   (:mod:`repro.analysis`);
+* a unified telemetry subsystem: metrics registry, tracing spans,
+  campaign lifecycle events and the trace report tool
+  (:mod:`repro.obs`);
 * benchmark applications, FIR first (:mod:`repro.apps`).
 """
 
@@ -53,6 +56,16 @@ from repro.gates.backends import (
     resolve_backend_name,
 )
 from repro.gates.tune import TuningPlan, resolve_chunking, resolve_plan
+from repro.obs import (
+    METRICS_ENV,
+    MetricsRegistry,
+    TRACE_ENV,
+    emit_event,
+    read_trace,
+    registry,
+    set_kernel_profiling,
+    span,
+)
 from repro.store import (
     CacheKey,
     ResultStore,
@@ -112,6 +125,14 @@ __all__ = [
     "TuningPlan",
     "resolve_chunking",
     "resolve_plan",
+    "METRICS_ENV",
+    "MetricsRegistry",
+    "TRACE_ENV",
+    "emit_event",
+    "read_trace",
+    "registry",
+    "set_kernel_profiling",
+    "span",
     "CacheKey",
     "ResultStore",
     "STORE_DIR_ENV",

@@ -108,6 +108,7 @@ from repro.gates.engine import (
 )
 from repro.gates.netlist import Netlist
 from repro.gates.tune import resolve_chunking, resolve_plan
+from repro.obs.trace import span as obs_span
 from repro.store import (
     CacheKey,
     ResultStore,
@@ -784,24 +785,27 @@ def _evaluate(
             method = "gate"
         else:
             method = "sampled"
-    if method == "gate":
-        return _run_gate(
-            operator, width, cell_netlist, workers, word_chunk, fault_chunk,
-            matrix_budget, backend, store,
+    with obs_span(
+        "coverage_evaluate", operator=operator, width=width, method=method
+    ):
+        if method == "gate":
+            return _run_gate(
+                operator, width, cell_netlist, workers, word_chunk,
+                fault_chunk, matrix_budget, backend, store,
+            )
+        if method == "transfer":
+            return _run_transfer(operator, width, cell_netlist, store)
+        return _run_functional(
+            operator,
+            width,
+            cell_netlist,
+            exhaustive_limit,
+            samples,
+            seed,
+            workers,
+            force_sampled=method == "sampled",
+            store=store,
         )
-    if method == "transfer":
-        return _run_transfer(operator, width, cell_netlist, store)
-    return _run_functional(
-        operator,
-        width,
-        cell_netlist,
-        exhaustive_limit,
-        samples,
-        seed,
-        workers,
-        force_sampled=method == "sampled",
-        store=store,
-    )
 
 
 def evaluate_adder(

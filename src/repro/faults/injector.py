@@ -45,6 +45,8 @@ from repro.gates.faults import (
     resolve_collapse_mode,
 )
 from repro.gates.netlist import Netlist
+from repro.obs import events as obs_events
+from repro.obs.trace import span as obs_span
 from repro.store import (
     CacheKey,
     digest_faults,
@@ -226,6 +228,23 @@ def run_sharded_stuck_at_campaign(
     killed campaign re-run with the same ``workers`` loads its finished
     shards and executes only the missing ones, merging bit-identically.
     """
+    with obs_span("sharded_campaign", netlist=netlist.name):
+        return _run_sharded_stuck_at_impl(
+            netlist, vectors, faults, collapse, fault_dropping, workers,
+            backend, store,
+        )
+
+
+def _run_sharded_stuck_at_impl(
+    netlist: Netlist,
+    vectors: Optional[Mapping[str, Union[int, np.ndarray]]],
+    faults: Optional[Iterable[StuckAtFault]],
+    collapse: Union[bool, str],
+    fault_dropping: bool,
+    workers: Optional[int],
+    backend: Optional[str],
+    store,
+) -> StuckAtCampaignResult:
     fault_seq: Tuple[StuckAtFault, ...] = (
         tuple(faults) if faults is not None else default_fault_universe(netlist)
     )
@@ -312,6 +331,17 @@ def run_sharded_stuck_at_campaign(
         n_vectors=parts[0].n_vectors,
         n_simulated_runs=sum(p.n_simulated_runs for p in parts),
         groups=tuple(groups),
+    )
+    # Worker-process campaigns emit their own spans (visible through a
+    # shared REPRO_TRACE file); the merged totals are reported here.
+    obs_events.emit(
+        obs_events.CAMPAIGN_COMPLETED,
+        netlist=netlist.name,
+        backend=backend,
+        n_faults=len(fault_seq),
+        n_vectors=result.n_vectors,
+        n_simulated_runs=result.n_simulated_runs,
+        workers=n_workers,
     )
     if store is not None:
         store.put(key, result, {"workers": n_workers})

@@ -21,7 +21,10 @@ whatever ``REPRO_BACKEND`` says in parent or child.
 from __future__ import annotations
 
 import os
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import events, metrics
 
 #: Below this much total work (items x per-item cost) the pool overhead
 #: outweighs any parallel gain and auto-selection stays single-process.
@@ -111,10 +114,43 @@ def shard_grid(
     ]
 
 
+def _instrumented_shard(
+    worker: Callable[..., Any], index: int, args: Tuple[Any, ...]
+) -> Tuple[Any, float, int, List[Any]]:
+    """Evaluate one shard in a worker process, piggybacking telemetry.
+
+    Returns ``(result, seconds, worker_pid, metrics_raw)`` -- the
+    results-queue side channel that carries per-shard wall time and the
+    worker registry's series back to the parent.  Forked pool workers
+    exit via ``os._exit``, so their dump-on-exit hooks never run; this
+    return path is the only way their metrics survive.  The worker
+    registry is drained after capture so a pool process that evaluates
+    several shards reports per-shard deltas, not cumulative totals.
+    """
+    events.emit(events.SHARD_STARTED, shard=index, worker_pid=os.getpid())
+    start = time.perf_counter()
+    result = worker(*args)
+    seconds = time.perf_counter() - start
+    raw = metrics.registry().raw_series()
+    metrics.registry().reset()
+    return result, seconds, os.getpid(), raw
+
+
+def _notify(
+    on_event: Optional[Callable[[str, Dict[str, Any]], None]],
+    name: str,
+    **fields: Any,
+) -> None:
+    events.emit(name, **fields)
+    if on_event is not None:
+        on_event(name, fields)
+
+
 def run_sharded(
     worker: Callable[..., Any],
     arg_tuples: Sequence[Tuple[Any, ...]],
     on_result: Optional[Callable[[int, Any], None]] = None,
+    on_event: Optional[Callable[[str, Dict[str, Any]], None]] = None,
 ) -> List[Any]:
     """Run ``worker(*args)`` for each tuple, in order, across processes.
 
@@ -128,27 +164,66 @@ def run_sharded(
     submission order.  The checkpoint runtime uses it to land partial
     results in the store the moment they exist, so a campaign killed
     mid-pool keeps every finished shard.
+
+    ``on_event(name, fields)``, when given, receives every lifecycle
+    event this call emits through :mod:`repro.obs.events` (submitted /
+    completed / failed / merged -- ``shard_started`` fires inside the
+    worker process and reaches the parent trace only via a shared
+    ``REPRO_TRACE`` file).  Per-shard wall seconds and worker-process
+    metrics ride back on the results queue itself, so the telemetry
+    spans the process boundary without any extra IPC; worker metrics
+    are merged into the parent registry before the merged event fires.
     """
-    if len(arg_tuples) <= 1:
+    n_shards = len(arg_tuples)
+    if n_shards <= 1:
         results = []
         for index, args in enumerate(arg_tuples):
+            _notify(on_event, events.SHARD_SUBMITTED, shard=index, n_shards=n_shards)
+            events.emit(events.SHARD_STARTED, shard=index, worker_pid=os.getpid())
+            start = time.perf_counter()
             result = worker(*args)
+            _notify(
+                on_event,
+                events.SHARD_COMPLETED,
+                shard=index,
+                worker_pid=os.getpid(),
+                seconds=time.perf_counter() - start,
+            )
             if on_result is not None:
                 on_result(index, result)
             results.append(result)
+        _notify(on_event, events.SHARDS_MERGED, n_shards=n_shards)
         return results
     from concurrent.futures import ProcessPoolExecutor, as_completed
 
-    with ProcessPoolExecutor(max_workers=len(arg_tuples)) as pool:
-        futures = {
-            pool.submit(worker, *args): index
-            for index, args in enumerate(arg_tuples)
-        }
-        results: List[Any] = [None] * len(arg_tuples)
+    with ProcessPoolExecutor(max_workers=n_shards) as pool:
+        futures = {}
+        for index, args in enumerate(arg_tuples):
+            futures[pool.submit(_instrumented_shard, worker, index, args)] = index
+            _notify(on_event, events.SHARD_SUBMITTED, shard=index, n_shards=n_shards)
+        results: List[Any] = [None] * n_shards
         for future in as_completed(futures):
             index = futures[future]
-            result = future.result()
+            try:
+                result, seconds, worker_pid, raw = future.result()
+            except BaseException as exc:
+                _notify(
+                    on_event,
+                    events.SHARD_FAILED,
+                    shard=index,
+                    error=type(exc).__name__,
+                )
+                raise
+            metrics.registry().merge_raw(raw)
+            _notify(
+                on_event,
+                events.SHARD_COMPLETED,
+                shard=index,
+                worker_pid=worker_pid,
+                seconds=seconds,
+            )
             if on_result is not None:
                 on_result(index, result)
             results[index] = result
+        _notify(on_event, events.SHARDS_MERGED, n_shards=n_shards)
         return results

@@ -31,17 +31,32 @@ Aliasing contract: ``run_words`` / ``run_matrix`` may return views into
 a backend-internal workspace that are only valid until the next kernel
 call on the same backend; ``run_outputs`` / ``run_detect`` always
 return caller-owned arrays.
+
+Profiling contract: when :func:`repro.obs.metrics.kernel_profiling_
+enabled` is true (``REPRO_METRICS``/``REPRO_TRACE`` set, or forced),
+every top-level kernel call records its wall time into the
+``repro_kernel_seconds{backend=...,kernel=...}`` histogram.  The hook
+is woven in by :meth:`Backend.__init_subclass__`, so backends get it
+for free; only the *outermost* kernel on a thread records (a default
+``run_detect`` delegating to ``run_matrix`` counts once), and backends
+flagged ``_obs_exempt`` -- the per-tile inner backends of
+:class:`~repro.gates.backends.threaded.ThreadedBackend` -- never
+record, so a tiled call is one observation, not one per tile.
 """
 
 from __future__ import annotations
 
+import functools
+import threading
+import time
 from abc import ABC, abstractmethod
-from typing import ClassVar, List, Optional, Tuple
+from typing import Callable, ClassVar, List, Optional, Tuple
 
 import numpy as np
 
 from repro.gates.backends.plan import OverridePlan
 from repro.gates.compile import OP_AND, OP_OR, OP_XOR, CompiledNetlist
+from repro.obs import metrics as _metrics
 
 #: base opcode -> binary ufunc (None = copy/NOT) -- the single lowering
 #: table shared by the NumPy backends, so a new base opcode only needs
@@ -71,11 +86,63 @@ def gate_program(compiled: CompiledNetlist) -> List[GateOp]:
     ]
 
 
+#: Kernel methods eligible for timing instrumentation.
+KERNEL_NAMES = ("run_words", "run_matrix", "run_outputs", "run_detect")
+
+_PROFILE_LOCAL = threading.local()
+
+
+def _profiled(kernel: str, fn: Callable) -> Callable:
+    """Wrap one kernel method with the timing hook (idempotent)."""
+    if getattr(fn, "_obs_profiled", False):
+        return fn
+
+    handle_attr = f"_obs_hist_{kernel}"
+
+    @functools.wraps(fn)
+    def wrapper(self, *args, **kwargs):
+        if getattr(self, "_obs_exempt", False) or not _metrics.kernel_profiling_enabled():
+            return fn(self, *args, **kwargs)
+        if getattr(_PROFILE_LOCAL, "depth", 0):
+            # A derived kernel delegating to a primitive on the same
+            # thread: the outer call owns the observation.
+            return fn(self, *args, **kwargs)
+        _PROFILE_LOCAL.depth = 1
+        start = time.perf_counter()
+        try:
+            return fn(self, *args, **kwargs)
+        finally:
+            _PROFILE_LOCAL.depth = 0
+            dur = time.perf_counter() - start
+            # One pre-resolved handle per instance and kernel, so the
+            # per-call cost is a lock plus a histogram fold.
+            handle = self.__dict__.get(handle_attr)
+            if handle is None:
+                handle = self.__dict__[handle_attr] = _metrics.histogram_handle(
+                    "repro_kernel_seconds", backend=self.name, kernel=kernel
+                )
+            handle.observe(dur)
+
+    wrapper._obs_profiled = True  # type: ignore[attr-defined]
+    return wrapper
+
+
 class Backend(ABC):
     """One execution strategy bound to a compiled netlist."""
 
     #: Registry name; class attribute set by each implementation.
     name: ClassVar[str] = "abstract"
+
+    #: When true, this instance's kernels never record timings (set on
+    #: the inner per-tile backends of ThreadedBackend).
+    _obs_exempt: bool = False
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        for kernel in KERNEL_NAMES:
+            fn = cls.__dict__.get(kernel)
+            if callable(fn):
+                setattr(cls, kernel, _profiled(kernel, fn))
 
     def __init__(self, compiled: CompiledNetlist) -> None:
         self.compiled = compiled
@@ -131,3 +198,11 @@ class Backend(ABC):
             out = vals[out_id]
             diff |= out[:-1] ^ out[-1]
         return diff
+
+
+# Subclass overrides are instrumented by __init_subclass__; the derived
+# kernels defined on the base itself are wrapped here so backends that
+# inherit them unchanged still record.
+for _kernel in ("run_outputs", "run_detect"):
+    setattr(Backend, _kernel, _profiled(_kernel, Backend.__dict__[_kernel]))
+del _kernel

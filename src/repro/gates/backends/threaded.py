@@ -127,14 +127,23 @@ class ThreadedBackend(Backend):
         # ``None`` re-resolves per call, so one cached engine follows
         # ``REPRO_THREADS`` changes; an explicit count is pinned.
         self._threads = None if threads is None else max(1, int(threads))
-        self._inners: List[FusedBackend] = [FusedBackend(compiled)]
+        self._inners: List[FusedBackend] = [self._make_inner(compiled)]
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_size = 0
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _make_inner(compiled: CompiledNetlist) -> FusedBackend:
+        inner = FusedBackend(compiled)
+        # Tiles run on pool threads where the per-thread profiling depth
+        # guard cannot see the submitting call; exempt the inners so one
+        # tiled kernel records exactly one timing observation.
+        inner._obs_exempt = True
+        return inner
+
     def _inner(self, index: int) -> FusedBackend:
         while len(self._inners) <= index:
-            self._inners.append(FusedBackend(self.compiled))
+            self._inners.append(self._make_inner(self.compiled))
         return self._inners[index]
 
     def _executor(self, n_workers: int) -> ThreadPoolExecutor:

@@ -71,6 +71,8 @@ from repro.gates.faults import (
 )
 from repro.gates.memo import identity_memo
 from repro.gates.netlist import Netlist
+from repro.obs import events as obs_events
+from repro.obs.trace import span as obs_span
 
 Value = Union[int, np.ndarray]
 
@@ -555,6 +557,38 @@ class BitParallelEngine:
         ``REPRO_WORD_CHUNK``/``REPRO_FAULT_CHUNK`` env > 512/64) and
         never change any classification.
         """
+        with obs_span(
+            "campaign",
+            netlist=self.compiled.source.name,
+            backend=self.backend.name,
+        ):
+            result = self._campaign_impl(
+                packed=packed,
+                faults=faults,
+                collapse=collapse,
+                fault_dropping=fault_dropping,
+                word_chunk=word_chunk,
+                fault_chunk=fault_chunk,
+            )
+            obs_events.emit(
+                obs_events.CAMPAIGN_COMPLETED,
+                netlist=result.netlist_name,
+                backend=self.backend.name,
+                n_faults=len(result.faults),
+                n_vectors=result.n_vectors,
+                n_simulated_runs=result.n_simulated_runs,
+            )
+        return result
+
+    def _campaign_impl(
+        self,
+        packed: Optional[PackedVectors],
+        faults: Optional[Sequence[StuckAtFault]],
+        collapse: Union[bool, str],
+        fault_dropping: bool,
+        word_chunk: Optional[int],
+        fault_chunk: Optional[int],
+    ) -> StuckAtCampaignResult:
         from repro.gates.tune import resolve_chunking
 
         mode = resolve_collapse_mode(collapse)

@@ -60,6 +60,8 @@ from repro.gates.backends import (
 from repro.gates.backends.threaded import resolve_threads
 from repro.gates.compile import CompiledNetlist, compile_netlist
 from repro.gates.netlist import Netlist
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
 
 #: Environment overrides of the streaming chunk geometry.
 WORD_CHUNK_ENV = "REPRO_WORD_CHUNK"
@@ -85,8 +87,14 @@ _PROBE_WORDS = 32
 _PROBE_FAULTS = 64
 _PROBE_REPEATS = 2
 
+#: Capacity of the in-process plan log.  Beyond this many resolved
+#: plans the oldest entries fall off (counted by the
+#: ``repro_plan_log_dropped_total`` metric, so the truncation is never
+#: silent); the trace stream receives *every* plan regardless.
+PLAN_LOG_MAX = 256
+
 #: Bounded log of resolved plans, newest last (see :func:`plan_log`).
-_PLAN_LOG: Deque["TuningPlan"] = deque(maxlen=256)
+_PLAN_LOG: Deque["TuningPlan"] = deque(maxlen=PLAN_LOG_MAX)
 
 #: (content hash, candidates, host) -> winning backend name.
 _CALIBRATION_CACHE: Dict[str, str] = {}
@@ -237,7 +245,13 @@ def _host_key() -> str:
 
 
 def plan_log() -> Tuple[TuningPlan, ...]:
-    """Resolved plans of this process, oldest first (bounded window)."""
+    """Resolved plans of this process, oldest first.
+
+    The window is bounded at :data:`PLAN_LOG_MAX` entries: once full,
+    each new plan silently evicts the oldest *from this log only* --
+    the eviction is counted in the ``repro_plan_log_dropped_total``
+    metric and every plan still reaches the trace stream as a
+    ``tuning_plan`` event, so nothing is lost observably."""
     return tuple(_PLAN_LOG)
 
 
@@ -458,7 +472,20 @@ def resolve_plan(
         reason=reason,
         shape=shape,
     )
+    if len(_PLAN_LOG) == PLAN_LOG_MAX:
+        obs_metrics.inc("repro_plan_log_dropped_total")
     _PLAN_LOG.append(plan)
+    obs_events.emit(
+        obs_events.TUNING_PLAN,
+        backend=chosen,
+        source=source,
+        reason=reason,
+        word_chunk=plan.word_chunk,
+        fault_chunk=plan.fault_chunk,
+        threads=threads,
+        n_faults=shape.n_faults,
+        n_words=shape.n_words,
+    )
     try:
         ref = weakref.ref(
             compiled, lambda _r, _k=memo_key: _PLAN_MEMO.pop(_k, None)
@@ -479,6 +506,7 @@ __all__ = [
     "DEFAULT_WORD_CHUNK",
     "DEFAULT_FAULT_CHUNK",
     "NetlistShape",
+    "PLAN_LOG_MAX",
     "TuningPlan",
     "resolve_chunking",
     "resolve_plan",

@@ -26,6 +26,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from repro.obs import events
 from repro.store.hashing import CacheKey
 from repro.store.store import ResultStore
 
@@ -102,6 +103,9 @@ def run_checkpointed(
             missing.append(index)
         else:
             results[index] = value
+            events.emit(
+                events.CHECKPOINT_RESUMED, shard=index, n_shards=total
+            )
 
     if missing:
         if _SHARD_HOOK is not None:
@@ -109,12 +113,20 @@ def run_checkpointed(
                 _SHARD_HOOK(index)
                 result = worker(*arg_tuples[index])
                 store.put(keys[index], result, provenance)
+                events.emit(
+                    events.CHECKPOINT_WRITTEN, shard=index, n_shards=total
+                )
                 results[index] = result
         else:
             sub_tuples = [arg_tuples[index] for index in missing]
 
             def land(position: int, result: Any) -> None:
                 store.put(keys[missing[position]], result, provenance)
+                events.emit(
+                    events.CHECKPOINT_WRITTEN,
+                    shard=missing[position],
+                    n_shards=total,
+                )
 
             sub_results = run_sharded_compat(worker, sub_tuples, on_result=land)
             for position, index in enumerate(missing):

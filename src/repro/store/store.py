@@ -42,6 +42,8 @@ from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
 from repro.store import codecs
 from repro.store.hashing import SCHEMA_VERSION, CacheKey
 
@@ -161,6 +163,7 @@ class ResultStore:
         self._write_atomic_text(json_path, json.dumps(sidecar, indent=1, sort_keys=True))
         self._lru_insert(key.digest, value)
         self.stats.puts += 1
+        obs_metrics.inc("repro_store_puts_total", kind=key.kind)
 
     def get(self, key: CacheKey) -> Optional[object]:
         """The stored artifact, or ``None`` (miss / discarded entry)."""
@@ -170,10 +173,12 @@ class ResultStore:
             self._lru[digest] = value  # re-insert = most recently used
             self.stats.hits += 1
             self.stats.lru_hits += 1
+            obs_metrics.inc("repro_store_hits_total", path="lru")
             return value
         npz_path, json_path = self.paths(key)
         if not os.path.exists(json_path):
             self.stats.misses += 1
+            obs_metrics.inc("repro_store_misses_total")
             return None
         try:
             with open(json_path, "r", encoding="utf-8") as handle:
@@ -195,9 +200,11 @@ class ResultStore:
             self._discard(key, json_path, npz_path, exc)
             self.stats.misses += 1
             self.stats.corrupt += 1
+            obs_metrics.inc("repro_store_misses_total")
             return None
         self._lru_insert(digest, value)
         self.stats.hits += 1
+        obs_metrics.inc("repro_store_hits_total", path="disk")
         return value
 
     def provenance(self, key: CacheKey) -> Optional[dict]:
@@ -220,6 +227,15 @@ class ResultStore:
             f"({exc}); it will be recomputed",
             StoreCorruptionWarning,
             stacklevel=3,
+        )
+        # The warning can be filtered away; the counter and trace event
+        # make silent discard-and-recompute visible after the fact.
+        obs_metrics.inc("repro_store_corrupt_total", kind=key.kind)
+        obs_events.emit(
+            obs_events.STORE_CORRUPT,
+            kind=key.kind,
+            digest=key.digest[:12],
+            error=str(exc),
         )
         for path in (json_path, npz_path):
             try:
@@ -273,6 +289,26 @@ class ResultStore:
 # Resolution: keyword > environment > off
 # ----------------------------------------------------------------------
 _OPEN_STORES: Dict[str, ResultStore] = {}
+
+
+def _collect_store_stats() -> Dict[str, float]:
+    """Live ``StoreStats`` of every process-shared store, summed, as
+    gauges on each :func:`repro.obs.metrics` snapshot (stores built
+    directly from :class:`ResultStore` bypass :func:`open_store` and are
+    not visible here -- they still feed the event counters above)."""
+    out: Dict[str, float] = {"repro_store_open": float(len(_OPEN_STORES))}
+    if not _OPEN_STORES:
+        return out
+    totals = StoreStats()
+    for store in list(_OPEN_STORES.values()):
+        for field, value in store.stats.snapshot().items():
+            setattr(totals, field, getattr(totals, field) + value)
+    for field, value in totals.snapshot().items():
+        out[f"repro_store_stats_{field}"] = float(value)
+    return out
+
+
+obs_metrics.registry().register_collector("store_stats", _collect_store_stats)
 
 
 def open_store(path: Union[str, os.PathLike]) -> ResultStore:

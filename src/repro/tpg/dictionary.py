@@ -57,6 +57,7 @@ from repro.gates.faults import (
 )
 from repro.gates.netlist import Netlist
 from repro.gates.tune import resolve_chunking, resolve_plan
+from repro.obs.trace import span as obs_span
 from repro.store import (
     CacheKey,
     digest_faults,
@@ -648,6 +649,25 @@ def build_fault_dictionary(
     a content key and every word-range shard checkpoints as it
     completes, so a killed build resumes from its surviving shards.
     """
+    with obs_span("fault_dictionary", netlist=netlist.name):
+        return _build_fault_dictionary_impl(
+            netlist, space, faults, collapse, workers, word_chunk,
+            fault_chunk, matrix_budget, backend, store,
+        )
+
+
+def _build_fault_dictionary_impl(
+    netlist: Netlist,
+    space: Optional[TestSpace],
+    faults: Optional[Iterable[StuckAtFault]],
+    collapse: Union[bool, str],
+    workers: Optional[int],
+    word_chunk: Optional[int],
+    fault_chunk: Optional[int],
+    matrix_budget: Optional[int],
+    backend: Optional[str],
+    store,
+) -> FaultDictionary:
     if space is None:
         space = TestSpace.full(netlist)
     elif space.netlist is not netlist:

@@ -53,6 +53,7 @@ from repro.gates.engine import (
 from repro.gates.faults import StuckAtFault, resolve_collapse_mode
 from repro.gates.netlist import Netlist
 from repro.gates.tune import resolve_chunking, resolve_plan
+from repro.obs.trace import span as obs_span
 from repro.store import (
     CacheKey,
     digest_faults,
@@ -238,6 +239,28 @@ def generate_tests(
     biases the recorded witnesses toward the hard-fault tail;
     ``order="index"`` keeps the historical universe order.
     """
+    with obs_span("atpg", netlist=netlist.name, order=order, seed=seed):
+        return _generate_tests_impl(
+            netlist, space, seed, phase_words, max_phases, stale_phases,
+            faults, collapse, order, word_chunk, fault_chunk, backend, store,
+        )
+
+
+def _generate_tests_impl(
+    netlist: Netlist,
+    space: Optional[TestSpace],
+    seed: int,
+    phase_words: int,
+    max_phases: int,
+    stale_phases: int,
+    faults: Optional[Tuple[StuckAtFault, ...]],
+    collapse: Union[bool, str],
+    order: str,
+    word_chunk: Optional[int],
+    fault_chunk: Optional[int],
+    backend: Optional[str],
+    store,
+) -> TPGResult:
     if space is None:
         space = TestSpace.full(netlist)
     elif space.netlist is not netlist:
