@@ -29,6 +29,7 @@ DEFAULT_DOCS = (
     "examples/cached_campaigns.py",
     "examples/static_analysis.py",
     "examples/traced_campaign.py",
+    "examples/incremental_campaign.py",
 )
 
 

@@ -36,10 +36,12 @@ The package provides:
 from repro.analysis import (
     CollapseMap,
     ConeAnalysis,
+    GateConeAnalysis,
     LintIssue,
     LintReport,
     ScoapMeasures,
     analyze_cones,
+    analyze_gate_cones,
     assert_clean,
     collapse_faults,
     fault_efforts,
@@ -48,6 +50,12 @@ from repro.analysis import (
     scoap,
 )
 from repro.core import SCK, SCKContext, current_context
+from repro.faults import (
+    IncrementalCampaignResult,
+    NetlistDiff,
+    diff_netlists,
+    incremental_stuck_at_campaign,
+)
 from repro.gates.backends import (
     AUTO_BACKEND,
     BACKEND_ENV,
@@ -55,7 +63,12 @@ from repro.gates.backends import (
     list_backends,
     resolve_backend_name,
 )
-from repro.gates.tune import TuningPlan, resolve_chunking, resolve_plan
+from repro.gates.tune import (
+    TuningPlan,
+    resolve_chunking,
+    resolve_plan,
+    resolve_sparse,
+)
 from repro.obs import (
     METRICS_ENV,
     MetricsRegistry,
@@ -110,7 +123,13 @@ __all__ = [
     "LintIssue",
     "LintReport",
     "ScoapMeasures",
+    "GateConeAnalysis",
     "analyze_cones",
+    "analyze_gate_cones",
+    "IncrementalCampaignResult",
+    "NetlistDiff",
+    "diff_netlists",
+    "incremental_stuck_at_campaign",
     "assert_clean",
     "collapse_faults",
     "fault_efforts",
@@ -125,6 +144,7 @@ __all__ = [
     "TuningPlan",
     "resolve_chunking",
     "resolve_plan",
+    "resolve_sparse",
     "METRICS_ENV",
     "MetricsRegistry",
     "TRACE_ENV",

@@ -27,7 +27,12 @@ netlist version like the compiled lowering.
 """
 
 from repro.analysis.collapse import CollapseMap, collapse_faults
-from repro.analysis.cones import ConeAnalysis, analyze_cones
+from repro.analysis.cones import (
+    ConeAnalysis,
+    GateConeAnalysis,
+    analyze_cones,
+    analyze_gate_cones,
+)
 from repro.analysis.lint import (
     LintIssue,
     LintReport,
@@ -44,10 +49,12 @@ from repro.analysis.testability import (
 __all__ = [
     "CollapseMap",
     "ConeAnalysis",
+    "GateConeAnalysis",
     "LintIssue",
     "LintReport",
     "ScoapMeasures",
     "analyze_cones",
+    "analyze_gate_cones",
     "assert_clean",
     "collapse_faults",
     "fault_efforts",

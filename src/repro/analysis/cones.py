@@ -266,3 +266,200 @@ def analyze_cones(netlist: Netlist, store: object = None) -> ConeAnalysis:
     result = _cached_cones(netlist)
     store.put(key, _cones_payload(result))
     return result
+
+
+@dataclass(frozen=True)
+class GateConeAnalysis:
+    """Gate-granular fan-out cones of one netlist.
+
+    ``gate_masks[g]`` packs the compiled indices of every gate strictly
+    downstream of gate ``g`` (transitively reachable through its output
+    net); ``net_cone_masks[n]`` packs the gates a stuck-at fault on net
+    ``n`` can perturb -- the net's reader gates and everything
+    downstream of them (the *driver* of ``n`` is not included; a stem
+    override replaces its output, it does not re-evaluate it).
+
+    ``gate_cone_sizes[g]`` counts the gate itself plus its downstream
+    cone, so sizes rank gates by blast radius; ``mean_cone_fraction``
+    is the average ``net_cone_sizes / n_gates`` over all nets -- the
+    cone-density statistic the sparse/dense autotuner heuristic keys
+    on (dense netlists reconverge fast, so sparse schedules save
+    nothing there).
+    """
+
+    netlist_name: str
+    gate_names: Tuple[str, ...]
+    net_names: Tuple[str, ...]
+    gate_masks: np.ndarray  # (n_gates, ceil(n_gates/64)) uint64
+    gate_cone_sizes: np.ndarray  # (n_gates,) int64, downstream + self
+    net_cone_masks: np.ndarray  # (n_nets, ceil(n_gates/64)) uint64
+    net_cone_sizes: np.ndarray  # (n_nets,) int64
+    driver_gates: np.ndarray  # (n_nets,) int64, -1 for primary inputs
+    mean_cone_fraction: float
+    _gate_ids: dict
+    _net_ids: dict
+
+    @property
+    def n_gates(self) -> int:
+        return len(self.gate_names)
+
+    def cone_of(self, gate: str) -> Tuple[str, ...]:
+        """Names of the gates strictly downstream of ``gate``."""
+        row = self.gate_masks[self._gate_ids[gate]]
+        return tuple(self.gate_names[k] for k in _bit_indices(row, self.n_gates))
+
+    def net_cone(self, net: str) -> Tuple[str, ...]:
+        """Names of the gates a stuck-at fault on ``net`` can perturb."""
+        row = self.net_cone_masks[self._net_ids[net]]
+        return tuple(self.gate_names[k] for k in _bit_indices(row, self.n_gates))
+
+    def ranking(self) -> Tuple[str, ...]:
+        """Gate names by descending cone size (stable within ties)."""
+        order = np.argsort(-self.gate_cone_sizes, kind="stable")
+        return tuple(self.gate_names[int(g)] for g in order)
+
+
+def _fanout_reduce(
+    starts: np.ndarray,
+    counts: np.ndarray,
+    fanout_gates: np.ndarray,
+    rows_of: np.ndarray,
+) -> np.ndarray:
+    """OR-reduce ``rows_of[reader]`` over each CSR fanout segment.
+
+    ``starts``/``counts`` delimit non-empty segments of
+    ``fanout_gates``; returns one reduced mask row per segment.
+    """
+    seg = np.zeros(len(counts), dtype=np.int64)
+    np.cumsum(counts[:-1], out=seg[1:])
+    flat = np.repeat(starts - seg, counts) + np.arange(int(counts.sum()))
+    readers = fanout_gates[flat]
+    return np.bitwise_or.reduceat(rows_of[readers], seg, axis=0)
+
+
+def _compute_gate_cones(compiled: CompiledNetlist) -> GateConeAnalysis:
+    n_gates = compiled.n_gates
+    n_nets = compiled.n_nets
+    gw = _mask_words(n_gates)
+
+    self_bits = np.zeros((n_gates, gw), dtype=np.uint64)
+    idx = np.arange(n_gates)
+    self_bits[idx, idx // _WORD] = np.uint64(1) << (idx % _WORD).astype(np.uint64)
+
+    # reader row = its own bit plus everything downstream of it; filled
+    # in reverse level order so every reader of a gate's output net is
+    # final before the gate itself is reduced.
+    fo_off = compiled.fanout_offsets.astype(np.int64)
+    fo_gates = compiled.fanout_gates
+    masks = np.zeros((n_gates, gw), dtype=np.uint64)
+    reader_rows = self_bits.copy()
+    for gs in reversed(_level_batches(compiled)):
+        outs = compiled.gate_output_ids[gs]
+        lo = fo_off[outs]
+        counts = fo_off[outs + 1] - lo
+        nz = counts > 0
+        if nz.any():
+            reduced = _fanout_reduce(lo[nz], counts[nz], fo_gates, reader_rows)
+            masks[gs[nz]] = reduced
+            reader_rows[gs[nz]] |= reduced
+
+    net_masks = np.zeros((n_nets, gw), dtype=np.uint64)
+    lo = fo_off[:-1]
+    counts = fo_off[1:] - lo
+    nz = counts > 0
+    if nz.any():
+        net_masks[nz] = _fanout_reduce(lo[nz], counts[nz], fo_gates, reader_rows)
+
+    driver_gates = np.full(n_nets, -1, dtype=np.int64)
+    driver_gates[compiled.gate_output_ids] = np.arange(n_gates, dtype=np.int64)
+
+    net_cone_sizes = _popcount_rows(net_masks)
+    fraction = 0.0
+    if n_gates and n_nets:
+        fraction = float(net_cone_sizes.mean() / n_gates)
+    return GateConeAnalysis(
+        netlist_name=compiled.name,
+        gate_names=compiled.gate_names,
+        net_names=compiled.net_names,
+        gate_masks=masks,
+        gate_cone_sizes=_popcount_rows(masks) + 1,
+        net_cone_masks=net_masks,
+        net_cone_sizes=net_cone_sizes,
+        driver_gates=driver_gates,
+        mean_cone_fraction=fraction,
+        _gate_ids={name: i for i, name in enumerate(compiled.gate_names)},
+        _net_ids=dict(compiled.net_ids),
+    )
+
+
+_gate_cones_memo = identity_memo(netlist_fingerprint)
+
+
+@_gate_cones_memo
+def _cached_gate_cones(netlist: Netlist) -> GateConeAnalysis:
+    return _compute_gate_cones(compile_netlist(netlist))
+
+
+def _gate_cones_payload(result: GateConeAnalysis) -> dict:
+    return {
+        "netlist_name": result.netlist_name,
+        "gate_names": list(result.gate_names),
+        "net_names": list(result.net_names),
+        "mean_cone_fraction": result.mean_cone_fraction,
+        "arrays": {
+            "gate_masks": result.gate_masks,
+            "gate_cone_sizes": result.gate_cone_sizes,
+            "net_cone_masks": result.net_cone_masks,
+            "net_cone_sizes": result.net_cone_sizes,
+            "driver_gates": result.driver_gates,
+        },
+    }
+
+
+def _gate_cones_from_payload(payload: dict) -> GateConeAnalysis:
+    arrays = payload["arrays"]
+    gate_names = tuple(str(n) for n in payload["gate_names"])
+    net_names = tuple(str(n) for n in payload["net_names"])
+    return GateConeAnalysis(
+        netlist_name=str(payload["netlist_name"]),
+        gate_names=gate_names,
+        net_names=net_names,
+        gate_masks=np.asarray(arrays["gate_masks"], dtype=np.uint64),
+        gate_cone_sizes=np.asarray(arrays["gate_cone_sizes"], dtype=np.int64),
+        net_cone_masks=np.asarray(arrays["net_cone_masks"], dtype=np.uint64),
+        net_cone_sizes=np.asarray(arrays["net_cone_sizes"], dtype=np.int64),
+        driver_gates=np.asarray(arrays["driver_gates"], dtype=np.int64),
+        mean_cone_fraction=float(payload["mean_cone_fraction"]),
+        _gate_ids={name: i for i, name in enumerate(gate_names)},
+        _net_ids={name: i for i, name in enumerate(net_names)},
+    )
+
+
+def analyze_gate_cones(netlist: Netlist, store: object = None) -> GateConeAnalysis:
+    """Per-gate fan-out cones of ``netlist``, memoised per version.
+
+    The packed masks feed the cone-sparse fault schedules
+    (:mod:`repro.gates.sparse`) and the incremental-campaign
+    invalidation rule (:mod:`repro.faults.incremental`).  With a result
+    store active they persist under the netlist content digest like the
+    other ``kind="analysis"`` artifacts.
+    """
+    from repro.store import CacheKey, digest_netlist, resolve_store
+
+    store = resolve_store(store)
+    if store is None:
+        return _cached_gate_cones(netlist)
+    key = CacheKey(
+        kind="analysis",
+        netlist=digest_netlist(netlist),
+        universe="-",
+        space="-",
+        method="gate_cones",
+        backend="-",
+    )
+    cached = store.get(key)
+    if isinstance(cached, dict):
+        return _gate_cones_from_payload(cached)
+    result = _cached_gate_cones(netlist)
+    store.put(key, _gate_cones_payload(result))
+    return result

@@ -982,6 +982,7 @@ def evaluate_gate_level(
     workers: Optional[int] = None,
     backend: Optional[str] = None,
     store=None,
+    sparse: Optional[bool] = None,
 ) -> Tuple[GateLevelCoverage, StuckAtCampaignResult]:
     """Batched stuck-at coverage of a gate-level netlist.
 
@@ -995,8 +996,10 @@ def evaluate_gate_level(
     detection back bit-identically, so the coverage stats never change,
     only ``simulated_runs``.  ``workers`` shards the fault list across
     processes (auto by universe size) and ``backend`` selects the
-    execution backend, both bit-identically.  Returns the aggregate
-    stats plus the raw campaign result.
+    execution backend, both bit-identically.  ``sparse`` selects the
+    cone-sparse execution tier (``None`` auto-resolves; see
+    :func:`repro.gates.tune.resolve_sparse`), also bit-identically.
+    Returns the aggregate stats plus the raw campaign result.
     """
     from repro.faults.injector import run_sharded_stuck_at_campaign
 
@@ -1008,6 +1011,7 @@ def evaluate_gate_level(
         workers=workers,
         backend=backend,
         store=store,
+        sparse=sparse,
     )
     stats = GateLevelCoverage(
         netlist=netlist.name,

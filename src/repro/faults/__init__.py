@@ -14,7 +14,10 @@ Permanent, transient and intermittent faults are all covered.
   campaigns (:func:`run_gate_level_campaign`,
   :func:`run_sharded_stuck_at_campaign`);
 * :mod:`repro.faults.sharding` -- process-pool sharding policy shared
-  by campaigns and the coverage evaluators (bit-identical merges).
+  by campaigns and the coverage evaluators (bit-identical merges);
+* :mod:`repro.faults.incremental` -- campaign recomputation across
+  netlist edits: structural diff, verdict-preservation proofs, and
+  store-backed reuse (:func:`incremental_stuck_at_campaign`).
 """
 
 from repro.faults.model import (
@@ -38,6 +41,12 @@ from repro.faults.injector import (
     run_gate_level_campaign,
     run_sharded_stuck_at_campaign,
 )
+from repro.faults.incremental import (
+    IncrementalCampaignResult,
+    NetlistDiff,
+    diff_netlists,
+    incremental_stuck_at_campaign,
+)
 
 __all__ = [
     "ActivationSchedule",
@@ -55,4 +64,8 @@ __all__ = [
     "CampaignResult",
     "run_gate_level_campaign",
     "run_sharded_stuck_at_campaign",
+    "NetlistDiff",
+    "diff_netlists",
+    "IncrementalCampaignResult",
+    "incremental_stuck_at_campaign",
 ]

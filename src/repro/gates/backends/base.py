@@ -87,7 +87,13 @@ def gate_program(compiled: CompiledNetlist) -> List[GateOp]:
 
 
 #: Kernel methods eligible for timing instrumentation.
-KERNEL_NAMES = ("run_words", "run_matrix", "run_outputs", "run_detect")
+KERNEL_NAMES = (
+    "run_words",
+    "run_matrix",
+    "run_outputs",
+    "run_detect",
+    "run_detect_sparse",
+)
 
 _PROFILE_LOCAL = threading.local()
 
@@ -136,6 +142,13 @@ class Backend(ABC):
     #: When true, this instance's kernels never record timings (set on
     #: the inner per-tile backends of ThreadedBackend).
     _obs_exempt: bool = False
+
+    #: Whether :meth:`run_detect_sparse` actually restricts evaluation
+    #: to the scheduled cone gates.  The base default delegates to the
+    #: dense :meth:`run_detect` (bit-identical, no savings), so the
+    #: sparse/dense autotuner only *prefers* sparse on backends that
+    #: set this.
+    supports_sparse: ClassVar[bool] = False
 
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
@@ -199,10 +212,36 @@ class Backend(ABC):
             diff |= out[:-1] ^ out[-1]
         return diff
 
+    def run_detect_sparse(
+        self,
+        words: np.ndarray,
+        plan: OverridePlan,
+        n_rows: int,
+        gates: np.ndarray,
+        out_ids: Optional[Tuple[int, ...]] = None,
+    ) -> np.ndarray:
+        """Detection words of one cone-sparse batch.
+
+        ``gates`` is the ascending compiled gate-index array of the
+        batch's union fan-out cone (see :mod:`repro.gates.sparse`):
+        every gate a fault row of ``plan`` can perturb, in topological
+        order.  ``out_ids`` optionally restricts the detection
+        reduction to the primary-output net ids reachable from the
+        batch's sites; outputs outside the cone are provably golden,
+        so restricting is bit-identical.
+
+        The default implementation ignores the schedule and delegates
+        to the dense :meth:`run_detect` -- correct on any backend, so
+        the sparse campaign sweep runs everywhere; backends flagged
+        ``supports_sparse`` override this with a walk that only
+        evaluates ``gates``.
+        """
+        return self.run_detect(words, plan, n_rows)
+
 
 # Subclass overrides are instrumented by __init_subclass__; the derived
 # kernels defined on the base itself are wrapped here so backends that
 # inherit them unchanged still record.
-for _kernel in ("run_outputs", "run_detect"):
+for _kernel in ("run_outputs", "run_detect", "run_detect_sparse"):
     setattr(Backend, _kernel, _profiled(_kernel, Backend.__dict__[_kernel]))
 del _kernel

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.errors import SimulationError
 from repro.gates.backends.base import UFUNCS, Backend, gate_program
 from repro.gates.backends.plan import OverridePlan
 from repro.gates.compile import CompiledNetlist
@@ -54,6 +55,35 @@ WORKSPACE_KEEP_BYTES = 64 << 20
 #: evaluation, while the level-batched matrix walk stays O(levels x
 #: opcodes) per call.
 SMALL_DETECT_CELLS = 1 << 13
+
+#: Above this many (row x word) cells the sparse walk stops testing for
+#: dead-effect early exit: the convergence probe compares every touched
+#: prefix against golden, which only pays for itself on the small
+#: batches of incremental re-runs and per-fault probes.
+SPARSE_EXIT_CELLS = 1 << 11
+
+# Work counters of the cone-sparse tier (always live, surfaced in the
+# telemetry snapshot and the BENCH_*.json records).  Resolved lazily so
+# importing the backend never touches the metrics registry.
+_SPARSE_HANDLES = None
+
+
+def _note_sparse(evaluated: int, skipped: int, early_exit: bool) -> None:
+    global _SPARSE_HANDLES
+    if _SPARSE_HANDLES is None:
+        from repro.obs import metrics
+
+        _SPARSE_HANDLES = (
+            metrics.counter_handle("repro_sparse_gates_evaluated_total"),
+            metrics.counter_handle("repro_sparse_gates_skipped_total"),
+            metrics.counter_handle("repro_sparse_early_exits_total"),
+        )
+    if evaluated:
+        _SPARSE_HANDLES[0].inc(evaluated)
+    if skipped:
+        _SPARSE_HANDLES[1].inc(skipped)
+    if early_exit:
+        _SPARSE_HANDLES[2].inc()
 
 
 class _Group:
@@ -75,6 +105,7 @@ class FusedBackend(Backend):
     """Batched per-level evaluation with tainted-prefix fault walks."""
 
     name = "fused"
+    supports_sparse = True
 
     def __init__(self, compiled: CompiledNetlist) -> None:
         super().__init__(compiled)
@@ -117,6 +148,11 @@ class FusedBackend(Backend):
         # reference, words snapshot, golden): the reference keeps the id
         # stable and the snapshot detects in-place mutation by callers.
         self._golden_cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        # Cone-restricted sub-programs keyed on the schedule's gate
+        # index bytes; campaigns reuse one schedule across many word
+        # sub-chunks, so the slicing happens once per batch shape.
+        self._sparse_programs: Dict[bytes, Tuple[list, frozenset]] = {}
+        self._driver_of: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     def _workspace(self, n_rows: int, n_words: int) -> np.ndarray:
@@ -268,7 +304,14 @@ class FusedBackend(Backend):
         self._golden_cache = (words, words.copy(), golden)
         return golden
 
-    def _prefix_walk(self, words: np.ndarray, plan: OverridePlan, n_rows: int):
+    def _prefix_walk(
+        self,
+        words: np.ndarray,
+        plan: OverridePlan,
+        n_rows: int,
+        program: Optional[list] = None,
+        stats: Optional[dict] = None,
+    ):
         """Evaluate only the tainted row prefix of every net.
 
         Rows are internally permuted ascending by first-divergence
@@ -279,6 +322,16 @@ class FusedBackend(Backend):
         sliced to each gate's high-water mark: operands whose mark lags
         are first topped up with broadcast golden rows, so every ufunc
         still runs on plain contiguous slices.
+
+        ``program`` restricts the walk to a cone-sparse sub-program
+        (ascending compiled order); gates outside it are provably
+        golden under ``plan``, which the sparse schedule guarantees.
+        With ``stats`` (sparse calls) the walk additionally probes for
+        *dead-effect early exit* on small workloads: past the deepest
+        override level, at each level boundary, if every materialised
+        prefix of a non-overridden net has reconverged to golden the
+        remaining gates cannot diverge either, so the walk stops and
+        reports the skip in ``stats``.
         """
         depth_plus = self.compiled.depth + 1
         row_levels = np.full(n_rows, depth_plus, dtype=np.int64)
@@ -314,7 +367,27 @@ class FusedBackend(Backend):
                 vals[nid][:top] = golden[nid]
                 vals[nid][rows] = consts
                 hw[nid] = top
-        for g, ufunc, invert, operand_ids, out_id in self._flat_program:
+        entries = self._flat_program if program is None else program
+        probe_exit = (
+            stats is not None and n_rows * words.shape[1] <= SPARSE_EXIT_CELLS
+        )
+        if probe_exit:
+            levels_arr = self.compiled.gate_levels
+            exit_level = self._deepest_override_level(stems, branches)
+            stem_nets = set(stems)
+            touched = list(stem_nets)
+            prev_level = -1
+        for idx, (g, ufunc, invert, operand_ids, out_id) in enumerate(entries):
+            if probe_exit:
+                lvl = int(levels_arr[g])
+                if lvl != prev_level:
+                    if prev_level >= exit_level and self._converged(
+                        touched, stem_nets, vals, hw, golden
+                    ):
+                        stats["early_exit"] = True
+                        stats["skipped"] = len(entries) - idx
+                        break
+                    prev_level = lvl
             gate_branches = branches.get(g)
             stem_entry = stems.get(out_id)
             m_in = 0
@@ -340,6 +413,8 @@ class FusedBackend(Backend):
                     if h < m_in:
                         vals[nid][h:m_in] = golden[nid]
                         hw[nid] = m_in
+                        if probe_exit and h == 0:
+                            touched.append(nid)
                 dense = gate_branches is not None and n_override * 8 >= m_in
                 if dense:
                     # Many overridden rows: recompute the whole prefix
@@ -377,8 +452,49 @@ class FusedBackend(Backend):
                     out_rows[m_in:top] = golden[out_id]
                     m_in = top
                 out_rows[rows] = consts
+            if probe_exit and m_in and not hw[out_id]:
+                touched.append(out_id)
             hw[out_id] = m_in
         return vals, hw, golden, inv, identity
+
+    def _deepest_override_level(self, stems, branches) -> int:
+        """Level past which ``plan`` can no longer inject divergence.
+
+        Stems stay pinned in the value matrix, so their influence ends
+        at their *deepest reader*; branches end at the overridden gate.
+        """
+        compiled = self.compiled
+        deepest = -1
+        for nid in stems:
+            lo = int(compiled.fanout_offsets[nid])
+            hi = int(compiled.fanout_offsets[nid + 1])
+            if hi > lo:
+                lvl = int(compiled.gate_levels[compiled.fanout_gates[lo:hi]].max())
+            else:
+                lvl = int(compiled.net_levels[nid])
+            if lvl > deepest:
+                deepest = lvl
+        for g in branches:
+            lvl = int(compiled.gate_levels[g])
+            if lvl > deepest:
+                deepest = lvl
+        return deepest
+
+    @staticmethod
+    def _converged(touched, stem_nets, vals, hw, golden) -> bool:
+        """True when every materialised non-stem prefix equals golden.
+
+        Stem-overridden nets are excluded: past their deepest reader
+        (the caller checks the level first) they are never read again,
+        and their pinned rows differ from golden by construction.
+        """
+        for nid in touched:
+            if nid in stem_nets:
+                continue
+            h = hw[nid]
+            if h and bool((vals[nid][:h] != golden[nid]).any()):
+                return False
+        return True
 
     @staticmethod
     def _fix_branch_rows(ufunc, invert, operand_ids, gate_branches, vals, out_rows):
@@ -451,6 +567,79 @@ class FusedBackend(Backend):
             if h:
                 np.bitwise_xor(vals[out_id][:h], golden[out_id], out=scratch[:h])
                 np.bitwise_or(diff[:h], scratch[:h], out=diff[:h])
+        return diff if identity else diff[inv]
+
+    def _sparse_program(self, gates: np.ndarray) -> Tuple[list, frozenset]:
+        """Cone-restricted sub-program for one schedule batch, cached."""
+        key = gates.tobytes()
+        cached = self._sparse_programs.get(key)
+        if cached is None:
+            if len(self._sparse_programs) >= 256:
+                self._sparse_programs.clear()
+            program = [self._flat_program[int(g)] for g in gates]
+            cached = (program, frozenset(int(g) for g in gates))
+            self._sparse_programs[key] = cached
+        return cached
+
+    def _check_sparse_plan(self, plan: OverridePlan, gate_set: frozenset) -> None:
+        """Guard the schedule invariants a sparse walk relies on.
+
+        Every branch-site gate and every non-input stem's driver gate
+        must be inside the batch cone; :func:`repro.gates.sparse.build_
+        schedule` guarantees this, the check catches hand-built calls.
+        """
+        for g in plan.branch_by_gate:
+            if g not in gate_set:
+                raise SimulationError(
+                    f"sparse schedule does not cover branch-override gate {g}"
+                )
+        if plan.stem:
+            if self._driver_of is None:
+                driver = np.full(self.compiled.n_nets, -1, dtype=np.int64)
+                driver[self.compiled.gate_output_ids] = np.arange(
+                    self.compiled.n_gates, dtype=np.int64
+                )
+                self._driver_of = driver
+            for nid in plan.stem:
+                if self.compiled.net_levels[nid] and (
+                    int(self._driver_of[nid]) not in gate_set
+                ):
+                    raise SimulationError(
+                        f"sparse schedule does not cover the driver of "
+                        f"stem-override net {nid}"
+                    )
+
+    def run_detect_sparse(
+        self,
+        words: np.ndarray,
+        plan: OverridePlan,
+        n_rows: int,
+        gates: np.ndarray,
+        out_ids: Optional[Tuple[int, ...]] = None,
+    ) -> np.ndarray:
+        n_words = words.shape[1]
+        n_total = self.compiled.n_gates
+        outs = self._output_ids if out_ids is None else list(out_ids)
+        if not outs:
+            # No primary output is reachable from the batch's sites:
+            # nothing can detect, nothing needs evaluating.
+            _note_sparse(0, n_total, False)
+            return np.zeros((n_rows, n_words), dtype=np.uint64)
+        program, gate_set = self._sparse_program(gates)
+        self._check_sparse_plan(plan, gate_set)
+        stats = {"early_exit": False, "skipped": 0}
+        vals, hw, golden, inv, identity = self._prefix_walk(
+            words, plan, n_rows, program=program, stats=stats
+        )
+        diff = np.zeros((n_rows, n_words), dtype=np.uint64)
+        scratch = np.empty((n_rows, n_words), dtype=np.uint64)
+        for out_id in outs:
+            h = hw[out_id]
+            if h:
+                np.bitwise_xor(vals[out_id][:h], golden[out_id], out=scratch[:h])
+                np.bitwise_or(diff[:h], scratch[:h], out=diff[:h])
+        evaluated = len(program) - int(stats["skipped"])
+        _note_sparse(evaluated, n_total - evaluated, bool(stats["early_exit"]))
         return diff if identity else diff[inv]
 
     def run_outputs(

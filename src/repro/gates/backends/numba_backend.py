@@ -278,6 +278,30 @@ if numba is not None:  # pragma: no cover - exercised only with numba
                             vals[out, f, w] = v
 
 
+def _branch_csr_subset(
+    plan: OverridePlan, positions: dict, n_sub: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-gate branch CSR re-indexed to sparse sub-program positions."""
+    counts = np.zeros(n_sub + 1, dtype=np.int64)
+    for g, pins in plan.branch_by_gate.items():
+        counts[positions[g] + 1] += sum(len(rows) for rows, _ in pins.values())
+    ptr = np.cumsum(counts)
+    pins_arr = np.empty(ptr[-1], dtype=np.int64)
+    rows_arr = np.empty(ptr[-1], dtype=np.int64)
+    vals_arr = np.empty(ptr[-1], dtype=np.uint64)
+    cursor = ptr[:-1].copy()
+    for g, pins in plan.branch_by_gate.items():
+        j = positions[g]
+        for pin, (rows, consts) in pins.items():
+            for i, r in enumerate(rows):
+                slot = cursor[j]
+                pins_arr[slot] = pin
+                rows_arr[slot] = r
+                vals_arr[slot] = consts[i, 0]
+                cursor[j] += 1
+    return ptr, pins_arr, rows_arr, vals_arr
+
+
 if numba is None:
     NumbaBackend = None
 else:  # pragma: no cover - exercised only where numba is installed
@@ -286,6 +310,7 @@ else:  # pragma: no cover - exercised only where numba is installed
         """JIT CSR walk; results bit-identical to the array backends."""
 
         name = "numba"
+        supports_sparse = True
 
         def __init__(self, compiled: CompiledNetlist) -> None:
             super().__init__(compiled)
@@ -298,6 +323,8 @@ else:  # pragma: no cover - exercised only where numba is installed
                 np.asarray(c.gate_output_ids, dtype=np.int64),
                 np.asarray(c.input_ids, dtype=np.int64),
             )
+            self._sparse_cache: dict = {}
+            self._golden_cache = None
 
         def run_words(self, words: np.ndarray) -> np.ndarray:
             return self.run_matrix(words, OverridePlan(self.compiled, []), 1)[:, 0, :]
@@ -330,3 +357,98 @@ else:  # pragma: no cover - exercised only where numba is installed
                 vals,
             )
             return vals
+
+        # ----------------------------------------------------------
+        # Cone-sparse detection
+        # ----------------------------------------------------------
+        def _golden(self, words: np.ndarray) -> np.ndarray:
+            cached = self._golden_cache
+            if (
+                cached is not None
+                and cached[0] is words
+                and np.array_equal(words, cached[1])
+            ):
+                return cached[2]
+            golden = self.run_words(words)
+            self._golden_cache = (words, words.copy(), golden)
+            return golden
+
+        def _sparse_args(self, gates: np.ndarray):
+            """CSR arrays sliced to one schedule's gate subset, cached."""
+            key = gates.tobytes()
+            cached = self._sparse_cache.get(key)
+            if cached is None:
+                if len(self._sparse_cache) >= 256:
+                    self._sparse_cache.clear()
+                base_ops, inverts, off, operands, gate_out, input_ids = self._args
+                idx = np.asarray(gates, dtype=np.int64)
+                counts = off[idx + 1] - off[idx] if len(idx) else off[:0]
+                sub_off = np.zeros(len(idx) + 1, dtype=np.int64)
+                np.cumsum(counts, out=sub_off[1:])
+                if len(idx):
+                    flat = np.repeat(off[idx] - sub_off[:-1], counts) + np.arange(
+                        int(counts.sum())
+                    )
+                    sub_ops = operands[flat]
+                else:
+                    sub_ops = operands[:0]
+                positions = {int(g): j for j, g in enumerate(idx)}
+                cached = (
+                    (
+                        base_ops[idx],
+                        inverts[idx],
+                        sub_off,
+                        sub_ops,
+                        gate_out[idx],
+                        input_ids,
+                    ),
+                    positions,
+                )
+                self._sparse_cache[key] = cached
+            return cached
+
+        def run_detect_sparse(
+            self,
+            words: np.ndarray,
+            plan: OverridePlan,
+            n_rows: int,
+            gates: np.ndarray,
+            out_ids=None,
+        ) -> np.ndarray:
+            """Sparse walk: golden-broadcast init, then only cone gates.
+
+            Every row starts as the fault-free run, so nets outside the
+            scheduled cone are correct without being walked; the JIT
+            kernels then re-evaluate just the subset arrays (the same
+            serial/``prange`` machine loops as the dense path, so the
+            arithmetic is bit-identical).
+            """
+            c = self.compiled
+            n_words = words.shape[1]
+            outs = self._output_ids if out_ids is None else list(out_ids)
+            if not outs:
+                return np.zeros((n_rows, n_words), dtype=np.uint64)
+            golden = self._golden(words)
+            sub_args, positions = self._sparse_args(gates)
+            vals = np.empty((c.n_nets, n_rows, n_words), dtype=np.uint64)
+            vals[:] = golden[:, None, :]
+            stem_ptr, stem_rows, stem_vals = _stem_csr(plan, c.n_nets)
+            br = _branch_csr_subset(plan, positions, len(gates))
+            wide = (
+                n_rows >= 2 * numba.get_num_threads()
+                and n_rows * n_words >= PARALLEL_MIN_CELLS
+            )
+            kernel = _matrix_kernel_parallel if wide else _matrix_kernel
+            kernel(
+                *sub_args,
+                np.ascontiguousarray(words, dtype=np.uint64),
+                stem_ptr,
+                stem_rows,
+                stem_vals,
+                *br,
+                vals,
+            )
+            diff = np.zeros((n_rows, n_words), dtype=np.uint64)
+            for out_id in outs:
+                diff |= vals[out_id] ^ golden[out_id]
+            return diff

@@ -119,6 +119,7 @@ class ThreadedBackend(Backend):
     """Fused kernels tiled over a (fault-row x word-range) thread grid."""
 
     name = "threaded"
+    supports_sparse = True
 
     def __init__(
         self, compiled: CompiledNetlist, threads: Optional[int] = None
@@ -256,6 +257,32 @@ class ThreadedBackend(Backend):
             sub = plan if (rlo, rhi) == (0, n_rows) else slice_plan(plan, rlo, rhi)
             out[rlo:rhi, wlo:whi] = self._inner(i).run_detect(
                 views[i], sub, rhi - rlo
+            )
+
+        self._run_tiles(tiles, task)
+        return out
+
+    def run_detect_sparse(
+        self,
+        words: np.ndarray,
+        plan: OverridePlan,
+        n_rows: int,
+        gates: np.ndarray,
+        out_ids=None,
+    ) -> np.ndarray:
+        tiles = self._grid(n_rows, words.shape[1])
+        if tiles is None or len(tiles) <= 1:
+            return self._inner(0).run_detect_sparse(
+                words, plan, n_rows, gates, out_ids
+            )
+        out = np.empty((n_rows, words.shape[1]), dtype=np.uint64)
+        views = self._tile_words(words, tiles)
+
+        def task(i, tile):
+            rlo, rhi, wlo, whi = tile
+            sub = plan if (rlo, rhi) == (0, n_rows) else slice_plan(plan, rlo, rhi)
+            out[rlo:rhi, wlo:whi] = self._inner(i).run_detect_sparse(
+                views[i], sub, rhi - rlo, gates, out_ids
             )
 
         self._run_tiles(tiles, task)

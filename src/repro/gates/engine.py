@@ -371,6 +371,15 @@ class BitParallelEngine:
         # First-round campaign plans for the default collapsed universe,
         # rebuilt only when the memoised groups tuple changes identity.
         self._round_plans: Optional[Tuple[int, Dict[Tuple[int, int], OverridePlan]]] = None
+        # First-round sparse schedule (batches + plans) for the default
+        # collapsed universe, same identity-keyed lifetime.
+        # Sparse-sweep schedule cache: (id(groups), active classes,
+        # rows-per-batch) -> (batches, plans).  Only default-universe
+        # rounds are cached (their groups tuple is memoised and alive,
+        # so the id cannot be recycled); FIFO-bounded.
+        self._sparse_rounds: Dict[
+            Tuple[int, Tuple[int, ...], int], Tuple[List, List[OverridePlan]]
+        ] = {}
 
     # ------------------------------------------------------------------
     # Packing
@@ -534,6 +543,7 @@ class BitParallelEngine:
         fault_dropping: bool = True,
         word_chunk: Optional[int] = None,
         fault_chunk: Optional[int] = None,
+        sparse: Optional[bool] = None,
     ) -> StuckAtCampaignResult:
         """Simulate a stuck-at universe against one shared golden run.
 
@@ -556,6 +566,18 @@ class BitParallelEngine:
         :func:`repro.gates.tune.resolve_chunking` (keyword >
         ``REPRO_WORD_CHUNK``/``REPRO_FAULT_CHUNK`` env > 512/64) and
         never change any classification.
+
+        ``sparse`` selects the cone-sparse execution tier
+        (:mod:`repro.gates.sparse`): fault batches are clustered by
+        fan-out cone similarity and the backend walks only the union
+        cone of each batch, with a dead-effect early exit that skips
+        the rest of a word chunk once every fault of a batch is
+        detected.  ``None`` (default) resolves through
+        :func:`repro.gates.tune.resolve_sparse` (``REPRO_SPARSE`` env,
+        then the cone-density heuristic).  The ``detected`` array and
+        ``first_detected`` witnesses are bit-identical to the dense
+        sweep on every backend; only ``n_simulated_runs`` (a work
+        counter) and speed differ.
         """
         with obs_span(
             "campaign",
@@ -569,6 +591,7 @@ class BitParallelEngine:
                 fault_dropping=fault_dropping,
                 word_chunk=word_chunk,
                 fault_chunk=fault_chunk,
+                sparse=sparse,
             )
             obs_events.emit(
                 obs_events.CAMPAIGN_COMPLETED,
@@ -588,8 +611,9 @@ class BitParallelEngine:
         fault_dropping: bool,
         word_chunk: Optional[int],
         fault_chunk: Optional[int],
+        sparse: Optional[bool] = None,
     ) -> StuckAtCampaignResult:
-        from repro.gates.tune import resolve_chunking
+        from repro.gates.tune import resolve_chunking, resolve_sparse
 
         mode = resolve_collapse_mode(collapse)
         word_chunk, fault_chunk = resolve_chunking(word_chunk, fault_chunk)
@@ -628,6 +652,15 @@ class BitParallelEngine:
         n_words = packed.n_words
         word_chunk = max(1, word_chunk)
         fault_chunk = max(1, fault_chunk)
+        use_sparse = resolve_sparse(
+            c,
+            self.backend_name,
+            sparse=sparse,
+            n_groups=len(groups),
+            n_words=n_words,
+            word_chunk=word_chunk,
+            fault_chunk=fault_chunk,
+        ).sparse
         plan_cache: Optional[Dict[Tuple[int, int], OverridePlan]] = None
         if faults is None and mode == "equivalence":
             # Plans over the memoised universe are identical across
@@ -699,6 +732,142 @@ class BitParallelEngine:
                 if fault_dropping:
                     active = [g for g in active if not detected[groups[g][0]]]
             return runs
+
+        def sweep_sparse(class_ids: List[int], cache: Optional[Dict]) -> int:
+            """Cone-sparse variant of ``sweep``: fault classes are
+            clustered by fan-out cone (:mod:`repro.gates.sparse`), the
+            backend walks only each batch's union cone, and -- under
+            fault dropping -- the vector space advances in word slabs
+            that start at :data:`~repro.gates.sparse.SPARSE_WORD_SUBCHUNK`
+            and double each step.  Most faults fall to the earliest
+            vectors, so the cheap first slab retires the bulk of the
+            universe (the dead-effect early exit); every wider slab
+            re-schedules only the surviving classes, whose union cones
+            tighten as the shallow fault sites drop out.  ``detected``
+            / ``first_detected`` are bit-identical to the dense sweep
+            (slabs advance in vector order, so the earliest witness
+            wins exactly as before); only the run counter's
+            granularity differs.
+            """
+            del cache  # cone clustering replaces the contiguous-batch cache
+            from repro.analysis.cones import analyze_cones, analyze_gate_cones
+            from repro.gates.sparse import (
+                SPARSE_CELL_BUDGET,
+                SPARSE_WORD_SUBCHUNK,
+                build_schedule,
+            )
+
+            nonlocal detected, first_detected
+            gate_cones = analyze_gate_cones(netlist)
+            po_cones = analyze_cones(netlist)
+            active = list(class_ids)
+            full_default = faults is None and mode == "equivalence"
+            runs = 0
+            sched_for: Optional[List[int]] = None
+            fc_for = 0
+            batches: List = []
+            plans: List[OverridePlan] = []
+            # Without fault dropping no class ever retires, so slab
+            # escalation buys nothing: stream plain word chunks.
+            slab = SPARSE_WORD_SUBCHUNK if fault_dropping else word_chunk
+            lo = 0
+            while lo < max(n_words, 1) and active:
+                hi = min(lo + slab, n_words)
+                if lo == 0 and hi >= n_words:
+                    part = packed
+                else:
+                    part = packed.word_slice(lo, hi)
+                if part.n_words == 0:
+                    break
+                # Rows per kernel call: narrow slabs take every active
+                # class in one dense-shaped batch (the probe most
+                # faults die in), wide slabs fall back toward the
+                # campaign fault chunk to bound the matrix footprint.
+                fc_eff = max(
+                    fault_chunk, SPARSE_CELL_BUDGET // max(1, part.n_words)
+                )
+                if sched_for != active or fc_for != fc_eff:
+                    # Reschedule when dropping changed the active set
+                    # or the slab width changed the batching; default-
+                    # universe rounds are cached on the engine like the
+                    # dense plan cache (dropping is deterministic, so
+                    # repeated campaigns replay the same rounds).
+                    ckey = (id(groups), tuple(active), fc_eff)
+                    cached = (
+                        self._sparse_rounds.get(ckey) if full_default else None
+                    )
+                    sched_for = list(active)
+                    if cached is not None:
+                        batches, plans = cached
+                    else:
+                        sched_groups = [
+                            tuple(fault_seq[fi] for fi in groups[g])
+                            for g in sched_for
+                        ]
+                        schedule = build_schedule(
+                            c, sched_groups, fc_eff, gate_cones, po_cones
+                        )
+                        batches = list(schedule.batches)
+                        plans = [
+                            OverridePlan(
+                                self.compiled,
+                                [sched_groups[m] for m in b.members],
+                            )
+                            for b in batches
+                        ]
+                        if full_default:
+                            while len(self._sparse_rounds) >= 32:
+                                del self._sparse_rounds[
+                                    next(iter(self._sparse_rounds))
+                                ]
+                            self._sparse_rounds[ckey] = (batches, plans)
+                    fc_for = fc_eff
+                mask = part.tail_mask
+                base_vector = lo * LANES
+                for bi, batch in enumerate(batches):
+                    # Batches whose sites reach no primary output are
+                    # provably undetectable: no kernel runs at all.
+                    if not batch.out_ids:
+                        continue
+                    if fault_dropping and all(
+                        detected[groups[sched_for[m]][0]]
+                        for m in batch.members
+                    ):
+                        continue
+                    n_batch = len(batch.members)
+                    diff = self.backend.run_detect_sparse(
+                        part.words,
+                        plans[bi],
+                        n_batch,
+                        batch.gates,
+                        batch.out_ids,
+                    )
+                    runs += n_batch
+                    if mask != ALL_ONES:
+                        diff[:, -1] &= mask
+                    nonzero = diff != 0
+                    hit_rows = np.nonzero(nonzero.any(axis=1))[0]
+                    if not hit_rows.size:
+                        continue
+                    word_idx = np.argmax(nonzero[hit_rows], axis=1)
+                    word = diff[hit_rows, word_idx]
+                    low = word & (np.uint64(0) - word)
+                    bit = np.log2(low.astype(np.float64)).astype(np.int64)
+                    vectors = base_vector + word_idx * LANES + bit
+                    for row, vector in zip(hit_rows.tolist(), vectors.tolist()):
+                        for fi in groups[sched_for[batch.members[row]]]:
+                            if not detected[fi]:
+                                detected[fi] = True
+                                first_detected[fi] = vector
+                if fault_dropping:
+                    active = [g for g in active if not detected[groups[g][0]]]
+                lo = hi
+                if fault_dropping:
+                    slab *= 2
+            return runs
+
+        if use_sparse:
+            sweep = sweep_sparse
 
         if cmap is None:
             n_runs += sweep(list(range(len(groups))), plan_cache)
@@ -800,6 +969,7 @@ def run_stuck_at_campaign(
     word_chunk: Optional[int] = None,
     fault_chunk: Optional[int] = None,
     backend: Optional[str] = None,
+    sparse: Optional[bool] = None,
 ) -> StuckAtCampaignResult:
     """One-call batched campaign over ``netlist``'s stuck-at universe.
 
@@ -807,7 +977,8 @@ def run_stuck_at_campaign(
     omitted, the exhaustive vector set is used.  ``backend`` selects the
     execution backend -- ``"auto"`` engages the shape-aware autotuner
     (:mod:`repro.gates.tune`); classifications are bit-identical across
-    all of them.  See :meth:`BitParallelEngine.campaign` for the knobs.
+    all of them.  ``sparse`` selects the cone-sparse execution tier
+    (``None`` auto-resolves; see :meth:`BitParallelEngine.campaign`).
     """
     engine = engine_for(netlist, backend)
     packed: Optional[PackedVectors] = None
@@ -821,4 +992,5 @@ def run_stuck_at_campaign(
         fault_dropping=fault_dropping,
         word_chunk=word_chunk,
         fault_chunk=fault_chunk,
+        sparse=sparse,
     )

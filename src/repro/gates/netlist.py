@@ -126,6 +126,58 @@ class Netlist:
         self._version += 1
         return name
 
+    def copy(self, name: Optional[str] = None) -> "Netlist":
+        """Independent structural copy (edits never alias back).
+
+        Gate objects are duplicated, so :meth:`replace_gate` on the
+        copy leaves the original untouched -- the editing primitive the
+        incremental campaign machinery
+        (:mod:`repro.faults.incremental`) diffs against.
+        """
+        dup = Netlist(name if name is not None else self.name)
+        dup.primary_inputs = list(self.primary_inputs)
+        dup.primary_outputs = list(self.primary_outputs)
+        dup.gates = [
+            Gate(g.name, g.cell_type, tuple(g.inputs), g.output)
+            for g in self.gates
+        ]
+        dup._drivers = dict(self._drivers)
+        return dup
+
+    def replace_gate(
+        self,
+        name: str,
+        cell_type: Optional[CellType] = None,
+        inputs: Optional[Sequence[str]] = None,
+    ) -> Gate:
+        """Swap the function and/or input wiring of gate ``name``.
+
+        The gate keeps its instance name and its output net (rewiring
+        the *output* changes the net universe -- that edit is a remove
+        plus an add, not a replacement).  Arity is validated against
+        the new cell type and every new input must be a driven net.
+        Bumps :attr:`version`, so all downstream caches invalidate.
+        """
+        for k, gate in enumerate(self.gates):
+            if gate.name != name:
+                continue
+            new_inputs = tuple(gate.inputs) if inputs is None else tuple(inputs)
+            for net in new_inputs:
+                if net not in self._drivers:
+                    raise NetlistError(
+                        f"replace_gate({name!r}): input net {net!r} is not driven"
+                    )
+            new = Gate(
+                gate.name,
+                gate.cell_type if cell_type is None else cell_type,
+                new_inputs,
+                gate.output,
+            )
+            self.gates[k] = new
+            self._version += 1
+            return new
+        raise NetlistError(f"no gate named {name!r}")
+
     @property
     def version(self) -> int:
         """Monotonic mutation counter, bumped on every structural change.

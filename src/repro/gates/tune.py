@@ -70,6 +70,24 @@ FAULT_CHUNK_ENV = "REPRO_FAULT_CHUNK"
 #: Path of the cross-process calibration cache (JSON); unset = in-process only.
 TUNE_CACHE_ENV = "REPRO_TUNE_CACHE"
 
+#: Force the cone-sparse execution tier on ("1") or off ("0") for every
+#: campaign whose caller does not pass ``sparse=`` explicitly.
+SPARSE_ENV = "REPRO_SPARSE"
+
+#: Mean cone fraction (average share of all gates a single fault can
+#: perturb) above which sparse schedules stop paying: the cones cover
+#: nearly the whole netlist, so the restricted walk does the dense work
+#: plus scheduling overhead.
+SPARSE_DENSITY_MAX = 0.75
+
+#: Below this many gates the dense fused walk is already trivial.
+SPARSE_MIN_GATES = 4
+
+#: Below this many 64-vector words the sparse tier's slab-escalation
+#: early exit has no room to work in the word dimension, so its extra
+#: kernel calls cost more than the skipped gates save.
+SPARSE_MIN_WORDS = 512
+
 #: The historical campaign defaults, now defined exactly once.
 DEFAULT_WORD_CHUNK = 512
 DEFAULT_FAULT_CHUNK = 64
@@ -117,7 +135,20 @@ def _env_knobs() -> Tuple:
         os.environ.get("REPRO_THREADS"),
         os.environ.get("REPRO_GATE_MATRIX_BUDGET"),
         os.environ.get(TUNE_CACHE_ENV),
+        os.environ.get(SPARSE_ENV),
     )
+
+
+def _env_bool(env: str) -> Optional[bool]:
+    raw = os.environ.get(env)
+    if raw is None or raw == "":
+        return None
+    low = raw.strip().lower()
+    if low in ("1", "true", "on", "yes"):
+        return True
+    if low in ("0", "false", "off", "no"):
+        return False
+    raise SimulationError(f"{env}={raw!r} is not a boolean flag")
 
 
 def _env_int(env: str) -> Optional[int]:
@@ -201,9 +232,11 @@ class TuningPlan:
     fault_chunk: int
     matrix_budget: int
     threads: int
-    source: str  #: "model" | "calibrated" | "explicit"
+    source: str  #: "model" | "calibrated" | "explicit" | "sparse-*"
     reason: str
     shape: NetlistShape
+    sparse: bool = False  #: cone-sparse execution tier on for this workload
+    cone_density: Optional[float] = None  #: mean cone fraction the choice keyed on
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -215,6 +248,8 @@ class TuningPlan:
             "source": self.source,
             "reason": self.reason,
             "shape": self.shape.to_dict(),
+            "sparse": self.sparse,
+            "cone_density": self.cone_density,
         }
 
 
@@ -498,11 +533,172 @@ def resolve_plan(
     return plan
 
 
+# ----------------------------------------------------------------------
+# The sparse/dense decision
+# ----------------------------------------------------------------------
+_SPARSE_MEMO: Dict[Tuple, Tuple[weakref.ref, TuningPlan]] = {}
+
+
+def backend_supports_sparse(name: str) -> bool:
+    """Whether backend ``name`` restricts work under a sparse schedule."""
+    factory = _REGISTRY.get(name)
+    return bool(getattr(factory, "supports_sparse", False))
+
+
+def resolve_sparse(
+    netlist: Union[Netlist, CompiledNetlist],
+    backend: Optional[str] = None,
+    *,
+    sparse: Optional[bool] = None,
+    n_groups: Optional[int] = None,
+    n_words: Optional[int] = None,
+    word_chunk: Optional[int] = None,
+    fault_chunk: Optional[int] = None,
+) -> TuningPlan:
+    """Decide sparse vs dense execution for one campaign workload.
+
+    Precedence: the explicit ``sparse=`` keyword, then the
+    ``REPRO_SPARSE`` environment variable, then the cone-density
+    heuristic -- sparse when the backend has sparse kernels and the
+    netlist's mean cone fraction (:func:`repro.analysis.cones.
+    analyze_gate_cones`) is at most :data:`SPARSE_DENSITY_MAX`.  The
+    decision is returned as a :class:`TuningPlan` with ``sparse`` /
+    ``cone_density`` set, logged to :func:`plan_log` and emitted as a
+    ``tuning_plan`` event, so benchmark trajectories record the choice.
+
+    Sparse execution is bit-identical to dense on every backend (the
+    base kernel falls back to the dense path), so forcing it on via
+    the environment is always safe -- only speed changes.
+    """
+    from repro.gates.engine import matrix_word_chunk, resolve_matrix_budget
+
+    compiled = (
+        netlist if isinstance(netlist, CompiledNetlist) else compile_netlist(netlist)
+    )
+    memo_key = (
+        "sparse", id(compiled), backend, sparse, n_groups, n_words,
+        word_chunk, fault_chunk, _env_knobs(),
+    )
+    hit = _SPARSE_MEMO.get(memo_key)
+    if hit is not None and hit[0]() is compiled:
+        return hit[1]
+    word_chunk, fault_chunk = resolve_chunking(word_chunk, fault_chunk)
+    backend_name = resolve_backend_name(backend)
+    supports = backend_supports_sparse(backend_name)
+
+    density: Optional[float] = None
+    if compiled.n_gates:
+        from repro.analysis.cones import analyze_gate_cones
+
+        density = analyze_gate_cones(compiled.source).mean_cone_fraction
+    if n_words is None:
+        n_words = max(1, (1 << min(compiled.n_inputs, 30)) >> 6)
+    env_flag = _env_bool(SPARSE_ENV)
+    if sparse is not None:
+        enabled = bool(sparse)
+        source = "sparse-explicit"
+        reason = f"explicit sparse={enabled}"
+    elif env_flag is not None:
+        enabled = env_flag
+        source = "sparse-env"
+        reason = f"{SPARSE_ENV} forces {'sparse' if enabled else 'dense'}"
+    else:
+        source = "sparse-model"
+        if not supports:
+            enabled = False
+            reason = f"dense: backend {backend_name!r} has no sparse kernels"
+        elif compiled.n_gates < SPARSE_MIN_GATES:
+            enabled = False
+            reason = (
+                f"dense: {compiled.n_gates} gates < {SPARSE_MIN_GATES}, "
+                f"nothing to skip"
+            )
+        elif n_words < SPARSE_MIN_WORDS:
+            # The slab-escalation early exit needs a vector space that
+            # spans many words; below this the per-call overhead of the
+            # extra kernel invocations outweighs the skipped gates.
+            enabled = False
+            reason = (
+                f"dense: {int(n_words)} words < {SPARSE_MIN_WORDS}, vector "
+                f"space too small for slab early exit"
+            )
+        elif density is not None and density <= SPARSE_DENSITY_MAX:
+            enabled = True
+            reason = (
+                f"sparse: mean cone fraction {density:.3f} <= "
+                f"{SPARSE_DENSITY_MAX} leaves most gates skippable"
+            )
+        else:
+            enabled = False
+            reason = (
+                f"dense: mean cone fraction {density:.3f} > "
+                f"{SPARSE_DENSITY_MAX}, cones cover the netlist"
+            )
+
+    if n_groups is not None:
+        n_faults = int(n_groups)
+    else:
+        n_faults = 2 * (compiled.n_nets + int(len(compiled.operands)))
+    row_cells = compiled.n_nets * (fault_chunk + 1)
+    shape = NetlistShape(
+        n_nets=compiled.n_nets,
+        n_gates=compiled.n_gates,
+        n_inputs=compiled.n_inputs,
+        n_outputs=len(compiled.output_ids),
+        depth=compiled.depth,
+        n_faults=n_faults,
+        n_words=int(n_words),
+        row_cells=row_cells,
+    )
+    budget = resolve_matrix_budget(row_cells, None)
+    plan = TuningPlan(
+        backend=backend_name,
+        word_chunk=matrix_word_chunk(row_cells, word_chunk, budget),
+        fault_chunk=fault_chunk,
+        matrix_budget=budget,
+        threads=resolve_threads(),
+        source=source,
+        reason=reason,
+        shape=shape,
+        sparse=enabled,
+        cone_density=density,
+    )
+    if len(_PLAN_LOG) == PLAN_LOG_MAX:
+        obs_metrics.inc("repro_plan_log_dropped_total")
+    _PLAN_LOG.append(plan)
+    obs_events.emit(
+        obs_events.TUNING_PLAN,
+        backend=backend_name,
+        source=source,
+        reason=reason,
+        sparse=enabled,
+        cone_density=density,
+        n_faults=shape.n_faults,
+        n_words=shape.n_words,
+    )
+    try:
+        ref = weakref.ref(
+            compiled, lambda _r, _k=memo_key: _SPARSE_MEMO.pop(_k, None)
+        )
+    except TypeError:  # pragma: no cover - non-weakrefable compiled form
+        ref = lambda: compiled
+    _SPARSE_MEMO[memo_key] = (ref, plan)
+    while len(_SPARSE_MEMO) > _PLAN_MEMO_MAX:
+        del _SPARSE_MEMO[next(iter(_SPARSE_MEMO))]
+    return plan
+
+
 __all__ = [
     "AUTO_BACKEND",
     "WORD_CHUNK_ENV",
     "FAULT_CHUNK_ENV",
     "TUNE_CACHE_ENV",
+    "SPARSE_ENV",
+    "SPARSE_DENSITY_MAX",
+    "SPARSE_MIN_GATES",
+    "SPARSE_MIN_WORDS",
+    "backend_supports_sparse",
+    "resolve_sparse",
     "DEFAULT_WORD_CHUNK",
     "DEFAULT_FAULT_CHUNK",
     "NetlistShape",

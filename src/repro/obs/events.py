@@ -49,6 +49,7 @@ CHECKPOINT_RESUMED = "checkpoint_resumed"
 STORE_CORRUPT = "store_corrupt"
 TUNING_PLAN = "tuning_plan"
 CAMPAIGN_COMPLETED = "campaign_completed"
+INCREMENTAL_CAMPAIGN = "incremental_campaign"
 
 #: Every name :func:`emit` is expected to be called with.
 EVENT_NAMES = (
@@ -62,6 +63,7 @@ EVENT_NAMES = (
     STORE_CORRUPT,
     TUNING_PLAN,
     CAMPAIGN_COMPLETED,
+    INCREMENTAL_CAMPAIGN,
 )
 
 
@@ -87,6 +89,7 @@ __all__ = [
     "CHECKPOINT_RESUMED",
     "CHECKPOINT_WRITTEN",
     "EVENT_NAMES",
+    "INCREMENTAL_CAMPAIGN",
     "SHARDS_MERGED",
     "SHARD_COMPLETED",
     "SHARD_FAILED",
